@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the paper-table rows it regenerates, so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+tables on the scaled replicas.  Results are also appended to
+``benchmarks/results/*.txt`` for EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(filename: str, text: str) -> None:
+    """Print a results block and persist it under benchmarks/results/."""
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, filename), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def results_emitter():
+    return emit

@@ -1,0 +1,109 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+1. **Abstract vs concrete patterns** — SPDOffline checks one abstract
+   pattern per signature; the naive baseline checks every concrete
+   instantiation.  The gap grows with instantiation multiplicity
+   (the DiningPhil/Vector-style CP explosion).
+2. **Closure reuse (Proposition 4.4 / Corollary 4.5)** — Algorithm 2
+   carries the closure timestamp and history cursors across
+   instantiations; the ablation recomputes from scratch.
+3. **Timestamps vs explicit sets** — Algorithm 1 on vector clocks vs
+   the set-based Definition 3 fix-point.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines.naive import naive_sp_detector
+from repro.core.closure import SPClosureEngine, sp_closure_events
+from repro.core.spd_offline import spd_offline
+from repro.synth.suite import SUITE_BY_NAME, build_benchmark
+from repro.synth.templates import dining_philosophers_trace
+from repro.vc.timestamps import trf_reachable_set
+
+
+@pytest.mark.benchmark(group="ablation-abstract")
+def test_abstract_patterns_spd(benchmark):
+    """SPDOffline on the CP-heavy Vector replica (1 AP, 1024 CP)."""
+    trace = build_benchmark(SUITE_BY_NAME["Vector"])
+    result = benchmark(lambda: spd_offline(trace))
+    assert result.num_deadlocks == 1
+
+
+@pytest.mark.benchmark(group="ablation-abstract")
+def test_concrete_patterns_naive(benchmark):
+    """The same replica, checking concrete instantiations one by one."""
+    trace = build_benchmark(SUITE_BY_NAME["Vector"])
+    result = benchmark(
+        lambda: naive_sp_detector(trace, first_hit_per_abstract=False,
+                                  max_patterns=256)
+    )
+    assert result.num_deadlocks >= 1
+
+
+@pytest.mark.benchmark(group="ablation-reuse")
+def test_incremental_closure_reuse(benchmark, results_emitter):
+    """Algorithm 2's reuse vs fresh closures per instantiation.
+
+    A dining trace with many rounds makes one abstract pattern with
+    rounds^k instantiations; the incremental walk touches each acquire
+    once, while the from-scratch ablation re-pays the closure cost.
+    """
+    trace = dining_philosophers_trace(4, rounds=12)
+
+    def incremental():
+        return spd_offline(trace)
+
+    result = benchmark(incremental)
+    assert result.num_deadlocks == 1
+
+    t0 = time.perf_counter()
+    spd_offline(trace)
+    inc_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    naive_sp_detector(trace, first_hit_per_abstract=True)
+    fresh_time = time.perf_counter() - t0
+    results_emitter(
+        "ablation_reuse.txt",
+        f"incremental (Alg. 2 reuse): {inc_time:.4f}s\n"
+        f"fresh closure per pattern:  {fresh_time:.4f}s",
+    )
+
+
+@pytest.mark.benchmark(group="ablation-timestamps")
+def test_timestamp_closure(benchmark):
+    """Algorithm 1 on vector clocks."""
+    trace = build_benchmark(SUITE_BY_NAME["JDBCMySQL-4"])
+    seeds = [len(trace) // 3, 2 * len(trace) // 3]
+    result = benchmark(lambda: sp_closure_events(trace, seeds))
+    assert result
+
+
+@pytest.mark.benchmark(group="ablation-timestamps")
+def test_setwise_closure(benchmark):
+    """The Definition 3 set-based fix-point (reference semantics)."""
+    trace = build_benchmark(SUITE_BY_NAME["JDBCMySQL-4"])
+    seeds = [len(trace) // 3, 2 * len(trace) // 3]
+
+    def setwise():
+        current = set(trf_reachable_set(trace, seeds))
+        changed = True
+        while changed:
+            changed = False
+            for lock in trace.locks:
+                acqs = [i for i in trace.acquires_of_lock(lock) if i in current]
+                if len(acqs) < 2:
+                    continue
+                latest = max(acqs)
+                for a in acqs:
+                    if a == latest:
+                        continue
+                    rel = trace.match(a)
+                    if rel is not None and rel not in current:
+                        current |= trf_reachable_set(trace, [rel])
+                        changed = True
+        return current
+
+    reference = benchmark(setwise)
+    assert reference == sp_closure_events(trace, seeds)

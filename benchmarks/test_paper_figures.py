@@ -1,0 +1,70 @@
+"""Figures 1, 3, 5, 6 — the paper's worked examples as benchmarks.
+
+E3/E4/E6 of the experiment index: regenerate every figure's verdict
+and time the detectors on the literal traces (micro-benchmarks of the
+full pipeline on minimal inputs).
+"""
+
+import pytest
+
+from repro.baselines.seqcheck import seqcheck
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import spd_online
+from repro.synth.paper import fig5_trace, fig6_trace, sigma1, sigma2, sigma3
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig1a_no_deadlock(benchmark):
+    trace = sigma1()
+    result = benchmark(lambda: spd_offline(trace))
+    assert result.num_deadlocks == 0
+    assert result.num_abstract_patterns == 1  # the pattern exists...
+    # ...but is not a predictable deadlock: sound tools stay silent.
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig1b_sync_preserving_deadlock(benchmark):
+    trace = sigma2()
+    result = benchmark(lambda: spd_offline(trace))
+    assert result.num_deadlocks == 1
+    assert set(result.reports[0].pattern.events) == {3, 17}
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig1b_online(benchmark):
+    trace = sigma2()
+    result = benchmark(lambda: spd_online(trace))
+    assert result.deadlock_pairs() == {(3, 17)}
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig3_abstract_pattern_compression(benchmark):
+    trace = sigma3()
+    result = benchmark(lambda: spd_offline(trace))
+    assert result.num_cycles == 1
+    assert result.num_abstract_patterns == 1
+    assert result.num_concrete_patterns == 6
+    assert result.num_deadlocks == 1
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5_spd_beats_seqcheck(benchmark):
+    trace = fig5_trace()
+
+    def run():
+        return spd_offline(trace), seqcheck(trace)
+
+    spd, sq = benchmark(run)
+    assert spd.num_deadlocks == 1 and sq.num_deadlocks == 0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig6_seqcheck_beats_spd(benchmark):
+    trace = fig6_trace()
+
+    def run():
+        return spd_offline(trace), seqcheck(trace, first_hit_per_abstract=False)
+
+    spd, sq = benchmark(run)
+    assert spd.num_deadlocks == 1
+    assert len(sq.reports) == 2  # includes the non-sync-preserving one

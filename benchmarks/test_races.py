@@ -1,0 +1,26 @@
+"""Race-prediction throughput on suite replicas.
+
+Not a paper table (the paper cites the POPL 2021 race work); included
+as the ablation showing the shared closure engine serves both analyses
+at comparable cost.
+"""
+
+import pytest
+
+from repro.core.races import sp_races
+from repro.core.spd_offline import spd_offline
+from repro.synth.suite import SUITE_BY_NAME, build_benchmark
+
+
+@pytest.mark.benchmark(group="races")
+def test_sp_races_on_replica(benchmark):
+    trace = build_benchmark(SUITE_BY_NAME["JDBCMySQL-4"])
+    result = benchmark(lambda: sp_races(trace))
+    assert result.pairs_considered > 0
+
+
+@pytest.mark.benchmark(group="races")
+def test_deadlocks_same_trace_for_scale(benchmark):
+    trace = build_benchmark(SUITE_BY_NAME["JDBCMySQL-4"])
+    result = benchmark(lambda: spd_offline(trace))
+    assert result.num_deadlocks == 2

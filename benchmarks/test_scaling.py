@@ -1,0 +1,92 @@
+"""Linear-time claims (Theorems 4.6 / 5.1) as scaling curves.
+
+The paper's central performance claim is linear running time in the
+trace length.  These benchmarks measure both detectors on growing
+traces of fixed structure (constant threads/locks, one deadlock) and
+assert near-linear growth: doubling N must not much more than double
+the time.  A Python reproduction pays large constant factors — the
+repro calibration notes linear-time claims "suffer" — so the assert
+allows generous slack while still excluding quadratic behavior.
+"""
+
+import time
+
+import pytest
+
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import spd_online
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.trace.builder import TraceBuilder
+
+
+def _structured_trace(n_events: int, seed: int = 7):
+    """Filler-heavy trace with one planted deadlock, fixed T/L."""
+    cfg = RandomTraceConfig(
+        seed=seed,
+        num_threads=4,
+        num_locks=4,
+        num_vars=8,
+        num_events=n_events - 12,
+        acquire_prob=0.25,
+        release_prob=0.3,
+        max_nesting=1,  # filler cannot form patterns
+    )
+    filler = generate_random_trace(cfg)
+    b = TraceBuilder().extend_trace(filler)
+    b.acq("dlA", "dla").acq("dlA", "dlb").rel("dlA", "dlb").rel("dlA", "dla")
+    b.acq("dlB", "dlb").acq("dlB", "dla").rel("dlB", "dla").rel("dlB", "dlb")
+    return b.build(f"scaling_{n_events}")
+
+
+def _series(fn, sizes):
+    rows = []
+    for n in sizes:
+        trace = _structured_trace(n)
+        t0 = time.perf_counter()
+        fn(trace)
+        rows.append((len(trace), time.perf_counter() - t0))
+    return rows
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_offline_linear_scaling(benchmark, results_emitter):
+    sizes = (4_000, 8_000, 16_000, 32_000)
+    rows = benchmark.pedantic(
+        lambda: _series(lambda t: spd_offline(t), sizes), rounds=1, iterations=1
+    )
+    lines = [f"{'N':>7} {'SPDOffline(s)':>14} {'s/event(µs)':>12}"]
+    for n, secs in rows:
+        lines.append(f"{n:>7} {secs:>14.4f} {1e6 * secs / n:>12.2f}")
+    results_emitter("scaling_offline.txt", "\n".join(lines))
+    # Quadratic behavior would make the largest/smallest time ratio
+    # ~64x; linear predicts ~8x.  Allow up to 3x slack on top.
+    n0, t0 = rows[0]
+    n3, t3 = rows[-1]
+    assert t3 / t0 < 3.0 * (n3 / n0), rows
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_online_linear_scaling(benchmark, results_emitter):
+    sizes = (4_000, 8_000, 16_000, 32_000)
+    rows = benchmark.pedantic(
+        lambda: _series(lambda t: spd_online(t), sizes), rounds=1, iterations=1
+    )
+    lines = [f"{'N':>7} {'SPDOnline(s)':>13} {'s/event(µs)':>12}"]
+    for n, secs in rows:
+        lines.append(f"{n:>7} {secs:>13.4f} {1e6 * secs / n:>12.2f}")
+    results_emitter("scaling_online.txt", "\n".join(lines))
+    n0, t0 = rows[0]
+    n3, t3 = rows[-1]
+    assert t3 / t0 < 3.0 * (n3 / n0), rows
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_online_stats_stay_bounded(benchmark):
+    """Per-event work counters grow linearly, not quadratically."""
+    small = spd_online(_structured_trace(4_000))
+    large = benchmark(lambda: spd_online(_structured_trace(32_000)))
+    ratio_events = large.stats["events"] / small.stats["events"]
+    if small.stats["deadlock_checks"]:
+        ratio_checks = large.stats["deadlock_checks"] / small.stats["deadlock_checks"]
+        assert ratio_checks <= 4 * ratio_events
+    assert large.stats["cs_records"] <= large.stats["events"]

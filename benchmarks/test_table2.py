@@ -1,0 +1,158 @@
+"""Table 2 — online evaluation: SPDOnline vs DeadlockFuzzer.
+
+For every Table 2 row we run both techniques on the replica program:
+
+- **DeadlockFuzzer**: discovery runs + 3 biased confirmation runs per
+  warning; a bug counts only when an execution actually deadlocks.
+- **SPDOnline**: the same number of ordinary biased-random runs with
+  the monitor attached; every sound prediction counts as a hit.
+
+Scaled down from the paper's 50 trials to keep the harness fast; the
+asserted shape: SPDOnline's unique-bug count must reach each row's
+ground truth (every bug planted in the replica), never trail
+DeadlockFuzzer, and win the aggregate hit count.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime.fuzzer import DeadlockFuzzer
+from repro.runtime.monitor import monitored_campaign
+from repro.runtime.programs import TABLE2_PROGRAMS
+
+TRIALS = 12  # paper: 50
+
+
+def run_row(row):
+    program = row.factory()
+
+    # Bare executions: the baseline for the overhead columns (13-16).
+    from repro.runtime.scheduler import BiasedScheduler, run_program
+
+    t0 = time.perf_counter()
+    for i in range(TRIALS):
+        run_program(program, BiasedScheduler(seed=17 + i))
+    bare_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    df = DeadlockFuzzer(confirm_runs=3).campaign(program, trials=TRIALS, seed=17)
+    df_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    runs = monitored_campaign(program, runs=TRIALS, seed=17)
+    spd_time = time.perf_counter() - t0
+    spd_hits = sum(m.num_hits for m in runs)
+    spd_bugs = set().union(*(m.bug_ids for m in runs)) if runs else set()
+
+    return {
+        "row": row,
+        "spd_hits": spd_hits,
+        "spd_bugs": len(spd_bugs),
+        "spd_time": spd_time,
+        "df_hits": df.num_hits,
+        "df_bugs": len(df.bug_ids),
+        "df_execs": df.executions,
+        "df_time": df_time,
+        "bare_time": bare_time,
+    }
+
+
+def _ovh(t, bare):
+    """Overhead multiplier vs bare execution (the ×-columns of Table 2)."""
+    if bare <= 0:
+        return "-"
+    return f"{t / bare:.1f}x"
+
+
+def render(rows):
+    head = (
+        f"{'Benchmark':16s} {'SPD hits':>8} {'DF hits':>8} "
+        f"{'SPD bugs':>8} {'DF bugs':>8} {'truth':>6} "
+        f"{'paper SPD/DF bugs':>18} {'SPD t(s)':>9} {'DF t(s)':>8} "
+        f"{'SPD ovh':>8} {'DF ovh':>7}"
+    )
+    lines = [head, "-" * len(head)]
+    tot = {"sh": 0, "dh": 0, "sb": 0, "db": 0}
+    for r in rows:
+        row = r["row"]
+        lines.append(
+            f"{row.name:16s} {r['spd_hits']:>8} {r['df_hits']:>8} "
+            f"{r['spd_bugs']:>8} {r['df_bugs']:>8} {row.replica_bugs:>6} "
+            f"{f'{row.paper_spd_bugs}/{row.paper_df_bugs}':>18} "
+            f"{r['spd_time']:>9.2f} {r['df_time']:>8.2f} "
+            f"{_ovh(r['spd_time'], r['bare_time']):>8} "
+            f"{_ovh(r['df_time'], r['bare_time']):>7}"
+        )
+        tot["sh"] += r["spd_hits"]
+        tot["dh"] += r["df_hits"]
+        tot["sb"] += r["spd_bugs"]
+        tot["db"] += r["df_bugs"]
+    lines.append("-" * len(head))
+    lines.append(
+        f"{'Totals':16s} {tot['sh']:>8} {tot['dh']:>8} "
+        f"{tot['sb']:>8} {tot['db']:>8}   (paper totals: hits 7633 vs 2076, "
+        "unique bugs 49 vs 42)"
+    )
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_full_suite(benchmark, results_emitter):
+    """E2: regenerate every Table 2 row on the replica programs."""
+    rows = benchmark.pedantic(
+        lambda: [run_row(r) for r in TABLE2_PROGRAMS], rounds=1, iterations=1
+    )
+    results_emitter("table2.txt", render(rows))
+
+    for r in rows:
+        row = r["row"]
+        # Sound prediction finds every bug within its size-2 scope.
+        assert r["spd_bugs"] >= row.replica_spd_bugs, row.name
+        # Prediction never trails testing, except where the bug is a
+        # multi-thread cycle outside SPDOnline's size-2 scope.
+        if row.replica_spd_bugs == row.replica_bugs:
+            assert r["spd_bugs"] >= r["df_bugs"], row.name
+        # Zero-bug programs stay clean for both (no false positives).
+        if row.replica_bugs == 0:
+            assert r["spd_hits"] == 0 and r["df_hits"] == 0, row.name
+
+    # Aggregate shape (paper: 7633 vs 2076 hits, 49 vs 42 bugs).
+    assert sum(r["spd_hits"] for r in rows) > sum(r["df_hits"] for r in rows)
+    assert sum(r["spd_bugs"] for r in rows) >= sum(r["df_bugs"] for r in rows)
+
+
+@pytest.mark.benchmark(group="table2-overhead")
+def test_monitoring_overhead(benchmark, results_emitter):
+    """Runtime-overhead columns: monitored vs bare execution.
+
+    The paper reports SPD analysis overhead within ~2x of
+    DeadlockFuzzer's instrumentation on most benchmarks.
+    """
+    from repro.runtime.programs import collection_program
+    from repro.runtime.scheduler import RandomScheduler, run_program
+    from repro.runtime.monitor import run_with_monitor
+
+    program = collection_program("OverheadProbe", num_bugs=1, workers=6)
+
+    t0 = time.perf_counter()
+    for seed in range(20):
+        run_program(program, RandomScheduler(seed))
+    bare = time.perf_counter() - t0
+
+    def monitored():
+        for seed in range(20):
+            run_with_monitor(program, RandomScheduler(seed))
+
+    benchmark.pedantic(monitored, rounds=3, iterations=1)
+    t0 = time.perf_counter()
+    monitored()
+    with_monitor = time.perf_counter() - t0
+    overhead = with_monitor / max(bare, 1e-9)
+    results_emitter(
+        "table2_overhead.txt",
+        f"bare execution (20 runs):      {bare:.3f}s\n"
+        f"monitored execution (20 runs): {with_monitor:.3f}s\n"
+        f"analysis overhead:             {overhead:.1f}x",
+    )
+    assert overhead < 50, "monitoring overhead should stay moderate"

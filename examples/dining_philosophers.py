@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Dining philosophers: deadlocks bigger than two threads.
+
+SPDOffline detects deadlocks of *any* size (here, a five-way fork
+cycle), which is where it beats size-2-only tools — Table 1's
+DiningPhil row, the deadlock SeqCheck misses.
+
+Run:  python examples/dining_philosophers.py
+"""
+
+from repro import spd_offline, spd_online
+from repro.baselines.goodlock import goodlock
+from repro.reorder.witness import witness_for_pattern
+from repro.synth.templates import dining_philosophers_trace
+
+
+def main() -> None:
+    n = 5
+    trace = dining_philosophers_trace(n)
+    print(f"{n} philosophers, {len(trace)} events, "
+          f"{len(trace.locks)} forks\n")
+
+    offline = spd_offline(trace)
+    print(f"SPDOffline: {offline.num_deadlocks} deadlock(s)")
+    report = offline.reports[0]
+    print(f"  size-{len(report.pattern)} cycle:")
+    for idx in report.pattern.events:
+        ev = trace[idx]
+        held = ", ".join(trace.held_locks(idx))
+        print(f"    {ev.thread} wants {ev.target} while holding {held}")
+
+    online = spd_online(trace)
+    print(f"\nSPDOnline (size-2 only): {online.num_reports} report(s) — "
+          "five-way cycles are outside its scope by design;")
+    print("size-2 deadlocks dominate in the wild [Lu et al. 2008], which is "
+          "the paper's case for the online restriction.")
+
+    size2 = spd_offline(trace, max_size=2)
+    print(f"SPDOffline capped at size 2 agrees: {size2.num_deadlocks} report(s).")
+
+    warnings = goodlock(trace)
+    print(f"\nGoodlock warns about {warnings.num_warnings} cyclic pattern(s) "
+          "— here the warning happens to be real, but Goodlock cannot tell.")
+
+    schedule, ok = witness_for_pattern(trace, report.pattern.events)
+    assert ok
+    print(f"\nWitness: run {len(schedule)} events "
+          f"({', '.join(str(trace[i]) for i in schedule[:5])} ...), then every "
+          "philosopher holds their left fork and wants their right one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Runtime monitoring shoot-out: SPDOnline vs DeadlockFuzzer.
+
+A miniature of the Section 6.2 experiment on one program with a
+"rare" bug: an inverse-order lock pair that only overlaps under
+unlikely schedules.  DeadlockFuzzer must *hit* the deadlock to report
+it; SPDOnline predicts it from almost any run.
+
+Run:  python examples/online_monitoring.py
+"""
+
+import time
+
+from repro.runtime.fuzzer import DeadlockFuzzer
+from repro.runtime.monitor import monitored_campaign
+from repro.runtime.programs import rare_pair_program
+
+
+def main() -> None:
+    program = rare_pair_program("RareBug", num_common=1, num_rare=1)
+    trials = 25
+
+    print(f"program: {program.name} — one easy bug, one schedule-shy bug\n")
+
+    # -- DeadlockFuzzer: discovery run + 3 biased confirmation runs per
+    # warning; only confirmed (actually hit) deadlocks count.
+    t0 = time.perf_counter()
+    df = DeadlockFuzzer(confirm_runs=3).campaign(program, trials=trials, seed=1)
+    df_time = time.perf_counter() - t0
+    print("DeadlockFuzzer:")
+    print(f"  executions:   {df.executions}")
+    print(f"  warnings:     {df.warnings}")
+    print(f"  bug hits:     {df.num_hits}")
+    print(f"  unique bugs:  {len(df.bug_ids)}")
+    print(f"  wall time:    {df_time:.2f}s\n")
+
+    # -- SPDOnline piggybacks on ordinary biased-random runs; every run
+    # that *could have* deadlocked yields a report.
+    t0 = time.perf_counter()
+    runs = monitored_campaign(program, runs=trials, seed=1)
+    spd_time = time.perf_counter() - t0
+    hits = sum(m.num_hits for m in runs)
+    bugs = set().union(*(m.bug_ids for m in runs))
+    print("SPDOnline monitor:")
+    print(f"  executions:   {trials}")
+    print(f"  bug hits:     {hits}")
+    print(f"  unique bugs:  {len(bugs)}")
+    print(f"  wall time:    {spd_time:.2f}s\n")
+
+    for bug in sorted(bugs - df.bug_ids):
+        print(f"found only by prediction: {' / '.join(bug)}")
+    print("\nSound prediction needs no lucky schedule and no confirmation "
+          "re-runs — the Table 2 result in miniature.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: predict deadlocks in an execution trace.
+
+Builds the paper's Fig. 1b trace, runs both detectors, and prints the
+witness schedule that proves the deadlock is real.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import parse_trace, spd_offline, spd_online
+from repro.reorder.witness import witness_for_pattern
+
+# A trace in the STD text format: one event per line, thread|op(target).
+# This is σ2 from Fig. 1b of the paper — four threads, three locks, and
+# one deadlock hiding in an alternate interleaving.
+TRACE_TEXT = """
+t1|acq(l1)
+t1|rel(l1)
+t2|acq(l2)
+t2|acq(l3)
+t2|w(z)
+t2|rel(l3)
+t2|rel(l2)
+t4|acq(l1)
+t4|w(y)
+t4|r(z)
+t4|rel(l1)
+t1|acq(l3)
+t1|w(x)
+t1|r(y)
+t1|rel(l3)
+t3|acq(l3)
+t3|r(x)
+t3|acq(l2)
+t3|rel(l2)
+t3|rel(l3)
+"""
+
+
+def main() -> None:
+    trace = parse_trace(TRACE_TEXT, name="quickstart")
+    print(f"Loaded {trace.name}: {len(trace)} events, "
+          f"{len(trace.threads)} threads, {len(trace.locks)} locks\n")
+
+    # -- Offline analysis (Algorithm 3): all deadlock sizes, two phases.
+    offline = spd_offline(trace)
+    print(f"SPDOffline: {offline.num_deadlocks} sync-preserving deadlock(s)")
+    print(f"  abstract lock graph: {offline.num_cycles} cycle(s), "
+          f"{offline.num_abstract_patterns} abstract pattern(s), "
+          f"{offline.num_concrete_patterns} concrete pattern(s)")
+    for report in offline.reports:
+        events = [trace[i] for i in report.pattern.events]
+        print(f"  deadlock pattern: {' vs '.join(map(str, events))}")
+
+    # -- Online analysis (Algorithm 4): streaming, size-2 deadlocks.
+    online = spd_online(trace)
+    print(f"\nSPDOnline: {online.num_reports} report(s) "
+          f"(streaming, no second pass)")
+    for rep in online.reports:
+        print(f"  events e{rep.first_event} and e{rep.second_event} "
+              f"deadlock in an alternate schedule")
+
+    # -- Every report is backed by a replayable witness (Lemma 4.1).
+    pattern = offline.reports[0].pattern.events
+    schedule, ok = witness_for_pattern(trace, pattern)
+    assert ok, "reports are sound: a witness always exists"
+    print("\nWitness schedule (run these events, in this order):")
+    for idx in schedule:
+        print(f"  {trace[idx]}")
+    stalled = " and ".join(str(trace[i]) for i in pattern)
+    print(f"  -> now {stalled} are both enabled: circular wait, deadlock.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — Sound Dynamic Deadlock Prediction in Linear Time.
+
+A full Python reproduction of Tunç, Mathur, Pavlogiannis & Viswanathan,
+PLDI 2023.  The package detects *sync-preserving deadlocks* in
+execution traces of concurrent programs:
+
+>>> from repro import parse_trace, spd_offline
+>>> trace = parse_trace('''
+... t1|acq(l1)
+... t1|acq(l2)
+... t1|rel(l2)
+... t1|rel(l1)
+... t2|acq(l2)
+... t2|acq(l1)
+... t2|rel(l1)
+... t2|rel(l2)
+... ''')
+>>> result = spd_offline(trace)
+>>> result.num_deadlocks
+1
+
+Main entry points: :func:`spd_offline` (Algorithm 3, all deadlock
+sizes, two-phase) and :func:`spd_online` / :class:`SPDOnline`
+(Algorithm 4, size-2, streaming).
+"""
+
+from repro.core import (
+    AbstractDeadlockPattern,
+    DeadlockPattern,
+    DeadlockReport,
+    SPDOnline,
+    SPDOfflineResult,
+    abstract_deadlock_patterns,
+    build_abstract_lock_graph,
+    find_concrete_patterns,
+    is_deadlock_pattern,
+    sp_closure_events,
+    sp_races,
+    is_sp_race,
+    spd_offline,
+    spd_online,
+)
+from repro.trace import (
+    Event,
+    Trace,
+    TraceBuilder,
+    check_well_formed,
+    compute_stats,
+    format_trace,
+    parse_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractDeadlockPattern",
+    "DeadlockPattern",
+    "DeadlockReport",
+    "SPDOnline",
+    "SPDOfflineResult",
+    "abstract_deadlock_patterns",
+    "build_abstract_lock_graph",
+    "find_concrete_patterns",
+    "is_deadlock_pattern",
+    "sp_closure_events",
+    "sp_races",
+    "is_sp_race",
+    "spd_offline",
+    "spd_online",
+    "Event",
+    "Trace",
+    "TraceBuilder",
+    "check_well_formed",
+    "compute_stats",
+    "format_trace",
+    "parse_trace",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Post-hoc analyses over detection results.
+
+- :mod:`repro.analysis.false_negatives` — the Section 6.1 study:
+  classify abstract deadlock patterns that are *not* sync-preserving
+  deadlocks into provably-unpredictable categories vs genuine misses.
+- :mod:`repro.analysis.comparison` — run every detector on one trace
+  and diff their reports (the per-benchmark columns of Table 1).
+"""
+
+from repro.analysis.false_negatives import (
+    FalseNegativeReport,
+    PatternVerdict,
+    classify_patterns,
+)
+from repro.analysis.comparison import ComparisonResult, compare_detectors
+from repro.analysis.detection import ActualDeadlock, detect_actual_deadlock
+from repro.analysis.explain import Explanation, explain_pattern
+
+__all__ = [
+    "FalseNegativeReport",
+    "PatternVerdict",
+    "classify_patterns",
+    "ComparisonResult",
+    "compare_detectors",
+    "ActualDeadlock",
+    "detect_actual_deadlock",
+    "Explanation",
+    "explain_pattern",
+]

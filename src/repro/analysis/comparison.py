@@ -1,0 +1,98 @@
+"""Run every detector on one trace and diff the verdicts.
+
+The programmatic form of one Table 1 row: deadlock counts, unique
+bugs, timings, and the set differences between tools that Appendix C
+illustrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.baselines.dirk import dirk
+from repro.baselines.goodlock import goodlock
+from repro.baselines.seqcheck import SeqCheckFailure, seqcheck
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import spd_online
+from repro.trace.trace import Trace
+
+BugId = Tuple[str, ...]
+
+
+@dataclass
+class ComparisonResult:
+    """Per-tool unique bug sets and timings for one trace."""
+
+    trace_name: str
+    spd_offline_bugs: Set[BugId] = field(default_factory=set)
+    spd_online_bugs: Set[BugId] = field(default_factory=set)
+    seqcheck_bugs: Optional[Set[BugId]] = None  # None = failed
+    dirk_bugs: Optional[Set[BugId]] = None
+    goodlock_warnings: int = 0
+    times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seqcheck_failed(self) -> bool:
+        return self.seqcheck_bugs is None
+
+    def only_spd(self) -> Set[BugId]:
+        """Bugs SPDOffline finds that SeqCheck misses (Fig. 5 cases)."""
+        return self.spd_offline_bugs - (self.seqcheck_bugs or set())
+
+    def only_seqcheck(self) -> Set[BugId]:
+        """Bugs SeqCheck finds beyond SPDOffline (Fig. 6 cases)."""
+        return (self.seqcheck_bugs or set()) - self.spd_offline_bugs
+
+    def only_dirk(self) -> Set[BugId]:
+        """Dirk's value-relaxed extras (Transfer-style)."""
+        sound = self.spd_offline_bugs | (self.seqcheck_bugs or set())
+        return (self.dirk_bugs or set()) - sound
+
+    def summary(self) -> str:
+        sq = "F" if self.seqcheck_failed else len(self.seqcheck_bugs)
+        dk = "F" if self.dirk_bugs is None else len(self.dirk_bugs)
+        return (
+            f"{self.trace_name}: goodlock-warnings={self.goodlock_warnings} "
+            f"spd-offline={len(self.spd_offline_bugs)} "
+            f"spd-online={len(self.spd_online_bugs)} "
+            f"seqcheck={sq} dirk={dk}"
+        )
+
+
+def compare_detectors(
+    trace: Trace,
+    run_dirk: bool = True,
+    dirk_window: int = 10_000,
+    dirk_timeout: Optional[float] = 30.0,
+    seqcheck_all_instantiations: bool = True,
+) -> ComparisonResult:
+    """Run Goodlock, SPDOffline, SPDOnline, SeqCheck, and Dirk."""
+    result = ComparisonResult(trace_name=trace.name)
+
+    gl = goodlock(trace)
+    result.goodlock_warnings = gl.num_warnings
+    result.times["goodlock"] = gl.elapsed
+
+    off = spd_offline(trace)
+    result.spd_offline_bugs = {r.bug_id for r in off.reports}
+    result.times["spd_offline"] = off.elapsed
+
+    onl = spd_online(trace)
+    result.spd_online_bugs = onl.unique_bugs()
+    result.times["spd_online"] = onl.elapsed
+
+    try:
+        sq = seqcheck(
+            trace, first_hit_per_abstract=not seqcheck_all_instantiations
+        )
+        result.seqcheck_bugs = {r.bug_id for r in sq.reports}
+        result.times["seqcheck"] = sq.elapsed
+    except SeqCheckFailure:
+        result.seqcheck_bugs = None
+
+    if run_dirk:
+        dk = dirk(trace, window=dirk_window, timeout=dirk_timeout)
+        result.dirk_bugs = {r.bug_id for r in dk.reports}
+        result.times["dirk"] = dk.elapsed
+    return result

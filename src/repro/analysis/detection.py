@@ -1,0 +1,83 @@
+"""Actual-deadlock detection from logged request events.
+
+Prediction reasons about deadlocks that *could* happen; this module
+covers the complementary case of a run that *did* deadlock.  Loggers
+(RAPID's instrumentation, our scheduler) emit ``req(l)`` when a thread
+blocks on an acquire; a trace that ends with mutually waiting requests
+encodes the actual deadlock, and :func:`detect_actual_deadlock`
+recovers the waits-for cycle from the trace alone — no scheduler state
+needed.  This is what a post-mortem on a hung service's event log does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class ActualDeadlock:
+    """A waits-for cycle present at the end of the trace."""
+
+    threads: Tuple[str, ...]
+    locks: Tuple[str, ...]          # locks[i] is what threads[i] waits for
+    request_events: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.threads)
+
+    def bug_id(self, trace: Trace) -> Tuple[str, ...]:
+        return tuple(sorted(trace[e].location for e in self.request_events))
+
+
+def detect_actual_deadlock(trace: Trace) -> Optional[ActualDeadlock]:
+    """Recover the deadlock cycle a trace ended in, if any.
+
+    A thread is *blocked* when its last event is an unanswered
+    ``req(l)`` (no subsequent acquire of ``l`` by that thread).  The
+    waits-for edge goes to the thread holding ``l`` at end of trace.
+    Returns the first cycle found, or ``None`` for clean traces.
+    """
+    # Final lock ownership and per-thread final pending request.
+    owner: Dict[str, str] = {}
+    pending: Dict[str, Tuple[str, int]] = {}
+    for ev in trace:
+        if ev.is_acquire:
+            owner[ev.target] = ev.thread
+            if ev.thread in pending and pending[ev.thread][0] == ev.target:
+                del pending[ev.thread]  # the request was granted
+        elif ev.is_release:
+            if owner.get(ev.target) == ev.thread:
+                del owner[ev.target]
+        elif ev.is_request:
+            pending[ev.thread] = (ev.target, ev.idx)
+
+    # A pending request only blocks if it is the thread's last event.
+    blocked: Dict[str, Tuple[str, int]] = {}
+    for thread, (lock, idx) in pending.items():
+        events = trace.events_of_thread(thread)
+        if events and events[-1] == idx:
+            blocked[thread] = (lock, idx)
+
+    # Find a cycle in the waits-for graph.
+    for start in sorted(blocked):
+        chain: List[str] = []
+        seen = set()
+        t: Optional[str] = start
+        while t is not None and t in blocked and t not in seen:
+            seen.add(t)
+            chain.append(t)
+            lock, _ = blocked[t]
+            t = owner.get(lock)
+            if t in chain:
+                k = chain.index(t)
+                cycle = chain[k:]
+                return ActualDeadlock(
+                    threads=tuple(cycle),
+                    locks=tuple(blocked[c][0] for c in cycle),
+                    request_events=tuple(blocked[c][1] for c in cycle),
+                )
+    return None

@@ -1,0 +1,208 @@
+"""The Section 6.1 false-negative analysis.
+
+The paper inspects the 53 abstract deadlock patterns its benchmark set
+contains beyond the 40 confirmed sync-preserving deadlocks, and
+classifies them:
+
+- **48** are not predictable deadlocks at all: for every instantiation
+  D, the downward closure of ``pred(D)`` under thread order and
+  reads-from alone already contains an event of D, so *no* correct
+  reordering (sync-preserving or not) can enable D.
+- **4** follow a cross-critical-section scheme: each pattern acquire
+  ``acq_i`` is preceded (in thread order) by a completed critical
+  section on a lock held at the *other* pattern acquire, again ruling
+  out any correct reordering.
+- **1** is a predictable deadlock that is not sync-preserving — the
+  only genuine miss in the whole dataset.
+
+This module implements that classification for arbitrary traces, so
+the same audit can be run on any corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Set
+
+from repro.core.alg import abstract_deadlock_patterns
+from repro.core.closure import SPClosureEngine
+from repro.core.patterns import AbstractDeadlockPattern, DeadlockPattern
+from repro.core.spd_offline import check_abstract_pattern
+from repro.trace.trace import Trace
+from repro.vc.timestamps import trf_reachable_set
+
+
+class PatternVerdict(Enum):
+    """Classification of one abstract deadlock pattern."""
+
+    SYNC_PRESERVING = "sync-preserving deadlock"
+    TRF_BLOCKED = "not predictable: TRF ideal of pred(D) contains D"
+    CROSS_CS_BLOCKED = "not predictable: completed cross critical sections"
+    NOT_SP_MAYBE_PREDICTABLE = "not sync-preserving; possibly predictable"
+
+
+@dataclass
+class ClassifiedPattern:
+    """One abstract pattern with its verdict and evidence."""
+
+    abstract: AbstractDeadlockPattern
+    verdict: PatternVerdict
+    witness: Optional[DeadlockPattern] = None
+
+
+@dataclass
+class FalseNegativeReport:
+    """Aggregate of the audit (the Section 6.1 paragraph as data)."""
+
+    patterns: List[ClassifiedPattern] = field(default_factory=list)
+
+    def count(self, verdict: PatternVerdict) -> int:
+        return sum(1 for p in self.patterns if p.verdict == verdict)
+
+    @property
+    def num_sync_preserving(self) -> int:
+        return self.count(PatternVerdict.SYNC_PRESERVING)
+
+    @property
+    def num_provably_unpredictable(self) -> int:
+        return self.count(PatternVerdict.TRF_BLOCKED) + self.count(
+            PatternVerdict.CROSS_CS_BLOCKED
+        )
+
+    @property
+    def num_potential_misses(self) -> int:
+        """Patterns the sync-preserving criterion might actually miss."""
+        return self.count(PatternVerdict.NOT_SP_MAYBE_PREDICTABLE)
+
+    def summary(self) -> str:
+        total = len(self.patterns)
+        return (
+            f"{total} abstract deadlock patterns: "
+            f"{self.num_sync_preserving} sync-preserving deadlocks, "
+            f"{self.count(PatternVerdict.TRF_BLOCKED)} TRF-blocked, "
+            f"{self.count(PatternVerdict.CROSS_CS_BLOCKED)} cross-CS-blocked, "
+            f"{self.num_potential_misses} potentially predictable misses"
+        )
+
+
+def _trf_blocked(trace: Trace, pattern: Sequence[int]) -> bool:
+    """Every correct reordering is impossible: the TO∪rf downward
+    closure of the pattern's predecessors contains a pattern event or a
+    thread-order successor of one."""
+    stall = {}
+    for e in pattern:
+        t, pos = trace.thread_position(e)
+        stall[t] = pos
+    preds = [
+        p for p in (trace.thread_predecessor(e) for e in pattern) if p is not None
+    ]
+    ideal = trf_reachable_set(trace, preds)
+    for idx in ideal:
+        t, pos = trace.thread_position(idx)
+        if t in stall and pos >= stall[t]:
+            return True
+    return False
+
+
+def _cross_cs_blocked(trace: Trace, pattern: Sequence[int]) -> bool:
+    """The 4-of-53 scheme, for size-2 patterns.
+
+    Each pattern acquire is preceded by a *completed* critical section
+    on a lock held at the *other* pattern acquire.  For this to rule
+    out every correct reordering, the completed section must sit
+    *inside* the thread's still-open critical section on its own
+    pattern lock: any reordering must then place
+
+        t_b's completed CS(q)  before  t_a's open acq(q), which is
+        before t_a's completed CS(p), which must be before t_b's open
+        acq(p), which is before t_b's completed CS(q)
+
+    — a cycle, for some locks ``q ∈ HeldLks(a)``, ``p ∈ HeldLks(b)``.
+    """
+    if len(pattern) != 2:
+        return False
+
+    def nested_completed_cs(e: int, own_lock: str, other_locks: Set[str]) -> Set[str]:
+        """Locks from ``other_locks`` with a completed critical section
+        in thread(e), positioned after the still-open acquire of
+        ``own_lock`` and before ``e``."""
+        t, _ = trace.thread_position(e)
+        own_acq = None
+        found: Set[str] = set()
+        for idx in trace.events_of_thread(t):
+            if idx >= e:
+                break
+            ev = trace[idx]
+            if ev.is_acquire and ev.target == own_lock:
+                rel = trace.match(idx)
+                if rel is None or rel > e:
+                    own_acq = idx
+            if (
+                own_acq is not None
+                and idx > own_acq
+                and ev.is_acquire
+                and ev.target in other_locks
+            ):
+                rel = trace.match(idx)
+                if rel is not None and rel < e:
+                    found.add(ev.target)
+        return found
+
+    a, b = pattern
+    held_a = set(trace.held_locks(a))
+    held_b = set(trace.held_locks(b))
+    for q in held_a:
+        # t_a: completed CS on some p ∈ held_b nested inside a's open CS
+        # on q; t_b symmetrically: completed CS on q nested inside b's
+        # open CS on that same p.
+        for p in nested_completed_cs(a, q, held_b):
+            if q in nested_completed_cs(b, p, {q}):
+                return True
+    return False
+
+
+def classify_patterns(
+    trace: Trace, max_size: Optional[int] = None
+) -> FalseNegativeReport:
+    """Audit every abstract deadlock pattern of ``trace``.
+
+    Patterns confirmed sync-preserving get their witness instantiation;
+    the rest are tested against the two provable-unpredictability
+    criteria of Section 6.1.  Whatever survives all three is a
+    *potential* miss, to be settled (on small traces) by
+    :class:`repro.reorder.exhaustive.ExhaustivePredictor`.
+    """
+    report = FalseNegativeReport()
+    _, abstracts = abstract_deadlock_patterns(trace, max_size=max_size)
+    if not abstracts:
+        return report
+    engine = SPClosureEngine(trace)
+    for abstract in abstracts:
+        witness = check_abstract_pattern(engine, abstract)
+        if witness is not None:
+            report.patterns.append(
+                ClassifiedPattern(abstract, PatternVerdict.SYNC_PRESERVING, witness)
+            )
+            continue
+        verdicts = []
+        for concrete in abstract.instantiations():
+            if _trf_blocked(trace, concrete.events):
+                verdicts.append(PatternVerdict.TRF_BLOCKED)
+            elif _cross_cs_blocked(trace, concrete.events):
+                verdicts.append(PatternVerdict.CROSS_CS_BLOCKED)
+            else:
+                verdicts.append(PatternVerdict.NOT_SP_MAYBE_PREDICTABLE)
+        # The abstract pattern is provably unpredictable only when every
+        # instantiation is.
+        if all(v == PatternVerdict.TRF_BLOCKED for v in verdicts):
+            verdict = PatternVerdict.TRF_BLOCKED
+        elif all(
+            v in (PatternVerdict.TRF_BLOCKED, PatternVerdict.CROSS_CS_BLOCKED)
+            for v in verdicts
+        ):
+            verdict = PatternVerdict.CROSS_CS_BLOCKED
+        else:
+            verdict = PatternVerdict.NOT_SP_MAYBE_PREDICTABLE
+        report.patterns.append(ClassifiedPattern(abstract, verdict))
+    return report

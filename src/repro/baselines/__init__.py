@@ -1,0 +1,35 @@
+"""Comparator algorithms for the evaluation (Section 6).
+
+- :mod:`repro.baselines.goodlock` — classic unsound deadlock-pattern
+  reporting via lock-order graphs [Havelund 2000].
+- :mod:`repro.baselines.naive` — sound SP-deadlock detection that
+  checks every *concrete* pattern from scratch (the strawman that
+  abstract patterns beat; ablation baseline).
+- :mod:`repro.baselines.seqcheck` — re-implementation of SeqCheck's
+  published strategy [Cai et al. 2021] (closes every critical section
+  it includes; may reverse critical-section order; size-2 only;
+  requires well-nested locks).
+- :mod:`repro.baselines.dirk` — stand-in for the SMT-based Dirk
+  [Kalhauge & Palsberg 2018]: windowed exhaustive search with optional
+  value relaxation, reproducing both its extra finds and its
+  documented unsoundness (Appendix D).
+"""
+
+from repro.baselines.goodlock import GoodlockResult, goodlock
+from repro.baselines.naive import NaiveResult, naive_sp_detector
+from repro.baselines.seqcheck import SeqCheckResult, seqcheck
+from repro.baselines.dirk import DirkResult, dirk
+from repro.baselines.undead import UndeadResult, undead
+
+__all__ = [
+    "GoodlockResult",
+    "goodlock",
+    "NaiveResult",
+    "naive_sp_detector",
+    "SeqCheckResult",
+    "seqcheck",
+    "DirkResult",
+    "dirk",
+    "UndeadResult",
+    "undead",
+]

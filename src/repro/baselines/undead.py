@@ -1,0 +1,59 @@
+"""UNDEAD-style abstract lock-dependency detection [Zhou et al. 2017].
+
+UNDEAD records per-thread lock dependencies ``(t, l, L)`` — thread t
+acquired l while holding the set L — deduplicated, and reports cyclic
+chains among them.  That is precisely a cycle over this library's
+*abstract acquires*, minus any realizability checking: the same
+candidate set SPDOffline starts from, reported as-is.
+
+Positioned in the precision ladder between Goodlock (concrete-event
+cycles, one warning per concrete cycle) and SPDOffline (abstract
+cycles *verified* against sync-preserving reorderings): UNDEAD's
+warning count equals the abstract-deadlock-pattern count, its memory
+is bounded by distinct dependencies rather than trace length, and its
+false positives are exactly the unverified patterns the Section 6.1
+audit classifies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.alg import abstract_deadlock_patterns
+from repro.core.patterns import AbstractDeadlockPattern
+from repro.trace.trace import Trace
+
+
+@dataclass
+class UndeadResult:
+    """Abstract-level deadlock warnings (unsound: no realizability)."""
+
+    warnings: List[AbstractDeadlockPattern] = field(default_factory=list)
+    num_dependencies: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def num_warnings(self) -> int:
+        return len(self.warnings)
+
+
+def undead(
+    trace: Trace,
+    max_size: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+) -> UndeadResult:
+    """Report every abstract deadlock pattern as a warning."""
+    start = time.perf_counter()
+    from repro.locks.abstract import collect_abstract_acquires
+
+    deps = collect_abstract_acquires(trace)
+    _, patterns = abstract_deadlock_patterns(
+        trace, max_size=max_size, max_cycles=max_cycles
+    )
+    return UndeadResult(
+        warnings=patterns,
+        num_dependencies=len(deps),
+        elapsed=time.perf_counter() - start,
+    )

@@ -1,0 +1,275 @@
+"""Command-line interface: ``repro-deadlock`` / ``python -m repro``.
+
+Subcommands:
+
+- ``analyze TRACE``   — run SPDOffline (default) or SPDOnline on a
+  trace file in the STD text format and print the deadlock report.
+- ``races TRACE``     — sync-preserving data-race prediction.
+- ``stats TRACE``     — print the Table-1-style trace characteristics.
+- ``generate SPEC``   — synthesize a benchmark-suite trace to stdout.
+- ``witness TRACE I J`` — print a witness schedule for a size-2
+  pattern, if the pattern is a sync-preserving deadlock.
+- ``compare TRACE``   — run every detector and diff the verdicts.
+- ``audit TRACE``     — the Section 6.1 false-negative classification.
+- ``graph TRACE``     — abstract-lock-graph (or lock-order) DOT dump.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import spd_online
+from repro.reorder.witness import witness_for_pattern
+from repro.synth.suite import SUITE_BY_NAME, build_benchmark
+from repro.trace.parser import format_trace, load_trace
+from repro.trace.stats import compute_stats
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    trace = load_trace(args.trace)
+    if args.online:
+        result = spd_online(trace)
+        if args.json:
+            print(json.dumps({
+                "trace": trace.name,
+                "mode": "online",
+                "deadlocks": [
+                    {"events": [r.first_event, r.second_event],
+                     "locations": list(r.locations)}
+                    for r in result.reports
+                ],
+                "elapsed_s": result.elapsed,
+            }, indent=2))
+        else:
+            print(f"{trace.name}: {result.num_reports} sync-preserving deadlock "
+                  f"report(s) [online, size 2] in {result.elapsed:.3f}s")
+            for r in result.reports:
+                print(f"  deadlock between events {r.first_event} and "
+                      f"{r.second_event} (locations {r.locations[0]} / "
+                      f"{r.locations[1]})")
+        return 0 if result.num_reports == 0 else 1
+    result = spd_offline(trace, max_size=args.max_size)
+    if args.json:
+        print(json.dumps({
+            "trace": trace.name,
+            "mode": "offline",
+            "cycles": result.num_cycles,
+            "abstract_patterns": result.num_abstract_patterns,
+            "concrete_patterns": result.num_concrete_patterns,
+            "deadlocks": [
+                {"events": list(r.pattern.events), "locations": list(r.locations)}
+                for r in result.reports
+            ],
+            "elapsed_s": result.elapsed,
+        }, indent=2))
+    else:
+        print(f"{trace.name}: {result.num_deadlocks} sync-preserving deadlock(s) "
+              f"[{result.num_cycles} cycles, {result.num_abstract_patterns} "
+              f"abstract patterns, {result.num_concrete_patterns} concrete] "
+              f"in {result.elapsed:.3f}s")
+        for r in result.reports:
+            evs = ", ".join(f"e{i}" for i in r.pattern.events)
+            print(f"  deadlock pattern <{evs}> at {' / '.join(r.locations)}")
+    return 0 if result.num_deadlocks == 0 else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    s = compute_stats(trace)
+    print(f"name:        {s.name}")
+    print(f"events:      {s.num_events}")
+    print(f"threads:     {s.num_threads}")
+    print(f"variables:   {s.num_variables}")
+    print(f"locks:       {s.num_locks}")
+    print(f"acquires:    {s.num_acquires} (+{s.num_requests} requests)")
+    print(f"nesting:     {s.lock_nesting_depth}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = SUITE_BY_NAME.get(args.benchmark)
+    if spec is None:
+        print(f"unknown benchmark {args.benchmark!r}; options:", file=sys.stderr)
+        print("  " + ", ".join(sorted(SUITE_BY_NAME)), file=sys.stderr)
+        return 2
+    sys.stdout.write(format_trace(build_benchmark(spec)))
+    return 0
+
+
+def _cmd_witness(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    schedule, ok = witness_for_pattern(trace, (args.first, args.second))
+    if not ok:
+        print(f"<e{args.first}, e{args.second}> is not a sync-preserving deadlock")
+        return 1
+    print(f"witness schedule for <e{args.first}, e{args.second}>:")
+    for idx in schedule:
+        print(f"  {trace[idx]}")
+    print(f"  -- both e{args.first} and e{args.second} now enabled: deadlock --")
+    return 0
+
+
+def _cmd_races(args: argparse.Namespace) -> int:
+    from repro.core.races import sp_races
+
+    trace = load_trace(args.trace)
+    result = sp_races(trace, first_hit_per_pair=not args.all)
+    print(f"{trace.name}: {result.num_races} sync-preserving race(s) "
+          f"over {result.pairs_considered} conflicting group pair(s) "
+          f"in {result.elapsed:.3f}s")
+    for r in result.reports:
+        print(f"  race on {r.variable}: events {r.first_event}/{r.second_event} "
+              f"({r.locations[0]} / {r.locations[1]})")
+    return 0 if result.num_races == 0 else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.comparison import compare_detectors
+
+    trace = load_trace(args.trace)
+    res = compare_detectors(trace, run_dirk=not args.no_dirk)
+    print(res.summary())
+    for label, bugs in (
+        ("only SPDOffline (Fig. 5-style)", res.only_spd()),
+        ("only SeqCheck (Fig. 6-style)", res.only_seqcheck()),
+        ("only Dirk (value-relaxed)", res.only_dirk()),
+    ):
+        for bug in sorted(bugs):
+            print(f"  {label}: {' / '.join(bug)}")
+    for tool, secs in sorted(res.times.items()):
+        print(f"  time {tool}: {secs:.3f}s")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis.false_negatives import classify_patterns
+
+    trace = load_trace(args.trace)
+    report = classify_patterns(trace)
+    print(f"{trace.name}: {report.summary()}")
+    for cp in report.patterns:
+        line = f"  {cp.abstract}: {cp.verdict.value}"
+        if cp.witness is not None:
+            line += f" (witness {cp.witness})"
+        print(line)
+    return 0 if report.num_potential_misses == 0 else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.analysis.explain import explain_pattern
+
+    trace = load_trace(args.trace)
+    exp = explain_pattern(trace, (args.first, args.second))
+    print(exp.render(trace))
+    return 0 if exp.is_deadlock else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.trace.profile import profile_trace
+
+    trace = load_trace(args.trace)
+    p = profile_trace(trace)
+    print(f"{trace.name}: {p.num_events} events, sync ratio "
+          f"{100 * p.sync_ratio:.1f}%")
+    print("hottest locks:")
+    for lp in p.hottest_locks(8):
+        shared = "shared" if lp.is_shared else "thread-local"
+        print(f"  {lp.lock:20s} {lp.acquisitions:6d} acq  {shared:12s} "
+              f"guarded={lp.guarded_acquires} max-span={lp.max_held_span}")
+    prone = p.deadlock_prone_locks()
+    print(f"deadlock-prone locks ({len(prone)}): {', '.join(prone) or '-'}")
+    print("threads:")
+    for tp in sorted(p.threads.values(), key=lambda t: -t.events)[:10]:
+        print(f"  {tp.thread:12s} {tp.events:6d} events  "
+              f"{tp.accesses:6d} accesses  {tp.acquisitions:5d} acq  "
+              f"nesting<={tp.max_nesting}")
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro.graph.dot import alg_to_dot, lock_order_to_dot
+
+    trace = load_trace(args.trace)
+    if args.lock_order:
+        sys.stdout.write(lock_order_to_dot(trace) + "\n")
+    else:
+        sys.stdout.write(alg_to_dot(trace) + "\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for doc generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-deadlock",
+        description="Sound dynamic deadlock prediction in linear time (PLDI 2023).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_an = sub.add_parser("analyze", help="predict deadlocks in a trace file")
+    p_an.add_argument("trace", help="trace file (STD text format)")
+    p_an.add_argument("--online", action="store_true", help="use SPDOnline (streaming, size 2)")
+    p_an.add_argument("--max-size", type=int, default=None, help="cap deadlock size")
+    p_an.add_argument("--json", action="store_true", help="machine-readable output")
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_st = sub.add_parser("stats", help="print trace characteristics")
+    p_st.add_argument("trace")
+    p_st.set_defaults(func=_cmd_stats)
+
+    p_gen = sub.add_parser("generate", help="emit a benchmark-suite trace")
+    p_gen.add_argument("benchmark", help="Table 1 benchmark name, e.g. Picklock")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_wit = sub.add_parser("witness", help="witness schedule for a size-2 pattern")
+    p_wit.add_argument("trace")
+    p_wit.add_argument("first", type=int)
+    p_wit.add_argument("second", type=int)
+    p_wit.set_defaults(func=_cmd_witness)
+
+    p_rc = sub.add_parser("races", help="sync-preserving race prediction")
+    p_rc.add_argument("trace")
+    p_rc.add_argument("--all", action="store_true",
+                      help="enumerate beyond the first race per group pair")
+    p_rc.set_defaults(func=_cmd_races)
+
+    p_cmp = sub.add_parser("compare", help="run all detectors and diff verdicts")
+    p_cmp.add_argument("trace")
+    p_cmp.add_argument("--no-dirk", action="store_true",
+                       help="skip the (slow) Dirk stand-in")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_aud = sub.add_parser("audit", help="false-negative classification (Sec. 6.1)")
+    p_aud.add_argument("trace")
+    p_aud.set_defaults(func=_cmd_audit)
+
+    p_ex = sub.add_parser("explain", help="why is this pattern (not) a deadlock?")
+    p_ex.add_argument("trace")
+    p_ex.add_argument("first", type=int)
+    p_ex.add_argument("second", type=int)
+    p_ex.set_defaults(func=_cmd_explain)
+
+    p_pr = sub.add_parser("profile", help="lock contention / thread breakdown")
+    p_pr.add_argument("trace")
+    p_pr.set_defaults(func=_cmd_profile)
+
+    p_gr = sub.add_parser("graph", help="DOT dump of the abstract lock graph")
+    p_gr.add_argument("trace")
+    p_gr.add_argument("--lock-order", action="store_true",
+                      help="emit the classic lock-order graph instead")
+    p_gr.set_defaults(func=_cmd_graph)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

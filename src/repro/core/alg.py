@@ -1,0 +1,89 @@
+"""The abstract lock graph ``ALG`` (paper Section 4.5).
+
+Nodes are abstract acquires ``⟨t, l, L, F⟩``; an edge ``(η1, η2)``
+exists when ``t1 ≠ t2``, ``l1 ∈ L2``, and ``L1 ∩ L2 = ∅``.  Every
+abstract deadlock pattern appears as a simple cycle of ALG; a cycle is
+an abstract deadlock pattern when additionally all threads are
+distinct, all locks are distinct, and all held sets pairwise disjoint
+(the edge relation only guarantees this for adjacent nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.patterns import AbstractDeadlockPattern
+from repro.graph.digraph import DiGraph
+from repro.graph.johnson import simple_cycles
+from repro.locks.abstract import AbstractAcquire, collect_abstract_acquires
+from repro.trace.trace import Trace
+
+
+def build_abstract_lock_graph(trace: Trace) -> DiGraph:
+    """Construct ``ALG(trace)`` over :class:`AbstractAcquire` nodes."""
+    graph: DiGraph = DiGraph()
+    acquires = collect_abstract_acquires(trace)
+    for eta in acquires:
+        graph.add_node(eta)
+    # Index nodes by membership lock for edge construction: an edge
+    # η1 → η2 needs l1 ∈ L2, so bucket targets by each held lock.
+    by_held_lock = {}
+    for eta in acquires:
+        for lk in eta.held:
+            by_held_lock.setdefault(lk, []).append(eta)
+    for eta1 in acquires:
+        for eta2 in by_held_lock.get(eta1.lock, ()):
+            if eta1.thread != eta2.thread and not (eta1.held & eta2.held):
+                graph.add_edge(eta1, eta2)
+    return graph
+
+
+def _cycle_is_abstract_pattern(nodes: List[AbstractAcquire]) -> bool:
+    """Distinct threads/locks and pairwise-disjoint held sets."""
+    k = len(nodes)
+    threads = {n.thread for n in nodes}
+    locks = {n.lock for n in nodes}
+    if len(threads) != k or len(locks) != k:
+        return False
+    for i in range(k):
+        for j in range(i + 1, k):
+            if nodes[i].held & nodes[j].held:
+                return False
+    return True
+
+
+def enumerate_alg_cycles(
+    graph: DiGraph,
+    max_length: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+) -> Iterator[List[AbstractAcquire]]:
+    """Simple cycles of ALG as lists of abstract acquires."""
+    for idx_cycle in simple_cycles(graph, max_length=max_length, max_cycles=max_cycles):
+        yield [graph.node_at(i) for i in idx_cycle]
+
+
+def abstract_deadlock_patterns(
+    trace: Trace,
+    max_size: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+) -> Tuple[int, List[AbstractDeadlockPattern]]:
+    """Phase 1 of SPDOffline.
+
+    Returns ``(num_cycles, patterns)`` — the total simple-cycle count of
+    ALG (the ``|Cyc|`` column of Table 1) and the cycles that pass the
+    abstract-deadlock-pattern filter (the ``A. P.`` column).
+    """
+    graph = build_abstract_lock_graph(trace)
+    num_cycles = 0
+    patterns: List[AbstractDeadlockPattern] = []
+    for nodes in enumerate_alg_cycles(graph, max_length=max_size, max_cycles=max_cycles):
+        num_cycles += 1
+        if _cycle_is_abstract_pattern(nodes):
+            patterns.append(AbstractDeadlockPattern(tuple(nodes)).canonical())
+    return num_cycles, patterns
+
+
+def count_cycles(trace: Trace, max_cycles: Optional[int] = None) -> int:
+    """``|Cyc|``: number of simple cycles in ALG (Table 1 column 7)."""
+    graph = build_abstract_lock_graph(trace)
+    return sum(1 for _ in simple_cycles(graph, max_cycles=max_cycles))

@@ -1,0 +1,99 @@
+"""Sync-preserving closure computation (Definition 3, Algorithm 1).
+
+The closure of an event set S is the smallest superset closed under
+
+  (a) thread order and reads-from predecessors (the ``<=TRF`` ideal), and
+  (b) the lock rule: among any two acquires on the same lock inside the
+      set, the earlier one's matching release is also in the set.
+
+Representing the closure by its TRF *timestamp* ``T`` (the downward
+closure of S under ``<=TRF`` is exactly ``{e | TS(e) ⊑ T}``), rule (a)
+is free and rule (b) becomes Algorithm 1's fix-point over critical-
+section histories.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.locks.history import CSHistories
+from repro.trace.trace import Trace
+from repro.vc.clock import VectorClock
+from repro.vc.timestamps import TRFTimestamps
+
+
+class SPClosureEngine:
+    """Reusable Algorithm 1 runner bound to one trace.
+
+    The engine owns the TRF timestamps and the critical-section
+    histories.  :meth:`compute` may be called repeatedly with growing
+    timestamps — history cursors persist across calls, which is exactly
+    the Proposition 4.4 reuse that makes Algorithm 2 linear overall.
+    Call :meth:`reset` between independent abstract-pattern checks.
+    """
+
+    def __init__(self, trace: Trace, timestamps: TRFTimestamps | None = None) -> None:
+        self.trace = trace
+        self.timestamps = timestamps or TRFTimestamps(trace)
+        self.histories = CSHistories(trace, self.timestamps)
+
+    def reset(self) -> None:
+        self.histories.reset()
+
+    def compute(self, t0: VectorClock) -> VectorClock:
+        """Run Algorithm 1 starting from timestamp ``t0``.
+
+        Returns the (possibly aliased, mutated) fix-point timestamp of
+        ``SPClosure({e | TS(e) ⊑ t0})``.
+        """
+        t_clock = t0.copy()
+        changed = True
+        while changed:
+            changed = False
+            for lock in self.histories.locks:
+                join = self.histories.advance_lock(lock, t_clock)
+                if join is not None and t_clock.join_with(join):
+                    changed = True
+        return t_clock
+
+    def timestamp_of_events(self, events: Iterable[int]) -> VectorClock:
+        """``TS(S) = ⨆ {TS(e)}`` for an event set."""
+        out = VectorClock.bottom(len(self.timestamps.universe))
+        for idx in events:
+            out.join_with(self.timestamps.of(idx))
+        return out
+
+    def pred_timestamp_of_events(self, events: Iterable[int]) -> VectorClock:
+        """``TS(pred(S))``: join of thread-local-predecessor timestamps."""
+        out = VectorClock.bottom(len(self.timestamps.universe))
+        for idx in events:
+            out.join_with(self.timestamps.pred_timestamp(idx))
+        return out
+
+    def members(self, t_clock: VectorClock) -> Set[int]:
+        """The event set denoted by a closure timestamp.
+
+        ``e`` is in the closure iff ``TS(e) ⊑ T``; equivalently, iff
+        the event's per-thread position is within ``T``'s component for
+        its thread (timestamps are inclusive per-thread counters).
+        """
+        out: Set[int] = set()
+        for thread in self.trace.threads:
+            slot = self.timestamps.universe.slot(thread)
+            bound = t_clock[slot]
+            for idx in self.trace.events_of_thread(thread)[:bound]:
+                out.add(idx)
+        return out
+
+
+def sp_closure(trace: Trace, events: Iterable[int]) -> VectorClock:
+    """One-shot closure timestamp of an event set (fresh engine)."""
+    engine = SPClosureEngine(trace)
+    return engine.compute(engine.timestamp_of_events(events))
+
+
+def sp_closure_events(trace: Trace, events: Iterable[int]) -> Set[int]:
+    """One-shot closure of an event set, as a set of event indices."""
+    engine = SPClosureEngine(trace)
+    t_clock = engine.compute(engine.timestamp_of_events(events))
+    return engine.members(t_clock)

@@ -1,0 +1,154 @@
+"""Deadlock patterns — concrete and abstract (paper Sections 2 and 4.4).
+
+A *(concrete) deadlock pattern* of size k is a sequence of k acquire
+events in k distinct threads on k distinct locks such that each event's
+lock is held by the next event (cyclically) and no two events hold a
+common lock.  An *abstract deadlock pattern* is the same condition over
+abstract acquires, succinctly encoding the product of their event
+lists.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.locks.abstract import AbstractAcquire
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class DeadlockPattern:
+    """A concrete deadlock pattern: a tuple of acquire-event indices."""
+
+    events: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def canonical(self) -> "DeadlockPattern":
+        """Rotation starting at the minimum event index (dedup key)."""
+        k = self.events.index(min(self.events))
+        return DeadlockPattern(self.events[k:] + self.events[:k])
+
+    def __str__(self) -> str:
+        return "⟨" + ", ".join(f"e{i}" for i in self.events) + "⟩"
+
+
+@dataclass(frozen=True)
+class AbstractDeadlockPattern:
+    """An abstract deadlock pattern: a cyclic tuple of abstract acquires."""
+
+    acquires: Tuple[AbstractAcquire, ...]
+
+    def __len__(self) -> int:
+        return len(self.acquires)
+
+    def __iter__(self):
+        return iter(self.acquires)
+
+    @property
+    def num_concrete(self) -> int:
+        """How many concrete patterns this abstract pattern encodes."""
+        n = 1
+        for a in self.acquires:
+            n *= len(a.events)
+        return n
+
+    def instantiations(self) -> Iterator[DeadlockPattern]:
+        """All concrete patterns ``F_0 × F_1 × ... × F_{k-1}``."""
+        for combo in itertools.product(*(a.events for a in self.acquires)):
+            yield DeadlockPattern(tuple(combo))
+
+    def canonical(self) -> "AbstractDeadlockPattern":
+        """Rotation starting at the lexicographically least signature."""
+        sigs = [
+            (a.thread, a.lock, tuple(sorted(a.held)))
+            for a in self.acquires
+        ]
+        k = sigs.index(min(sigs))
+        return AbstractDeadlockPattern(self.acquires[k:] + self.acquires[:k])
+
+    def __str__(self) -> str:
+        return "⟨" + ", ".join(str(a) for a in self.acquires) + "⟩"
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """A reported sync-preserving deadlock.
+
+    Attributes:
+        pattern: the witnessing concrete deadlock pattern.
+        abstract: the abstract pattern it instantiates (None for
+            reports produced by baselines that do not use abstraction).
+        locations: source-location tuple for bug deduplication.
+    """
+
+    pattern: DeadlockPattern
+    locations: Tuple[str, ...]
+    abstract: "AbstractDeadlockPattern | None" = field(default=None, compare=False)
+
+    @property
+    def bug_id(self) -> Tuple[str, ...]:
+        """Unique-bug key: the sorted location tuple (Table 2 semantics)."""
+        return tuple(sorted(self.locations))
+
+    @classmethod
+    def from_pattern(
+        cls,
+        trace: Trace,
+        pattern: DeadlockPattern,
+        abstract: "AbstractDeadlockPattern | None" = None,
+    ) -> "DeadlockReport":
+        locs = tuple(trace[i].location for i in pattern.events)
+        return cls(pattern=pattern, locations=locs, abstract=abstract)
+
+
+def is_deadlock_pattern(trace: Trace, events: Sequence[int]) -> bool:
+    """Check the Section 2 deadlock-pattern conditions on ``events``."""
+    k = len(events)
+    if k < 2:
+        return False
+    evs = [trace[i] for i in events]
+    if any(not e.is_acquire for e in evs):
+        return False
+    threads = [e.thread for e in evs]
+    locks = [e.target for e in evs]
+    if len(set(threads)) != k or len(set(locks)) != k:
+        return False
+    held = [set(trace.held_locks(i)) for i in events]
+    for i in range(k):
+        if locks[i] not in held[(i + 1) % k]:
+            return False
+    for i in range(k):
+        for j in range(i + 1, k):
+            if held[i] & held[j]:
+                return False
+    return True
+
+
+def find_concrete_patterns(trace: Trace, size: int = 2) -> List[DeadlockPattern]:
+    """The folklore brute-force deadlock-pattern detector.
+
+    Enumerates all ``size``-tuples of acquire events and filters with
+    :func:`is_deadlock_pattern`.  O(A^k); Theorem 3.2 shows the k = 2
+    case cannot be beaten below quadratic.  Used as ground truth in
+    tests and as the quadratic baseline in the hardness benchmark.
+    Patterns are returned in canonical rotation, deduplicated.
+    """
+    acquires = [ev.idx for ev in trace if ev.is_acquire and trace.held_locks(ev.idx)]
+    seen = set()
+    out: List[DeadlockPattern] = []
+    for combo in itertools.permutations(acquires, size):
+        if combo[0] != min(combo):
+            continue  # canonical rotations only
+        if is_deadlock_pattern(trace, combo):
+            pat = DeadlockPattern(tuple(combo))
+            if pat.events not in seen:
+                seen.add(pat.events)
+                out.append(pat)
+    return out

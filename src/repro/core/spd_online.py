@@ -1,0 +1,366 @@
+"""SPDOnline: streaming sync-preserving deadlock prediction of size-2
+deadlocks (Algorithm 4 of the paper).
+
+The algorithm processes one event at a time and never looks back at the
+raw trace.  Its state:
+
+- ``C_t`` — the TRF timestamp of the last event of each thread;
+- ``LW_x`` — the timestamp of the last write to each variable;
+- critical-section history: a global append-only list of
+  (acquire-ts, release-ts) entries per (thread, lock), with *per-context*
+  cursors — the literal algorithm keeps one queue copy per context
+  ``⟨t1, l1, t2, l2⟩`` and consumes it destructively; a shared list with
+  per-context cursors is observationally identical and lighter;
+- ``AcqHist⟨u⟩_{t,l,l'}`` — FIFO queues of (pred-ts, ts) for acquires of
+  ``l`` by ``t`` holding ``l'``, one copy per opposing thread ``u``,
+  consumed by ``checkDeadlock``;
+- ``I⟨u,l',t,l⟩`` — the persistent, monotonically growing closure
+  timestamp per ordered context (Proposition 4.4 reuse).
+
+On an acquire of ``l`` by ``t`` holding ``l'``, the handler pairs the
+new event against the queued acquires of every other thread ``u`` on
+``l'`` holding ``l`` — the two abstract acquires form a size-2 abstract
+deadlock pattern — and runs the closure check.  Queue entries that fail
+to produce a deadlock are discarded forever (Corollary 4.5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.patterns import DeadlockPattern, DeadlockReport
+from repro.trace.events import Event
+from repro.trace.trace import Trace
+from repro.vc.clock import ThreadUniverse, VectorClock
+
+
+@dataclass
+class _CSRecord:
+    """One critical section in the global history."""
+
+    acq_idx: int
+    acq_ts: VectorClock
+    rel_ts: Optional[VectorClock] = None
+
+
+@dataclass
+class _AcqEntry:
+    """Queued acquire awaiting deadlock checks: (pred-ts, ts, index, loc)."""
+
+    idx: int
+    pred_ts: VectorClock
+    ts: VectorClock
+    loc: str
+
+
+# Context key: the ordered abstract pattern ⟨u, l', {l}⟩ vs ⟨t, l, {l'}⟩.
+_Ctx = Tuple[str, str, str, str]
+
+
+class _OnlineClosure:
+    """Per-context Algorithm 1 over the shared critical-section history."""
+
+    def __init__(self, owner: "SPDOnline") -> None:
+        self._owner = owner
+        self._cursors: Dict[Tuple[str, str], int] = {}
+        self._last: Dict[Tuple[str, str], Optional[_CSRecord]] = {}
+        self.clock = VectorClock(0)
+
+    def compute(self, seed: VectorClock) -> VectorClock:
+        """Fix-point closure starting from ``clock ⊔ seed``."""
+        t_clock = self.clock
+        t_clock.join_with(seed)
+        owner = self._owner
+        changed = True
+        while changed:
+            changed = False
+            for lock in owner.known_locks:
+                join = self._advance_lock(lock, t_clock)
+                if join is not None and t_clock.join_with(join):
+                    changed = True
+        return t_clock
+
+    def _advance_lock(self, lock: str, t_clock: VectorClock) -> Optional[VectorClock]:
+        owner = self._owner
+        candidates: List[_CSRecord] = []
+        for thread in owner.threads_with_lock.get(lock, ()):
+            key = (thread, lock)
+            records = owner.cs_history.get(key)
+            if not records:
+                continue
+            cursor = self._cursors.get(key, 0)
+            last = self._last.get(key)
+            while cursor < len(records) and records[cursor].acq_ts.leq(t_clock):
+                last = records[cursor]
+                cursor += 1
+            self._cursors[key] = cursor
+            self._last[key] = last
+            if last is not None:
+                candidates.append(last)
+        if len(candidates) <= 1:
+            return None
+        latest = max(candidates, key=lambda r: r.acq_idx)
+        join: Optional[VectorClock] = None
+        for rec in candidates:
+            if rec is latest or rec.rel_ts is None or rec.rel_ts.leq(t_clock):
+                continue
+            if join is None:
+                join = rec.rel_ts.copy()
+            else:
+                join.join_with(rec.rel_ts)
+        return join
+
+
+@dataclass
+class OnlineReport:
+    """A deadlock declared by the streaming analysis."""
+
+    first_event: int
+    second_event: int
+    context: _Ctx
+    locations: Tuple[str, str]
+
+    @property
+    def bug_id(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.locations))
+
+
+class SPDOnline:
+    """Streaming detector; feed events with :meth:`step`.
+
+    Example::
+
+        det = SPDOnline()
+        for ev in trace:
+            det.step(ev)
+        print(det.reports)
+    """
+
+    def __init__(self) -> None:
+        self.universe = ThreadUniverse()
+        self._clocks: Dict[str, VectorClock] = {}
+        self._last_write: Dict[str, VectorClock] = {}
+        self._held: Dict[str, List[str]] = {}
+        # Shared critical-section history (per thread, lock), plus the
+        # open-acquire stack used to fill release timestamps.
+        self.cs_history: Dict[Tuple[str, str], List[_CSRecord]] = {}
+        self._open_cs: Dict[Tuple[str, str], List[_CSRecord]] = {}
+        self.threads_with_lock: Dict[str, List[str]] = {}
+        self.known_locks: List[str] = []
+        self._known_threads: List[str] = []
+        # AcqHist: shared per-(thread, lock, held-lock) acquire lists with
+        # per-context cursors (equivalent to the per-opposing-thread queue
+        # copies of Algorithm 4, but robust to threads appearing later).
+        self._acq_seq: Dict[Tuple[str, str, str], List[_AcqEntry]] = {}
+        self._ctx_cursor: Dict[_Ctx, int] = {}
+        self._closures: Dict[_Ctx, _OnlineClosure] = {}
+        self.reports: List[OnlineReport] = []
+        self._events_seen = 0
+        # Instrumentation (cheap counters; see stats()).
+        self._closure_iterations = 0
+        self._deadlock_checks = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _clock_of(self, thread: str) -> VectorClock:
+        c = self._clocks.get(thread)
+        if c is None:
+            self.universe.slot(thread)
+            c = VectorClock(0)
+            self._clocks[thread] = c
+            self._held[thread] = []
+            self._known_threads.append(thread)
+        return c
+
+    def _note_lock(self, lock: str) -> None:
+        if lock not in self.threads_with_lock:
+            self.threads_with_lock[lock] = []
+            self.known_locks.append(lock)
+
+    # -- event handlers (Algorithm 4) ---------------------------------------
+
+    def step(self, event: Event) -> List[OnlineReport]:
+        """Process one event; return the reports it triggered."""
+        before = len(self.reports)
+        t = event.thread
+        clock = self._clock_of(t)
+        slot = self.universe.slot(t)
+        if event.is_write:
+            self._last_write[event.target] = clock.copy()
+            clock.tick(slot)
+        elif event.is_read:
+            lw = self._last_write.get(event.target)
+            if lw is not None:
+                clock.join_with(lw)
+            clock.tick(slot)
+        elif event.is_acquire:
+            self._handle_acquire(event, clock, slot)
+        elif event.is_release:
+            clock.tick(slot)
+            key = (t, event.target)
+            stack = self._open_cs.get(key)
+            if stack:
+                rec = stack.pop()
+                rec.rel_ts = clock.copy()
+            held = self._held[t]
+            for j in range(len(held) - 1, -1, -1):
+                if held[j] == event.target:
+                    del held[j]
+                    break
+        elif event.is_fork:
+            child_clock = self._clock_of(event.target)
+            clock.tick(slot)
+            child_clock.join_with(clock)
+        elif event.is_join:
+            child_clock = self._clocks.get(event.target)
+            if child_clock is not None:
+                clock.join_with(child_clock)
+            clock.tick(slot)
+        else:  # request events carry no analysis semantics
+            clock.tick(slot)
+        self._events_seen += 1
+        return self.reports[before:]
+
+    def _handle_acquire(self, event: Event, clock: VectorClock, slot: int) -> None:
+        t, lock = event.thread, event.target
+        self._note_lock(lock)
+        c_pred = clock.copy()
+        clock.tick(slot)
+        snapshot = clock.copy()
+        # Record the critical section in the shared history.
+        key = (t, lock)
+        if key not in self.cs_history:
+            self.cs_history[key] = []
+            self.threads_with_lock[lock].append(t)
+        rec = _CSRecord(acq_idx=self._events_seen, acq_ts=snapshot)
+        self.cs_history[key].append(rec)
+        self._open_cs.setdefault(key, []).append(rec)
+
+        held = list(self._held[t])
+        self._held[t].append(lock)
+        if not held:
+            return
+
+        # Queue this acquire for future checks by opposing threads.
+        entry = _AcqEntry(
+            idx=self._events_seen, pred_ts=c_pred, ts=snapshot, loc=event.location
+        )
+        for l2 in held:
+            self._acq_seq.setdefault((t, lock, l2), []).append(entry)
+
+        # Check against queued opposing acquires: u acquired l2 holding lock.
+        for l2 in held:
+            for u in self._known_threads:
+                if u == t:
+                    continue
+                queue = self._acq_seq.get((u, l2, lock))
+                if not queue:
+                    continue
+                opp_ctx: _Ctx = (u, l2, t, lock)
+                closure = self._closures.get(opp_ctx)
+                if closure is None:
+                    closure = _OnlineClosure(self)
+                    self._closures[opp_ctx] = closure
+                self._check_deadlock(queue, closure, opp_ctx, c_pred, entry)
+
+    def _check_deadlock(
+        self,
+        queue: List[_AcqEntry],
+        closure: _OnlineClosure,
+        ctx: _Ctx,
+        c_pred: VectorClock,
+        new_entry: _AcqEntry,
+    ) -> None:
+        """The ``checkDeadlock`` helper of Algorithm 4.
+
+        Walks the opposing acquire list from this context's cursor.
+        Entries swallowed by the closure are skipped forever
+        (Corollary 4.5); the first entry that survives the closure is a
+        sync-preserving deadlock with ``new_entry``.
+        """
+        closure.clock.join_with(c_pred)
+        cursor = self._ctx_cursor.get(ctx, 0)
+        while cursor < len(queue):
+            old = queue[cursor]
+            self._deadlock_checks += 1
+            t_clock = closure.compute(old.pred_ts)
+            if not old.ts.leq(t_clock):
+                self.reports.append(
+                    OnlineReport(
+                        first_event=old.idx,
+                        second_event=new_entry.idx,
+                        context=ctx,
+                        locations=(old.loc, new_entry.loc),
+                    )
+                )
+                break
+            cursor += 1
+        self._ctx_cursor[ctx] = cursor
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Cheap counters for overhead analysis.
+
+        - ``events``: events processed so far.
+        - ``deadlock_checks``: queue entries examined by checkDeadlock.
+        - ``contexts``: distinct ⟨t1, l1, t2, l2⟩ closures materialized.
+        - ``acquire_entries``: total queued guarded acquires.
+        - ``cs_records``: critical sections recorded.
+        """
+        return {
+            "events": self._events_seen,
+            "deadlock_checks": self._deadlock_checks,
+            "contexts": len(self._closures),
+            "acquire_entries": sum(len(v) for v in self._acq_seq.values()),
+            "cs_records": sum(len(v) for v in self.cs_history.values()),
+        }
+
+    # -- batch driver ---------------------------------------------------------
+
+    def run(self, trace: Trace) -> "SPDOnlineResult":
+        start = time.perf_counter()
+        for ev in trace:
+            self.step(ev)
+        elapsed = time.perf_counter() - start
+        return SPDOnlineResult(
+            reports=list(self.reports), elapsed=elapsed, stats=self.stats()
+        )
+
+
+@dataclass
+class SPDOnlineResult:
+    """Output of a full streaming run."""
+
+    reports: List[OnlineReport] = field(default_factory=list)
+    elapsed: float = 0.0
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_reports(self) -> int:
+        return len(self.reports)
+
+    def unique_bugs(self) -> Set[Tuple[str, ...]]:
+        return {r.bug_id for r in self.reports}
+
+    def deadlock_pairs(self) -> Set[Tuple[int, int]]:
+        """Distinct (event, event) pairs reported (order-normalized)."""
+        return {
+            tuple(sorted((r.first_event, r.second_event)))  # type: ignore[misc]
+            for r in self.reports
+        }
+
+    def to_reports(self, trace: Trace) -> List[DeadlockReport]:
+        """Convert to the offline report type (for comparisons)."""
+        out = []
+        for r in self.reports:
+            pat = DeadlockPattern(tuple(sorted((r.first_event, r.second_event))))
+            out.append(DeadlockReport.from_pattern(trace, pat))
+        return out
+
+
+def spd_online(trace: Trace) -> SPDOnlineResult:
+    """Run :class:`SPDOnline` over a complete trace."""
+    return SPDOnline().run(trace)

@@ -1,0 +1,105 @@
+"""Bounded-memory windowed analysis (an explicitly lossy deployment mode).
+
+SPDOffline keeps per-trace state linear in N; for monitoring sessions
+of unbounded length even that is too much.  ``spd_offline_windowed``
+analyzes the trace in overlapping chunks and forgets everything older
+than one window — the same engineering compromise Dirk makes
+(Section 6.1 discusses its misses), provided here as a first-class,
+clearly-labelled mode rather than a silent limitation.
+
+Guarantees:
+
+- every reported deadlock is a sync-preserving deadlock of the *whole*
+  trace restricted to the window (sound for the window, and — because
+  a sync-preserving witness never needs events after the pattern —
+  sound for the full trace as long as the window covers the pattern's
+  closure);
+- deadlock patterns whose events span more than ``window`` events may
+  be missed (tested explicitly).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.core.patterns import DeadlockReport
+from repro.core.spd_offline import spd_offline
+from repro.trace.trace import Trace
+
+
+@dataclass
+class WindowedResult:
+    reports: List[DeadlockReport] = field(default_factory=list)
+    windows: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def num_deadlocks(self) -> int:
+        return len(self.reports)
+
+    def unique_bugs(self) -> set:
+        return {r.bug_id for r in self.reports}
+
+
+def _window_slice(trace: Trace, lo: int, hi: int) -> Tuple[Trace, List[int]]:
+    """Well-formed window: drop releases whose acquire precedes it and
+    reads whose writer precedes it (their constraints cannot be
+    validated inside the window; dropping them only *adds* behaviors,
+    which is the documented windowing imprecision)."""
+    keep: List[int] = []
+    for idx in range(lo, hi):
+        ev = trace[idx]
+        if ev.is_release:
+            acq = trace.match(idx)
+            if acq is None or acq < lo:
+                continue
+        keep.append(idx)
+    return trace.project(keep, name=f"{trace.name}[{lo}:{hi}]"), keep
+
+
+def spd_offline_windowed(
+    trace: Trace,
+    window: int = 50_000,
+    overlap: float = 0.5,
+    max_size: Optional[int] = None,
+) -> WindowedResult:
+    """Windowed SPDOffline with overlapping chunks.
+
+    Args:
+        trace: input trace.
+        window: events per chunk.
+        overlap: fraction of each window shared with the next
+            (0 ≤ overlap < 1); overlapping halves catch patterns that
+            straddle a boundary by less than ``overlap · window``.
+        max_size: deadlock-size cap forwarded to each window.
+    """
+    if not 0 <= overlap < 1:
+        raise ValueError("overlap must be in [0, 1)")
+    start = time.perf_counter()
+    result = WindowedResult()
+    step = max(1, int(window * (1 - overlap)))
+    seen: Set[Tuple[str, ...]] = set()
+    lo = 0
+    while lo < len(trace):
+        hi = min(lo + window, len(trace))
+        sub, back = _window_slice(trace, lo, hi)
+        result.windows += 1
+        inner = spd_offline(sub, max_size=max_size)
+        for report in inner.reports:
+            original = tuple(sorted(back[e] for e in report.pattern.events))
+            bug = tuple(sorted(trace[i].location for i in original))
+            if bug in seen:
+                continue
+            seen.add(bug)
+            from repro.core.patterns import DeadlockPattern
+
+            result.reports.append(
+                DeadlockReport.from_pattern(trace, DeadlockPattern(original))
+            )
+        if hi == len(trace):
+            break
+        lo += step
+    result.elapsed = time.perf_counter() - start
+    return result

@@ -1,0 +1,7 @@
+"""Directed-graph utilities: SCCs and simple-cycle enumeration."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.johnson import simple_cycles
+from repro.graph.scc import strongly_connected_components
+
+__all__ = ["DiGraph", "simple_cycles", "strongly_connected_components"]

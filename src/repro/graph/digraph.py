@@ -1,0 +1,70 @@
+"""A minimal directed graph over integer-indexable nodes.
+
+Built for the abstract lock graph (Section 4.5): nodes are added once,
+edges are deduplicated, and the structure supports subgraph views used
+by Johnson's algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, List, Set, Tuple, TypeVar
+
+N = TypeVar("N", bound=Hashable)
+
+
+class DiGraph(Generic[N]):
+    """Directed graph with hashable nodes and deduplicated edges."""
+
+    def __init__(self) -> None:
+        self._nodes: List[N] = []
+        self._index: Dict[N, int] = {}
+        self._succ: List[Set[int]] = []
+
+    def add_node(self, node: N) -> int:
+        """Insert ``node`` if absent; return its dense index."""
+        idx = self._index.get(node)
+        if idx is None:
+            idx = len(self._nodes)
+            self._index[node] = idx
+            self._nodes.append(node)
+            self._succ.append(set())
+        return idx
+
+    def add_edge(self, src: N, dst: N) -> None:
+        i = self.add_node(src)
+        j = self.add_node(dst)
+        self._succ[i].add(j)
+
+    def has_edge(self, src: N, dst: N) -> bool:
+        i = self._index.get(src)
+        j = self._index.get(dst)
+        return i is not None and j is not None and j in self._succ[i]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succ)
+
+    def nodes(self) -> List[N]:
+        return list(self._nodes)
+
+    def node_at(self, idx: int) -> N:
+        return self._nodes[idx]
+
+    def successors_idx(self, idx: int) -> Set[int]:
+        return self._succ[idx]
+
+    def successors(self, node: N) -> List[N]:
+        return [self._nodes[j] for j in self._succ[self._index[node]]]
+
+    def adjacency(self) -> List[Set[int]]:
+        """Successor sets by node index (shared, do not mutate)."""
+        return self._succ
+
+    def edges(self) -> Iterable[Tuple[N, N]]:
+        for i, succ in enumerate(self._succ):
+            for j in succ:
+                yield (self._nodes[i], self._nodes[j])

@@ -1,0 +1,64 @@
+"""DOT (Graphviz) export for the analysis graphs.
+
+Debugging aid: render the abstract lock graph of a trace, or the
+classic lock-order graph, to inspect why a cycle does or does not form
+an abstract deadlock pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.core.alg import build_abstract_lock_graph
+from repro.trace.trace import Trace
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace('"', '\\"') + '"'
+
+
+def alg_to_dot(trace: Trace, highlight_cycles: bool = True) -> str:
+    """The abstract lock graph of ``trace`` in DOT syntax.
+
+    Nodes show the ⟨thread, lock, held, |F|⟩ signature; with
+    ``highlight_cycles``, nodes on some simple cycle are drawn filled.
+    """
+    from repro.graph.johnson import simple_cycles
+
+    graph = build_abstract_lock_graph(trace)
+    on_cycle: Set[int] = set()
+    if highlight_cycles:
+        for cycle in simple_cycles(graph, max_cycles=10_000):
+            on_cycle.update(cycle)
+
+    lines = [f"digraph {_quote('ALG_' + trace.name)} {{", "  rankdir=LR;"]
+    for i, eta in enumerate(graph.nodes()):
+        held = "{" + ",".join(sorted(eta.held)) + "}"
+        label = f"{eta.thread}: acq({eta.lock})\\nheld {held}\\n|F|={len(eta.events)}"
+        style = ' style=filled fillcolor="#ffd0d0"' if i in on_cycle else ""
+        lines.append(f"  n{i} [label={_quote(label)} shape=box{style}];")
+    index = {eta: i for i, eta in enumerate(graph.nodes())}
+    for src, dst in graph.edges():
+        lines.append(f"  n{index[src]} -> n{index[dst]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def lock_order_to_dot(trace: Trace) -> str:
+    """The classic lock-order graph (Goodlock's view) in DOT syntax."""
+    edges: Dict[Tuple[str, str], int] = {}
+    for ev in trace:
+        if not ev.is_acquire:
+            continue
+        for held in trace.held_locks(ev.idx):
+            if held != ev.target:
+                key = (held, ev.target)
+                edges[key] = edges.get(key, 0) + 1
+    lines = [f"digraph {_quote('locks_' + trace.name)} {{"]
+    for lock in trace.locks:
+        lines.append(f"  {_quote(lock)};")
+    for (src, dst), count in sorted(edges.items()):
+        label = f" [label={count}]" if count > 1 else ""
+        lines.append(f"  {_quote(src)} -> {_quote(dst)}{label};")
+    lines.append("}")
+    return "\n".join(lines)

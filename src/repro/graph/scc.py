@@ -1,0 +1,73 @@
+"""Tarjan strongly-connected components (iterative, recursion-free).
+
+Johnson's cycle enumeration repeatedly asks for the SCCs of shrinking
+subgraphs, so the routine works directly on adjacency lists restricted
+to an allowed node set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+
+def strongly_connected_components(
+    adjacency: Sequence[Set[int]],
+    allowed: Optional[Set[int]] = None,
+) -> List[List[int]]:
+    """SCCs of the subgraph induced by ``allowed`` (all nodes if None).
+
+    Returns components as lists of node indices, each in DFS discovery
+    order.  Iterative Tarjan: safe on graphs deeper than the Python
+    recursion limit (hardness-construction graphs can be long chains).
+    """
+    n = len(adjacency)
+    if allowed is None:
+        allowed = set(range(n))
+
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
+
+    for root in sorted(allowed):
+        if root in index_of:
+            continue
+        # Each frame: (node, iterator over successors)
+        work = [(root, iter(sorted(adjacency[root] & allowed)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(adjacency[succ] & allowed))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                comp: List[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                comp.reverse()
+                components.append(comp)
+    return components

@@ -1,0 +1,25 @@
+"""Hardness reductions of Section 3 (Theorems 3.1-3.3).
+
+These constructions serve two purposes: they validate the paper's
+complexity results empirically (tests check the iff-direction of each
+reduction on small instances), and they generate adversarial workloads
+for the complexity-scaling benchmarks.
+"""
+
+from repro.hardness.independent_set import (
+    independent_set_to_trace,
+    has_independent_set,
+)
+from repro.hardness.orthogonal_vectors import (
+    orthogonal_vectors_to_trace,
+    has_orthogonal_pair,
+)
+from repro.hardness.race_reduction import deadlock_to_race_trace
+
+__all__ = [
+    "independent_set_to_trace",
+    "has_independent_set",
+    "orthogonal_vectors_to_trace",
+    "has_orthogonal_pair",
+    "deadlock_to_race_trace",
+]

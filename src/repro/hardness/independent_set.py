@@ -1,0 +1,102 @@
+"""W[1]-hardness reduction: INDEPENDENT-SET(c) → deadlock pattern of size c
+(Theorem 3.1, Fig. 2a).
+
+Given an undirected graph G and parameter c, build a trace σ over c
+threads and |E| + c locks such that G has an independent set of size c
+iff σ has a deadlock pattern of size c.  Thread t_i emits, per vertex
+v_j, a nest of critical sections on the edge locks of v_j wrapped
+around the two-lock core ``cs(l_{i%c}, l_{(i+1)%c})``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import Trace
+
+Edge = Tuple[int, int]
+
+
+def _norm_edge(e: Edge) -> Edge:
+    u, v = e
+    if u == v:
+        raise ValueError(f"self-loop {e} not allowed")
+    return (u, v) if u < v else (v, u)
+
+
+def independent_set_to_trace(
+    num_vertices: int, edges: Iterable[Edge], c: int
+) -> Trace:
+    """The Theorem 3.1 trace for ``(G, c)``.
+
+    Vertices are ``0..num_vertices-1``; ``c >= 2``.  The output has
+    ``O(c · (|V| + |E|))`` events and lock-nesting depth at most
+    ``2 + max-degree(G)``.
+    """
+    if c < 2:
+        raise ValueError("deadlock patterns need size >= 2")
+    edge_list = sorted({_norm_edge(e) for e in edges})
+    adjacency: Dict[int, List[Edge]] = {v: [] for v in range(num_vertices)}
+    for e in edge_list:
+        u, v = e
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+            raise ValueError(f"edge {e} out of range")
+        adjacency[u].append(e)
+        adjacency[v].append(e)
+    # The construction requires every vertex to have a neighbor:
+    # otherwise several threads can instantiate the pattern from the
+    # *same* isolated vertex's block, breaking the "distinct vertices"
+    # direction of the proof.  This is without loss of generality —
+    # isolated vertices always join a maximum independent set, so
+    # IS(G, c) = IS(G - isolated, c - #isolated); callers preprocess.
+    isolated = [v for v in range(num_vertices) if not adjacency[v]]
+    if isolated and (edge_list or num_vertices < c):
+        raise ValueError(
+            f"vertices {isolated} are isolated; remove them and lower c "
+            "by their count (they always join a maximum independent set)"
+        )
+
+    def edge_lock(e: Edge) -> str:
+        return f"le_{e[0]}_{e[1]}"
+
+    b = TraceBuilder()
+    for i in range(1, c + 1):
+        thread = f"t{i}"
+        inner = (f"lc{i % c}", f"lc{(i + 1) % c}")
+        for v in range(num_vertices):
+            wrapping = [edge_lock(e) for e in adjacency[v]]
+            for lk in wrapping:
+                b.acq(thread, lk)
+            b.cs(thread, *inner)
+            for lk in reversed(wrapping):
+                b.rel(thread, lk)
+    return b.build(f"indepset_n{num_vertices}_c{c}")
+
+
+def has_independent_set(
+    num_vertices: int, edges: Iterable[Edge], c: int
+) -> bool:
+    """Brute-force INDEPENDENT-SET(c) decision (test oracle)."""
+    edge_set: Set[Edge] = {_norm_edge(e) for e in edges}
+    for combo in itertools.combinations(range(num_vertices), c):
+        if all(
+            _norm_edge((u, v)) not in edge_set
+            for u, v in itertools.combinations(combo, 2)
+        ):
+            return True
+    return False
+
+
+def random_graph(num_vertices: int, density: float, seed: int) -> List[Edge]:
+    """Erdős–Rényi edge list for reduction tests."""
+    import random
+
+    rng = random.Random(seed)
+    edges = []
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < density:
+                edges.append((u, v))
+    return edges

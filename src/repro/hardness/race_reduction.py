@@ -1,0 +1,50 @@
+"""Race→deadlock reduction (Theorem 3.3).
+
+Predicting data races is W[1]-hard in the number of threads
+[Mathur et al. 2020]; Theorem 3.3 transfers this to deadlock
+prediction: replace the two acquires of a size-2 deadlock pattern with
+writes to a fresh variable — a correct reordering witnesses the race
+iff it witnesses the deadlock.  The reduction direction useful for
+*testing* runs the other way: we convert a deadlock-pattern trace into
+the corresponding race trace and check the witness equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.trace.events import Event, Op
+from repro.trace.trace import Trace
+
+
+def deadlock_to_race_trace(
+    trace: Trace, pattern: Tuple[int, int], fresh_var: str = "__race__"
+) -> Trace:
+    """Replace the two pattern acquires with writes to ``fresh_var``.
+
+    The resulting trace σ' has a predictable race on the two writes iff
+    σ has a predictable deadlock on ``pattern`` (Theorem 3.3 argument).
+    """
+    if fresh_var in trace.variables:
+        raise ValueError(f"variable {fresh_var!r} not fresh")
+    a, b = pattern
+    for idx in (a, b):
+        if not trace[idx].is_acquire:
+            raise ValueError(f"pattern event {trace[idx]} is not an acquire")
+    events = []
+    dropped = set()
+    # Dropping the acquires orphans their matching releases; drop those
+    # too so the result is well-formed (they occur after the pattern
+    # events and never matter for witnessing the race).
+    for idx in (a, b):
+        rel = trace.match(idx)
+        if rel is not None:
+            dropped.add(rel)
+    for ev in trace:
+        if ev.idx in (a, b):
+            events.append(Event(len(events), ev.thread, Op.WRITE, fresh_var, ev.loc))
+        elif ev.idx in dropped:
+            continue
+        else:
+            events.append(Event(len(events), ev.thread, ev.op, ev.target, ev.loc))
+    return Trace(events, name=f"{trace.name}|race")

@@ -1,0 +1,33 @@
+"""The Happens-Before partial order and HB-based analyses.
+
+Section 4.1 of the paper contrasts sync-preserving reasoning with the
+space of reorderings induced by Happens-Before [Lamport 1978]: HB
+implicitly forces every intermediate critical section on a lock to be
+present, while sync-preservation may drop them — so HB-based filtering
+*hides* deadlocks (σ2's deadlock is HB-ordered!), and HB-based race
+detection finds a subset of the sync-preserving races.  This package
+provides the HB substrate so those comparisons are executable:
+
+- :class:`HBClocks` — HB vector clocks over a trace.
+- :func:`hb_races` — FastTrack-style HB race detection.
+- :func:`hb_filtered_patterns` — partial-order pruning of deadlock
+  patterns: sound MHP (fork/join) pruning by default, or full HB,
+  which provably discards *every* completed pattern — σ2's real
+  deadlock included.
+"""
+
+from repro.hb.clocks import HBClocks
+from repro.hb.races import HBRaceResult, hb_races
+from repro.hb.deadlocks import MHPClocks, hb_filtered_patterns
+from repro.hb.fasttrack import FastTrack, FastTrackResult, fasttrack_races
+
+__all__ = [
+    "HBClocks",
+    "HBRaceResult",
+    "hb_races",
+    "hb_filtered_patterns",
+    "MHPClocks",
+    "FastTrack",
+    "FastTrackResult",
+    "fasttrack_races",
+]

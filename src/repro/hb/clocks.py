@@ -1,0 +1,120 @@
+"""Happens-Before vector clocks.
+
+``≤HB`` is the smallest partial order containing thread order,
+release→acquire edges per lock (a critical section happens before
+every later-acquired critical section on the same lock), fork edges
+(fork before the child's first event), and join edges (the child's
+last event before the join).  Following the classical treatment,
+reads-from edges are *not* part of HB — lock edges subsume them in
+data-race-free executions, and including them would only shrink the
+set of detected races further.
+
+Computed with one O(N·T) vector-clock pass (the Djit/FastTrack
+skeleton); ``of(e)`` is inclusive, so ``a ≤HB b  ⟺  of(a) ⊑ of(b)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.trace.trace import Trace
+from repro.vc.clock import ThreadUniverse, VectorClock
+
+
+class HBClocks:
+    """All-event Happens-Before timestamps for one trace."""
+
+    def __init__(self, trace: Trace, include_rf: bool = False) -> None:
+        self.trace = trace
+        self.include_rf = include_rf
+        self.universe = ThreadUniverse(trace.threads)
+        self._ts: List[VectorClock] = []
+        self._compute()
+
+    def _compute(self) -> None:
+        n = len(self.universe)
+        clocks: Dict[str, VectorClock] = {
+            t: VectorClock.bottom(n) for t in self.trace.threads
+        }
+        last_release: Dict[str, VectorClock] = {}
+        last_write: Dict[str, VectorClock] = {}
+
+        for ev in self.trace:
+            c = clocks[ev.thread]
+            slot = self.universe.slot(ev.thread)
+            if ev.is_acquire:
+                rel = last_release.get(ev.target)
+                if rel is not None:
+                    c.join_with(rel)
+            elif ev.is_join:
+                child = clocks.get(ev.target)
+                if child is not None:
+                    c.join_with(child)
+            elif ev.is_read and self.include_rf:
+                w = self.trace.rf(ev.idx)
+                if w is not None:
+                    c.join_with(last_write[ev.target])
+            c.tick(slot)
+            snapshot = c.copy()
+            self._ts.append(snapshot)
+            if ev.is_release:
+                last_release[ev.target] = snapshot
+            elif ev.is_write:
+                last_write[ev.target] = snapshot
+            elif ev.is_fork:
+                child = clocks.get(ev.target)
+                if child is not None:
+                    child.join_with(snapshot)
+
+    def of(self, event_idx: int) -> VectorClock:
+        return self._ts[event_idx]
+
+    def leq(self, a: int, b: int) -> bool:
+        """``a ≤HB b``."""
+        return self._ts[a].leq(self._ts[b])
+
+    def ordered(self, a: int, b: int) -> bool:
+        """Are the two events comparable under HB (either direction)?"""
+        return self.leq(a, b) or self.leq(b, a)
+
+
+def hb_reachable_set(trace: Trace, sources: List[int], include_rf: bool = False):
+    """Explicit BFS reference for ``≤HB`` (test oracle)."""
+    fork_of: Dict[str, int] = {}
+    for ev in trace:
+        if ev.is_fork and ev.target not in fork_of:
+            fork_of[ev.target] = ev.idx
+    # Per-lock list of (acquire, matching release) in trace order.
+    cs_of_lock: Dict[str, List[tuple]] = {}
+    for ev in trace:
+        if ev.is_acquire:
+            cs_of_lock.setdefault(ev.target, []).append(
+                (ev.idx, trace.match(ev.idx))
+            )
+
+    work = list(sources)
+    seen = set(sources)
+
+    def push(p: Optional[int]) -> None:
+        if p is not None and p not in seen:
+            seen.add(p)
+            work.append(p)
+
+    while work:
+        idx = work.pop()
+        ev = trace[idx]
+        pred = trace.thread_predecessor(idx)
+        push(pred)
+        if pred is None:
+            push(fork_of.get(ev.thread))
+        if ev.is_acquire:
+            for acq, rel in cs_of_lock.get(ev.target, ()):
+                if rel is not None and rel < idx:
+                    push(rel)
+        if ev.is_join:
+            child = trace.events_of_thread(ev.target)
+            if child:
+                push(child[-1])
+        if ev.is_read and include_rf:
+            push(trace.rf(idx))
+    return seen

@@ -1,0 +1,115 @@
+"""Partial-order filtering of deadlock patterns — the classical
+precision baselines, and why they fail for prediction.
+
+Two filters over Goodlock warnings:
+
+- **May-happen-in-parallel (MHP)**: prune patterns whose events are
+  ordered by program order and fork/join alone (the Goodlock-v2 /
+  MagicFuzzer-style segmentation check).  Sound to prune — those
+  orderings hold in every correct reordering — but still unsound to
+  keep (reads-from blocking is invisible to it; σ1 survives).
+
+- **Full Happens-Before** (``include_lock_edges=True``): additionally
+  order through per-lock release→acquire edges.  This is the Section
+  4.1 cautionary tale in its sharpest form: in any trace where the
+  pattern's critical sections completed, *adjacent pattern events
+  share a lock and are therefore always HB-ordered* — the filter
+  discards every completed pattern, real deadlocks included (σ2!).
+  Predictive reasoning must be allowed to drop or reorder critical
+  sections; sync-preservation is the paper's calibrated way to do so.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.baselines.goodlock import goodlock
+from repro.core.patterns import DeadlockPattern
+from repro.hb.clocks import HBClocks
+from repro.trace.trace import Trace
+from repro.vc.clock import ThreadUniverse, VectorClock
+
+
+class MHPClocks:
+    """Vector clocks over program order + fork/join only.
+
+    ``ordered(a, b)`` ⇒ the order holds in *every* correct reordering,
+    so pruning on it is sound.
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.universe = ThreadUniverse(trace.threads)
+        self._ts: List[VectorClock] = []
+        clocks = {t: VectorClock.bottom(len(self.universe)) for t in trace.threads}
+        for ev in trace:
+            c = clocks[ev.thread]
+            if ev.is_join:
+                child = clocks.get(ev.target)
+                if child is not None:
+                    c.join_with(child)
+            c.tick(self.universe.slot(ev.thread))
+            snapshot = c.copy()
+            self._ts.append(snapshot)
+            if ev.is_fork:
+                child = clocks.get(ev.target)
+                if child is not None:
+                    child.join_with(snapshot)
+
+    def leq(self, a: int, b: int) -> bool:
+        return self._ts[a].leq(self._ts[b])
+
+    def ordered(self, a: int, b: int) -> bool:
+        return self.leq(a, b) or self.leq(b, a)
+
+
+@dataclass
+class HBFilterResult:
+    """Patterns surviving the filter, plus what was discarded."""
+
+    surviving: List[DeadlockPattern] = field(default_factory=list)
+    discarded: List[DeadlockPattern] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def num_warnings(self) -> int:
+        return len(self.surviving)
+
+
+def hb_filtered_patterns(
+    trace: Trace,
+    max_size: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    include_lock_edges: bool = False,
+) -> HBFilterResult:
+    """Goodlock warnings pruned by a partial order.
+
+    With the default MHP order, pruning is sound (pruned patterns are
+    unrealizable in any correct reordering) but keeping is not (kept
+    patterns may still be blocked by data flow).  With
+    ``include_lock_edges`` the order becomes full HB and the filter
+    degenerates: completed patterns are always ordered through their
+    shared locks, so everything — including real predictable deadlocks
+    — is discarded.
+    """
+    start = time.perf_counter()
+    order = (
+        HBClocks(trace) if include_lock_edges else MHPClocks(trace)
+    )
+    result = HBFilterResult()
+    warnings = goodlock(trace, max_size=max_size, max_cycles=max_cycles).warnings
+    for pattern in warnings:
+        events = pattern.events
+        ordered = any(
+            order.ordered(events[i], events[j])
+            for i in range(len(events))
+            for j in range(i + 1, len(events))
+        )
+        if ordered:
+            result.discarded.append(pattern)
+        else:
+            result.surviving.append(pattern)
+    result.elapsed = time.perf_counter() - start
+    return result

@@ -1,0 +1,213 @@
+"""FastTrack: epoch-optimized Happens-Before race detection
+[Flanagan & Freund, PLDI 2009] — the substrate the paper's related
+work contrasts with.
+
+The full-vector-clock detector (:mod:`repro.hb.races`) spends O(T) per
+access; FastTrack's observation is that most variables are accessed in
+a totally ordered way, so the last access can be summarized by an
+*epoch* ``c@t`` (clock value c of thread t) and compared in O(1).  The
+read state adaptively inflates from an epoch to a full vector clock
+only while reads are concurrent, and deflates back on a write.
+
+Faithful to the published state machine:
+
+- write-write: compare the write epoch against the writer's clock;
+- write-read / read-write: epoch-vs-clock, with read-share inflation
+  (SHARED state) and deflation on exclusive writes;
+- locks, fork/join: standard HB clock maintenance.
+
+Equivalence with the full-VC detector on the *first race per variable*
+is tested property-style in ``tests/test_fasttrack.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.trace.trace import Trace
+from repro.vc.clock import ThreadUniverse, VectorClock
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """``c@t``: clock value ``c`` of thread slot ``t``."""
+
+    clock: int
+    slot: int
+
+    def leq(self, vc: VectorClock) -> bool:
+        """``c@t ⊑ V  ⟺  c ≤ V[t]`` — the O(1) comparison."""
+        return self.clock <= (vc[self.slot] if self.slot < len(vc) else 0)
+
+
+_BOTTOM = Epoch(0, 0)
+
+
+@dataclass
+class _VarState:
+    """FastTrack per-variable state: write epoch + read epoch-or-VC."""
+
+    write: Epoch = _BOTTOM
+    write_event: Optional[int] = None
+    read: Epoch = _BOTTOM
+    read_event: Optional[int] = None
+    shared_reads: Optional[VectorClock] = None      # SHARED state
+    shared_events: Dict[int, int] = field(default_factory=dict)  # slot -> event
+
+
+@dataclass(frozen=True)
+class FastTrackRace:
+    first_event: int
+    second_event: int
+    variable: str
+    kind: str  # "ww", "wr", "rw"
+
+
+@dataclass
+class FastTrackResult:
+    races: List[FastTrackRace] = field(default_factory=list)
+    #: O(1) epoch comparisons vs O(T) vector comparisons performed
+    epoch_ops: int = 0
+    vector_ops: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def num_races(self) -> int:
+        return len(self.races)
+
+    def racy_variables(self) -> Set[str]:
+        return {r.variable for r in self.races}
+
+
+class FastTrack:
+    """Streaming epoch-based HB race detector."""
+
+    def __init__(self) -> None:
+        self.universe = ThreadUniverse()
+        self._clocks: Dict[str, VectorClock] = {}
+        self._last_release: Dict[str, VectorClock] = {}
+        self._vars: Dict[str, _VarState] = {}
+        self.result = FastTrackResult()
+        self._reported: Set[Tuple[str, str]] = set()
+
+    def _clock(self, thread: str) -> VectorClock:
+        c = self._clocks.get(thread)
+        if c is None:
+            slot = self.universe.slot(thread)
+            c = VectorClock(slot + 1)
+            c[slot] = 1  # epochs start at 1 so c@t ⋢ ⊥ holds
+            self._clocks[thread] = c
+        return c
+
+    def _report(self, first: Optional[int], second: int, var: str, kind: str) -> None:
+        if first is None:
+            return
+        key = (var, kind)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.result.races.append(FastTrackRace(first, second, var, kind))
+
+    # -- handlers (the PLDI'09 state machine) -------------------------------
+
+    def step(self, event) -> None:
+        thread = event.thread
+        c = self._clock(thread)
+        slot = self.universe.slot(thread)
+        if event.is_write:
+            self._write(event, c, slot)
+        elif event.is_read:
+            self._read(event, c, slot)
+        elif event.is_acquire:
+            rel = self._last_release.get(event.target)
+            if rel is not None:
+                c.join_with(rel)
+                self.result.vector_ops += 1
+        elif event.is_release:
+            self._last_release[event.target] = c.copy()
+            c.tick(slot)
+        elif event.is_fork:
+            child = self._clock(event.target)
+            child.join_with(c)
+            self.result.vector_ops += 1
+            c.tick(slot)
+        elif event.is_join:
+            child = self._clocks.get(event.target)
+            if child is not None:
+                c.join_with(child)
+                self.result.vector_ops += 1
+
+    def _write(self, event, c: VectorClock, slot: int) -> None:
+        vs = self._vars.setdefault(event.target, _VarState())
+        # WW check: epoch vs clock, O(1).
+        self.result.epoch_ops += 1
+        if not vs.write.leq(c) and vs.write.slot != slot:
+            self._report(vs.write_event, event.idx, event.target, "ww")
+        # RW check.
+        if vs.shared_reads is not None:
+            self.result.vector_ops += 1
+            if not vs.shared_reads.leq(c):
+                racer = self._shared_racer(vs, c)
+                self._report(racer, event.idx, event.target, "rw")
+            # Deflate: exclusive write clears the shared read set.
+            vs.shared_reads = None
+            vs.shared_events.clear()
+            vs.read = _BOTTOM
+            vs.read_event = None
+        else:
+            self.result.epoch_ops += 1
+            if not vs.read.leq(c) and vs.read.slot != slot:
+                self._report(vs.read_event, event.idx, event.target, "rw")
+        vs.write = Epoch(c[slot], slot)
+        vs.write_event = event.idx
+        c.tick(slot)
+
+    def _read(self, event, c: VectorClock, slot: int) -> None:
+        vs = self._vars.setdefault(event.target, _VarState())
+        # WR check, O(1).
+        self.result.epoch_ops += 1
+        if not vs.write.leq(c) and vs.write.slot != slot:
+            self._report(vs.write_event, event.idx, event.target, "wr")
+        if vs.shared_reads is not None:
+            # Already SHARED: O(1) slot update.
+            vs.shared_reads._ensure(slot + 1)
+            vs.shared_reads[slot] = c[slot]
+            vs.shared_events[slot] = event.idx
+        else:
+            self.result.epoch_ops += 1
+            if vs.read.leq(c):
+                # Same-epoch or ordered read: stay exclusive.
+                vs.read = Epoch(c[slot], slot)
+                vs.read_event = event.idx
+            else:
+                # Concurrent reads: inflate to SHARED.
+                vc = VectorClock(max(slot, vs.read.slot) + 1)
+                vc[vs.read.slot] = vs.read.clock
+                vc[slot] = c[slot]
+                vs.shared_reads = vc
+                vs.shared_events = {}
+                if vs.read_event is not None:
+                    vs.shared_events[vs.read.slot] = vs.read_event
+                vs.shared_events[slot] = event.idx
+        c.tick(slot)
+
+    def _shared_racer(self, vs: _VarState, c: VectorClock) -> Optional[int]:
+        """Pick one concrete read event racing with the current write."""
+        assert vs.shared_reads is not None
+        for s, ev_idx in vs.shared_events.items():
+            val = vs.shared_reads[s] if s < len(vs.shared_reads) else 0
+            if val > (c[s] if s < len(c) else 0):
+                return ev_idx
+        return next(iter(vs.shared_events.values()), None)
+
+
+def fasttrack_races(trace: Trace) -> FastTrackResult:
+    """Run FastTrack over a complete trace."""
+    det = FastTrack()
+    start = time.perf_counter()
+    for ev in trace:
+        det.step(ev)
+    det.result.elapsed = time.perf_counter() - start
+    return det.result

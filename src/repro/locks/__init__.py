@@ -1,0 +1,6 @@
+"""Lock bookkeeping: abstract acquires and critical-section histories."""
+
+from repro.locks.abstract import AbstractAcquire, collect_abstract_acquires
+from repro.locks.history import CSHistories
+
+__all__ = ["AbstractAcquire", "collect_abstract_acquires", "CSHistories"]

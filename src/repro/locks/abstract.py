@@ -1,0 +1,74 @@
+"""Abstract acquires (paper Section 4.4).
+
+An abstract acquire ``⟨t, l, L, F⟩`` groups all acquire events of
+thread ``t`` on lock ``l`` performed while holding exactly the lock set
+``L``; ``F`` lists those events in trace order.  Abstract deadlock
+patterns are tuples of abstract acquires with distinct threads and
+locks, cyclic ``l_i ∈ L_{(i+1)%k}`` containment, and pairwise-disjoint
+held sets — each succinctly encoding ``|F_0|·…·|F_{k-1}|`` concrete
+deadlock patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class AbstractAcquire:
+    """``⟨thread, lock, held, events⟩`` — a node of the abstract lock graph.
+
+    Attributes:
+        thread: the acquiring thread ``t``.
+        lock: the lock ``l`` being acquired.
+        held: the exact set ``L`` of locks held at each acquire in
+            ``events`` (never contains ``lock``; never empty — top-level
+            acquires cannot participate in deadlock patterns).
+        events: indices of the member acquire events, in trace order.
+    """
+
+    thread: str
+    lock: str
+    held: FrozenSet[str]
+    events: Tuple[int, ...] = field(compare=False)
+
+    @property
+    def signature(self) -> Tuple[str, str, FrozenSet[str]]:
+        """The (thread, lock, held) triple identifying this node."""
+        return (self.thread, self.lock, self.held)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __str__(self) -> str:
+        held = "{" + ",".join(sorted(self.held)) + "}"
+        return f"⟨{self.thread}, {self.lock}, {held}, |F|={len(self.events)}⟩"
+
+
+def collect_abstract_acquires(trace: Trace) -> List[AbstractAcquire]:
+    """All abstract acquires of ``trace`` with non-empty held sets.
+
+    Acquires holding no lock cannot appear in any deadlock pattern
+    (the pattern needs ``l_i ∈ L_{(i+1)%k}`` with non-empty ``L``), so
+    they are skipped, keeping the abstract lock graph small.
+    """
+    groups: Dict[Tuple[str, str, FrozenSet[str]], List[int]] = {}
+    order: List[Tuple[str, str, FrozenSet[str]]] = []
+    for ev in trace:
+        if not ev.is_acquire:
+            continue
+        held = trace.held_locks(ev.idx)
+        if not held:
+            continue
+        key = (ev.thread, ev.target, frozenset(held))
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(ev.idx)
+    return [
+        AbstractAcquire(thread=k[0], lock=k[1], held=k[2], events=tuple(groups[k]))
+        for k in order
+    ]

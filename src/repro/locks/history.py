@@ -1,0 +1,117 @@
+"""Critical-section histories (``CSHist`` in Algorithm 1).
+
+For every (thread, lock) pair, the history lists that thread's acquire
+events on that lock, each with its TRF timestamp and the timestamp of
+its matching release (if any).  Algorithm 1 consumes these FIFO queues
+front-to-back during the closure fix-point.  Consumed prefixes stay
+consumed across successive closure computations of one abstract-pattern
+check (sound by the monotonicity of Proposition 4.4), so each queue is
+traversed at most once per check — the key to the linear total time of
+Lemma 4.3.
+
+Only the *per-thread last* acquire inside the closure matters: earlier
+acquires of the same thread on the same lock release the lock before
+the later acquire (locks are non-reentrant), so their releases are
+thread-order predecessors of an event already in the closure and enter
+it for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.trace import Trace
+from repro.vc.clock import VectorClock
+from repro.vc.timestamps import TRFTimestamps
+
+
+@dataclass
+class CSEntry:
+    """One critical section: acquire index, its timestamp, and the
+    timestamp of the matching release (``None`` if the lock is never
+    released in the observed trace)."""
+
+    acq_idx: int
+    acq_ts: VectorClock
+    rel_ts: Optional[VectorClock]
+
+
+class CSHistories:
+    """Per-(thread, lock) critical-section queues with persistent cursors.
+
+    ``advance_lock(l, T)`` implements lines 4-9 of Algorithm 1 for one
+    lock: it walks each thread's queue past every acquire whose
+    timestamp is ``⊑ T``, remembering the last such acquire per thread
+    (line 6-7: earlier entries are dropped, the last one is kept), and
+    returns the join of the matching-release timestamps of all kept
+    acquires except the single trace-latest one, whose critical section
+    may remain open in the witness reordering.
+    """
+
+    def __init__(self, trace: Trace, timestamps: TRFTimestamps) -> None:
+        self.trace = trace
+        self.timestamps = timestamps
+        self._queues: Dict[Tuple[str, str], List[CSEntry]] = {}
+        self._cursors: Dict[Tuple[str, str], int] = {}
+        self._last: Dict[Tuple[str, str], Optional[CSEntry]] = {}
+        self._threads_with_lock: Dict[str, List[str]] = {}
+        for ev in trace:
+            if not ev.is_acquire:
+                continue
+            rel = trace.match(ev.idx)
+            entry = CSEntry(
+                acq_idx=ev.idx,
+                acq_ts=timestamps.of(ev.idx),
+                rel_ts=timestamps.of(rel) if rel is not None else None,
+            )
+            key = (ev.thread, ev.target)
+            if key not in self._queues:
+                self._queues[key] = []
+                self._threads_with_lock.setdefault(ev.target, []).append(ev.thread)
+            self._queues[key].append(entry)
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind all cursors (start a fresh abstract-pattern check)."""
+        for key in self._queues:
+            self._cursors[key] = 0
+            self._last[key] = None
+
+    @property
+    def locks(self) -> List[str]:
+        return list(self._threads_with_lock)
+
+    def advance_lock(self, lock: str, t_clock: VectorClock) -> Optional[VectorClock]:
+        """One Algorithm 1 inner-loop pass for ``lock`` against ``t_clock``.
+
+        Returns the join of release timestamps that must enter the
+        closure, or ``None`` when nothing new is contributed.
+        """
+        candidates: List[CSEntry] = []
+        for thread in self._threads_with_lock.get(lock, ()):
+            key = (thread, lock)
+            queue = self._queues[key]
+            cursor = self._cursors[key]
+            last = self._last[key]
+            while cursor < len(queue) and queue[cursor].acq_ts.leq(t_clock):
+                last = queue[cursor]
+                cursor += 1
+            self._cursors[key] = cursor
+            self._last[key] = last
+            if last is not None:
+                candidates.append(last)
+        if len(candidates) <= 1:
+            return None
+        latest = max(candidates, key=lambda e: e.acq_idx)
+        join: Optional[VectorClock] = None
+        for entry in candidates:
+            if entry is latest or entry.rel_ts is None:
+                continue
+            if entry.rel_ts.leq(t_clock):
+                continue  # already inside the closure
+            if join is None:
+                join = entry.rel_ts.copy()
+            else:
+                join.join_with(entry.rel_ts)
+        return join

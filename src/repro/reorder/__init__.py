@@ -1,0 +1,27 @@
+"""Correct reorderings: validation, witnesses, and exhaustive search.
+
+This package is the semantic ground truth behind the fast algorithms:
+
+- :func:`is_correct_reordering` — Definition of Section 2.
+- :func:`is_sync_preserving` — Definition 1.
+- :func:`witness_from_closure` — Lemma 4.1 constructive direction.
+- :class:`ExhaustivePredictor` — exponential search for predictable /
+  sync-preserving deadlocks on small traces (used to verify soundness
+  and completeness of SPDOffline/SPDOnline in tests).
+"""
+
+from repro.reorder.check import (
+    enabled_events,
+    is_correct_reordering,
+    is_sync_preserving,
+)
+from repro.reorder.witness import witness_from_closure
+from repro.reorder.exhaustive import ExhaustivePredictor
+
+__all__ = [
+    "enabled_events",
+    "is_correct_reordering",
+    "is_sync_preserving",
+    "witness_from_closure",
+    "ExhaustivePredictor",
+]

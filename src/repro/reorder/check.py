@@ -1,0 +1,156 @@
+"""Validation of correct reorderings (paper Section 2, Definition 1).
+
+A sequence ρ of events of σ is a *correct reordering* when
+
+1. ρ is itself a well-formed trace (locks mutually exclusive),
+2. ρ's event set is downward closed under σ's thread order, and events
+   of the same thread keep their σ order,
+3. every read in ρ has the same reads-from writer as in σ (and that
+   writer is in ρ); reads of the initial value must stay initial, and
+4. fork/join causality of σ is respected (a thread's events appear only
+   after its σ-fork, and a join appears only after the joined thread's
+   σ-events that ρ contains... joins require the full child).
+
+ρ is additionally *sync-preserving* when acquires on each lock appear
+in ρ in the same relative order as in σ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.trace.trace import Trace
+
+
+def _as_indices(trace: Trace, reordering: Sequence[int]) -> List[int]:
+    out = list(reordering)
+    n = len(trace)
+    for idx in out:
+        if not 0 <= idx < n:
+            raise IndexError(f"event index {idx} out of range for {trace!r}")
+    if len(set(out)) != len(out):
+        raise ValueError("reordering repeats events")
+    return out
+
+
+def is_correct_reordering(
+    trace: Trace, reordering: Sequence[int], require_all_reads: bool = True
+) -> bool:
+    """Is the index sequence ``reordering`` a correct reordering of ``trace``?"""
+    rho = _as_indices(trace, reordering)
+    chosen: Set[int] = set(rho)
+
+    # (2) thread-order downward closure and per-thread order preservation.
+    last_pos: Dict[str, int] = {}
+    for idx in rho:
+        t, pos = trace.thread_position(idx)
+        expected = last_pos.get(t, -1) + 1
+        if pos != expected:
+            return False
+        last_pos[t] = pos
+
+    # (1) well-formedness: lock mutual exclusion along rho.
+    owner: Dict[str, str] = {}
+    for idx in rho:
+        ev = trace[idx]
+        if ev.is_acquire:
+            if ev.target in owner:
+                return False
+            owner[ev.target] = ev.thread
+        elif ev.is_release:
+            if owner.get(ev.target) != ev.thread:
+                return False
+            del owner[ev.target]
+
+    # (3) reads-from preservation.
+    if require_all_reads:
+        last_write: Dict[str, int] = {}
+        for idx in rho:
+            ev = trace[idx]
+            if ev.is_write:
+                last_write[ev.target] = idx
+            elif ev.is_read:
+                want = trace.rf(idx)
+                got = last_write.get(ev.target)
+                if want is None:
+                    if got is not None:
+                        return False
+                else:
+                    if got != want:
+                        return False
+
+    # (4) fork/join causality.
+    forked: Set[str] = set()
+    fork_of: Dict[str, int] = {}
+    for ev in trace:
+        if ev.is_fork and ev.target not in fork_of:
+            fork_of[ev.target] = ev.idx
+    seen: Set[int] = set()
+    for idx in rho:
+        ev = trace[idx]
+        t = ev.thread
+        f = fork_of.get(t)
+        if f is not None and f in chosen and f not in seen:
+            return False  # thread ran before its fork executed in rho
+        if ev.is_fork:
+            forked.add(ev.target)
+        if ev.is_join:
+            # join returns only once the child has fully terminated: every
+            # σ-event of the child must already be in the reordering.
+            if any(c not in seen for c in trace.events_of_thread(ev.target)):
+                return False
+        seen.add(idx)
+    # A forked thread whose fork is absent from rho cannot run.
+    for idx in rho:
+        t = trace[idx].thread
+        f = fork_of.get(t)
+        if f is not None and f not in chosen:
+            return False
+    return True
+
+
+def is_sync_preserving(trace: Trace, reordering: Sequence[int]) -> bool:
+    """Do same-lock acquires keep their σ order along ``reordering``?"""
+    rho = _as_indices(trace, reordering)
+    last_acq: Dict[str, int] = {}
+    for idx in rho:
+        ev = trace[idx]
+        if not ev.is_acquire:
+            continue
+        prev = last_acq.get(ev.target)
+        if prev is not None and prev > idx:
+            return False
+        last_acq[ev.target] = idx
+    return True
+
+
+def enabled_events(trace: Trace, reordering: Sequence[int]) -> Set[int]:
+    """Events of σ that are σ-enabled at the end of ``reordering``.
+
+    ``e`` is enabled when it is not in ρ but every thread-order
+    predecessor of it is (paper Section 2).
+    """
+    chosen = set(_as_indices(trace, reordering))
+    out: Set[int] = set()
+    for thread in trace.threads:
+        events = trace.events_of_thread(thread)
+        for idx in events:
+            if idx in chosen:
+                continue
+            out.add(idx)
+            break  # only the first non-included event per thread
+    return out
+
+
+def witnesses_deadlock(
+    trace: Trace, reordering: Sequence[int], pattern: Iterable[int]
+) -> bool:
+    """Does ``reordering`` witness ``pattern`` as a deadlock?
+
+    All pattern events must be σ-enabled at the end of the reordering,
+    and the reordering must be a correct reordering.
+    """
+    if not is_correct_reordering(trace, reordering):
+        return False
+    enabled = enabled_events(trace, reordering)
+    return all(e in enabled for e in pattern)

@@ -1,0 +1,204 @@
+"""Exhaustive (exponential) deadlock prediction for small traces.
+
+This is the semantic oracle the fast algorithms are tested against.
+It performs a memoized state-space search over all correct reorderings
+(optionally restricted to sync-preserving ones) to decide whether a
+deadlock pattern is a predictable deadlock (Section 2) or a
+sync-preserving deadlock (Definition 2).
+
+The search state is the per-thread progress vector plus the identity of
+the last writer per variable (lock ownership is determined by the
+progress vector, and in sync-preserving mode so is the last acquire per
+lock).  Worst-case exponential — Theorem 3.3 says this is unavoidable —
+so intended for traces of a few dozen events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.patterns import DeadlockPattern, find_concrete_patterns
+from repro.trace.trace import Trace
+
+
+class ExhaustivePredictor:
+    """Ground-truth predictable-deadlock decision procedure.
+
+    Args:
+        trace: the trace to analyze.
+        sync_preserving: restrict the witness search to sync-preserving
+            reorderings (decides Definition 2 instead of the general
+            predictable-deadlock notion).
+        max_states: search-state budget; exceeded ⇒ :class:`SearchBudget`
+            is raised rather than returning a wrong answer.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        sync_preserving: bool = False,
+        max_states: int = 2_000_000,
+    ) -> None:
+        self.trace = trace
+        self.sync_preserving = sync_preserving
+        self.max_states = max_states
+        self._threads = list(trace.threads)
+        self._events_by_thread = [trace.events_of_thread(t) for t in self._threads]
+        self._fork_of: Dict[str, int] = {}
+        for ev in trace:
+            if ev.is_fork and ev.target not in self._fork_of:
+                self._fork_of[ev.target] = ev.idx
+
+    # -- public API -----------------------------------------------------------
+
+    def is_predictable_deadlock(self, pattern: Sequence[int]) -> bool:
+        """Can ``pattern`` be witnessed by a correct reordering?"""
+        target = self._target_positions(pattern)
+        if target is None:
+            return False
+        return self._search(target)
+
+    def all_predictable_deadlocks(self, max_size: int = 3) -> List[DeadlockPattern]:
+        """Every deadlock pattern up to ``max_size`` that is predictable."""
+        out = []
+        for size in range(2, max_size + 1):
+            for pat in find_concrete_patterns(self.trace, size):
+                if self.is_predictable_deadlock(pat.events):
+                    out.append(pat)
+        return out
+
+    # -- internals --------------------------------------------------------------
+
+    def _target_positions(self, pattern: Sequence[int]) -> Optional[Dict[int, int]]:
+        """Per-thread-slot exact stop position required by the pattern.
+
+        Thread of pattern event ``e`` must stop exactly at ``pos(e)``
+        (all predecessors in, ``e`` itself out ⇒ ``e`` enabled).
+        """
+        target: Dict[int, int] = {}
+        for e in pattern:
+            t, pos = self.trace.thread_position(e)
+            slot = self._threads.index(t)
+            if slot in target:
+                return None  # two pattern events in one thread
+            target[slot] = pos
+        return target
+
+    def _search(self, target: Dict[int, int]) -> bool:
+        trace = self.trace
+        n_threads = len(self._threads)
+        positions = [0] * n_threads
+        lock_owner: Dict[str, int] = {}
+        last_write: Dict[str, Optional[int]] = {}
+        last_acq: Dict[str, int] = {}
+        finished_threads: Set[str] = set()
+        visited: Set[Tuple] = set()
+        states = 0
+
+        thread_slot = {t: i for i, t in enumerate(self._threads)}
+
+        def goal() -> bool:
+            return all(positions[s] == p for s, p in target.items())
+
+        def key() -> Tuple:
+            return (tuple(positions), tuple(sorted(last_write.items())))
+
+        def appendable(slot: int) -> Optional[int]:
+            """Event index appendable for thread ``slot``, else None."""
+            pos = positions[slot]
+            events = self._events_by_thread[slot]
+            if pos >= len(events):
+                return None
+            if slot in target and pos >= target[slot]:
+                return None  # never step past the required stop point
+            idx = events[pos]
+            ev = trace[idx]
+            # Fork causality: first event requires the fork to have run.
+            if pos == 0:
+                f = self._fork_of.get(ev.thread)
+                if f is not None:
+                    ft, fpos = trace.thread_position(f)
+                    if positions[thread_slot[ft]] <= fpos:
+                        return None
+            if ev.is_acquire:
+                if ev.target in lock_owner:
+                    return None
+                if self.sync_preserving and last_acq.get(ev.target, -1) > idx:
+                    return None
+            elif ev.is_release:
+                if lock_owner.get(ev.target) != slot:
+                    return None
+            elif ev.is_read:
+                want = trace.rf(idx)
+                if last_write.get(ev.target) != want:
+                    return None
+            elif ev.is_join:
+                child_events = trace.events_of_thread(ev.target)
+                cslot = thread_slot.get(ev.target)
+                if cslot is not None and positions[cslot] < len(child_events):
+                    return None
+            return idx
+
+        def dfs() -> bool:
+            nonlocal states
+            if goal():
+                return True
+            k = key()
+            if k in visited:
+                return False
+            visited.add(k)
+            states += 1
+            if states > self.max_states:
+                raise SearchBudget(states)
+            for slot in range(n_threads):
+                idx = appendable(slot)
+                if idx is None:
+                    continue
+                ev = trace[idx]
+                # -- apply
+                positions[slot] += 1
+                undo: List = []
+                if ev.is_acquire:
+                    lock_owner[ev.target] = slot
+                    undo.append(("lock", ev.target, None))
+                    if self.sync_preserving:
+                        undo.append(("acq", ev.target, last_acq.get(ev.target)))
+                        last_acq[ev.target] = idx
+                elif ev.is_release:
+                    undo.append(("lock", ev.target, slot))
+                    del lock_owner[ev.target]
+                elif ev.is_write:
+                    undo.append(("write", ev.target, last_write.get(ev.target, "absent")))
+                    last_write[ev.target] = idx
+                found = dfs()
+                # -- revert
+                positions[slot] -= 1
+                for kind, tgt, old in reversed(undo):
+                    if kind == "lock":
+                        if old is None:
+                            del lock_owner[tgt]
+                        else:
+                            lock_owner[tgt] = old
+                    elif kind == "acq":
+                        if old is None:
+                            last_acq.pop(tgt, None)
+                        else:
+                            last_acq[tgt] = old
+                    elif kind == "write":
+                        if old == "absent":
+                            last_write.pop(tgt, None)
+                        else:
+                            last_write[tgt] = old
+                if found:
+                    return True
+            return False
+
+        return dfs()
+
+
+class SearchBudget(Exception):
+    """The exhaustive search exceeded its state budget."""
+
+    def __init__(self, states: int) -> None:
+        super().__init__(f"exhaustive search exceeded {states} states")
+        self.states = states

@@ -1,0 +1,39 @@
+"""Online analysis substrate: a toy concurrent-program DSL, cooperative
+schedulers, the SPDOnline runtime monitor, and a DeadlockFuzzer-style
+controlled-concurrency-testing baseline (Section 6.2)."""
+
+from repro.runtime.program import (
+    Acquire,
+    Branch,
+    Program,
+    Release,
+    ThreadProc,
+    VarRead,
+    VarWrite,
+)
+from repro.runtime.scheduler import (
+    BiasedScheduler,
+    ExecutionResult,
+    RandomScheduler,
+    run_program,
+)
+from repro.runtime.monitor import MonitoredExecution, run_with_monitor
+from repro.runtime.fuzzer import DeadlockFuzzer, FuzzerCampaign
+
+__all__ = [
+    "Acquire",
+    "Release",
+    "VarRead",
+    "VarWrite",
+    "Branch",
+    "ThreadProc",
+    "Program",
+    "RandomScheduler",
+    "BiasedScheduler",
+    "ExecutionResult",
+    "run_program",
+    "MonitoredExecution",
+    "run_with_monitor",
+    "DeadlockFuzzer",
+    "FuzzerCampaign",
+]

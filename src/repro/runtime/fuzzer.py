@@ -1,0 +1,97 @@
+"""DeadlockFuzzer-style controlled concurrency testing [Joshi et al. 2009].
+
+The baseline of the online experiment (Section 6.2).  Two phases:
+
+1. **Discovery**: execute the program under a random scheduler, build
+   the lock-order graph of the observed trace, and extract deadlock
+   patterns (Goodlock-style — unsound warnings).
+2. **Confirmation**: for each warning, spawn ``confirm_runs`` fresh
+   executions with a scheduler biased to pause threads right before the
+   warned acquire locations, trying to steer the program into actually
+   deadlocking.  Only *hit* deadlocks are reported (that is what makes
+   the technique a sound-by-construction but low-yield proxy for
+   prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from repro.baselines.goodlock import goodlock
+from repro.runtime.program import Program
+from repro.runtime.scheduler import BiasedScheduler, RandomScheduler, run_program
+
+
+@dataclass
+class FuzzerCampaign:
+    """Aggregated outcome of one DeadlockFuzzer campaign."""
+
+    executions: int = 0
+    warnings: int = 0
+    confirmed_hits: List[Tuple[str, ...]] = field(default_factory=list)
+
+    @property
+    def num_hits(self) -> int:
+        return len(self.confirmed_hits)
+
+    @property
+    def bug_ids(self) -> Set[Tuple[str, ...]]:
+        return set(self.confirmed_hits)
+
+
+class DeadlockFuzzer:
+    """The two-phase random-testing deadlock detector.
+
+    Args:
+        confirm_runs: confirmation executions per warning (the paper
+            and the calfuzzer default use 3).
+        max_steps: per-execution step budget.
+    """
+
+    def __init__(self, confirm_runs: int = 3, max_steps: int = 100_000) -> None:
+        self.confirm_runs = confirm_runs
+        self.max_steps = max_steps
+
+    def run_once(self, program: Program, seed: int) -> FuzzerCampaign:
+        """One discovery run plus confirmations for each warning."""
+        campaign = FuzzerCampaign()
+        discovery = run_program(
+            program, scheduler=RandomScheduler(seed), max_steps=self.max_steps
+        )
+        campaign.executions += 1
+        if discovery.deadlocked:
+            campaign.confirmed_hits.append(discovery.deadlock_bug_id)
+            return campaign  # the run died; nothing more to confirm
+
+        warnings = goodlock(discovery.trace, max_size=6).warnings
+        campaign.warnings = len(warnings)
+        for w_idx, warning in enumerate(warnings):
+            pause_locs = {
+                discovery.trace[e].location for e in warning.events
+            }
+            for r in range(self.confirm_runs):
+                sched = BiasedScheduler(
+                    seed=seed * 7919 + w_idx * 101 + r,
+                    pause_prob=0.8,
+                    pause_steps=6,
+                    pause_acquires=pause_locs,
+                )
+                confirm = run_program(program, scheduler=sched, max_steps=self.max_steps)
+                campaign.executions += 1
+                if confirm.deadlocked:
+                    campaign.confirmed_hits.append(confirm.deadlock_bug_id)
+                    break  # confirmed; move to next warning
+        return campaign
+
+    def campaign(
+        self, program: Program, trials: int, seed: int = 0
+    ) -> FuzzerCampaign:
+        """``trials`` independent discovery+confirmation rounds."""
+        total = FuzzerCampaign()
+        for i in range(trials):
+            one = self.run_once(program, seed=seed + i)
+            total.executions += one.executions
+            total.warnings += one.warnings
+            total.confirmed_hits.extend(one.confirmed_hits)
+        return total

@@ -1,0 +1,124 @@
+"""A tiny concurrent-program DSL.
+
+Online deadlock prediction (Section 6.2) analyzes *executing programs*
+whose interleavings — and therefore traces — vary run to run.  This
+module models such programs: each thread is a list of statements over
+shared variables and locks, with value-sensitive branching so that
+Transfer-style control-flow-guarded deadlocks can be expressed.
+
+Statements:
+
+- :class:`Acquire` / :class:`Release` — lock operations (an acquire of
+  a held lock blocks the thread until the owner releases).
+- :class:`VarWrite` — write a value to a shared variable.
+- :class:`VarRead` — read a shared variable (emits a read event).
+- :class:`Branch` — conditional on the last-read/current value of a
+  variable; executes one of two statement lists (flattened inline).
+
+Programs are pure data; execution lives in
+:mod:`repro.runtime.scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Acquire:
+    lock: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Release:
+    lock: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class VarWrite:
+    var: str
+    value: Any = None
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class VarRead:
+    var: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Execute ``then`` if ``var``'s current value equals ``equals``,
+    otherwise ``orelse``.  Reads the variable (emits a read event)."""
+
+    var: str
+    equals: Any
+    then: Tuple["Stmt", ...] = ()
+    orelse: Tuple["Stmt", ...] = ()
+    loc: Optional[str] = None
+
+
+Stmt = Union[Acquire, Release, VarWrite, VarRead, Branch]
+
+
+@dataclass
+class ThreadProc:
+    """One thread: a name and its statement list."""
+
+    name: str
+    body: List[Stmt] = field(default_factory=list)
+
+    # -- fluent construction ------------------------------------------------
+
+    def acq(self, lock: str, loc: Optional[str] = None) -> "ThreadProc":
+        self.body.append(Acquire(lock, loc))
+        return self
+
+    def rel(self, lock: str, loc: Optional[str] = None) -> "ThreadProc":
+        self.body.append(Release(lock, loc))
+        return self
+
+    def write(self, var: str, value: Any = None, loc: Optional[str] = None) -> "ThreadProc":
+        self.body.append(VarWrite(var, value, loc))
+        return self
+
+    def read(self, var: str, loc: Optional[str] = None) -> "ThreadProc":
+        self.body.append(VarRead(var, loc))
+        return self
+
+    def branch(
+        self,
+        var: str,
+        equals: Any,
+        then: Sequence[Stmt] = (),
+        orelse: Sequence[Stmt] = (),
+        loc: Optional[str] = None,
+    ) -> "ThreadProc":
+        self.body.append(Branch(var, equals, tuple(then), tuple(orelse), loc))
+        return self
+
+    def cs(self, *locks: str, loc: Optional[str] = None) -> "ThreadProc":
+        """Nested critical sections around nothing (lock-shape helper)."""
+        for lk in locks:
+            self.acq(lk, loc)
+        for lk in reversed(locks):
+            self.rel(lk, loc)
+        return self
+
+
+@dataclass
+class Program:
+    """A named set of thread procedures with initial memory."""
+
+    name: str
+    threads: List[ThreadProc] = field(default_factory=list)
+    initial_memory: Dict[str, Any] = field(default_factory=dict)
+
+    def thread(self, name: str) -> ThreadProc:
+        proc = ThreadProc(name)
+        self.threads.append(proc)
+        return proc

@@ -1,0 +1,257 @@
+"""Program families for the online experiment (Table 2).
+
+Each factory builds a DSL :class:`~repro.runtime.program.Program` whose
+schedule-dependent behavior mirrors one Table 2 benchmark family:
+programs that deadlock outright, programs with rare interleaving-
+dependent deadlocks, control-flow-guarded (Transfer-style) deadlocks,
+and deadlock-free workloads.  ``TABLE2_PROGRAMS`` maps every Table 2
+row to a factory plus the published hit counts for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.runtime.program import Acquire, Program, Release, VarWrite
+
+
+def inverse_order_program(
+    name: str, num_bugs: int = 1, spacing: int = 4, guarded: bool = False
+) -> Program:
+    """``num_bugs`` independent inverse-order lock pairs.
+
+    ``spacing`` inserts variable accesses between the halves so random
+    schedules sometimes separate the critical sections (predictable but
+    not hit) and sometimes overlap them (actual deadlock).
+    ``guarded`` wraps every pair in a common gate lock, making the
+    cycles benign (zero deadlocks, the Account-like shape).
+    """
+    p = Program(name)
+    for i in range(num_bugs):
+        la, lb = f"{name}_a{i}", f"{name}_b{i}"
+        t1 = p.thread(f"t{2 * i}")
+        t2 = p.thread(f"t{2 * i + 1}")
+        for t, first, second, tag in (
+            (t1, la, lb, "fwd"),
+            (t2, lb, la, "bwd"),
+        ):
+            for s in range(spacing):
+                t.write(f"{name}_pad{i}_{s}", s)
+            if guarded:
+                t.acq(f"{name}_gate{i}", loc=f"{name}:{tag}{i}:gate")
+            t.acq(first, loc=f"{name}:{tag}{i}:outer")
+            t.write(f"{name}_shared{i}", tag)
+            t.acq(second, loc=f"{name}:{tag}{i}:inner")
+            t.write(f"{name}_shared{i}", tag + "2")
+            t.rel(second)
+            t.rel(first)
+            if guarded:
+                t.rel(f"{name}_gate{i}")
+    return p
+
+
+def transfer_program(name: str = "Transfer") -> Program:
+    """Control-flow-guarded deadlock (the Transfer/Deadlock shape).
+
+    t2 runs its inverse-order transfer only when it observes the flag
+    value 1, which t1 publishes *before* its own transfer.  Whether the
+    two critical sections can overlap — and hence whether the deadlock
+    is predictable from the observed run — depends on the schedule, so
+    random-scheduler navigation is what exposes the bug (Section 6.2's
+    observation about Transfer and Deadlock).
+    """
+    p = Program(name, initial_memory={f"{name}_flag": 0})
+    t1 = p.thread("t1")
+    t1.write(f"{name}_flag", 1, loc=f"{name}:publish")
+    t1.acq(f"{name}_acctA", loc=f"{name}:t1:outer")
+    t1.write(f"{name}_balA", 10)
+    t1.acq(f"{name}_acctB", loc=f"{name}:t1:inner")
+    t1.write(f"{name}_balB", 20)
+    t1.rel(f"{name}_acctB").rel(f"{name}_acctA")
+    t2 = p.thread("t2")
+    t2.branch(
+        f"{name}_flag",
+        1,
+        then=(
+            Acquire(f"{name}_acctB", loc=f"{name}:t2:outer"),
+            VarWrite(f"{name}_balB", 5),
+            Acquire(f"{name}_acctA", loc=f"{name}:t2:inner"),
+            VarWrite(f"{name}_balA", 5),
+            Release(f"{name}_acctA"),
+            Release(f"{name}_acctB"),
+        ),
+        orelse=(VarWrite(f"{name}_skipped", 1),),
+        loc=f"{name}:t2:check",
+    )
+    return p
+
+
+def dining_program(name: str, n: int = 5) -> Program:
+    """n philosophers, left-then-right forks — deadlocks readily."""
+    p = Program(name)
+    for i in range(n):
+        t = p.thread(f"phil{i}")
+        left, right = f"{name}_fork{i}", f"{name}_fork{(i + 1) % n}"
+        t.write(f"{name}_think{i}", 0)
+        t.acq(left, loc=f"{name}:left{i}")
+        t.acq(right, loc=f"{name}:right{i}")
+        t.write(f"{name}_eat{i}", 1)
+        t.rel(right).rel(left)
+    return p
+
+
+def rare_pair_program(name: str, num_common: int = 1, num_rare: int = 1) -> Program:
+    """Common bugs plus bugs hidden behind long prefixes.
+
+    The rare pairs sit after enough unrelated work that random
+    schedules rarely overlap them — DeadlockFuzzer's confirmation runs
+    usually miss them, while prediction reports them from almost any
+    interleaving (the Bensalem / Test-Dimmunix shape where DF scores 0
+    or near-0 and SPD scores high).
+    """
+    p = Program(name)
+    for i in range(num_common):
+        la, lb = f"{name}_ca{i}", f"{name}_cb{i}"
+        t1, t2 = p.thread(f"c{2 * i}"), p.thread(f"c{2 * i + 1}")
+        t1.acq(la, loc=f"{name}:c{i}:1").acq(lb, loc=f"{name}:c{i}:2")
+        t1.rel(lb).rel(la)
+        t2.acq(lb, loc=f"{name}:c{i}:3").acq(la, loc=f"{name}:c{i}:4")
+        t2.rel(la).rel(lb)
+    for i in range(num_rare):
+        la, lb = f"{name}_ra{i}", f"{name}_rb{i}"
+        t1, t2 = p.thread(f"r{2 * i}"), p.thread(f"r{2 * i + 1}")
+        t1.acq(la, loc=f"{name}:r{i}:1").acq(lb, loc=f"{name}:r{i}:2")
+        t1.rel(lb).rel(la)
+        # A long skew: by the time t2 reaches its inverse-order pair,
+        # t1's critical sections are long gone, so the deadlock is
+        # essentially unhittable — even for DeadlockFuzzer's pausing,
+        # whose pause window is far shorter than the skew.  Prediction
+        # does not care: both critical sections are in the trace.
+        for s in range(140):
+            t2.write(f"{name}_busy{i}", s)
+        t2.acq(lb, loc=f"{name}:r{i}:3").acq(la, loc=f"{name}:r{i}:4")
+        t2.rel(la).rel(lb)
+    return p
+
+
+def mixed_size_program(name: str, num_pairs: int = 2, cycle: int = 3) -> Program:
+    """Size-2 pairs plus one size-``cycle`` dining cycle.
+
+    The JDBCMySQL-1 shape: DeadlockFuzzer can confirm the multi-thread
+    cycle by pausing, while SPDOnline — size-2 by design — cannot
+    predict it, the one direction where DF out-scores SPD in Table 2.
+    """
+    p = inverse_order_program(name, num_bugs=num_pairs, spacing=2)
+    for i in range(cycle):
+        t = p.thread(f"cyc{i}")
+        left, right = f"{name}_cfork{i}", f"{name}_cfork{(i + 1) % cycle}"
+        t.acq(left, loc=f"{name}:cyc{i}:l")
+        t.acq(right, loc=f"{name}:cyc{i}:r")
+        t.write(f"{name}_bowl{i}", 1)
+        t.rel(right).rel(left)
+    return p
+
+
+def parallel_compute_program(name: str, num_threads: int = 4, work: int = 12) -> Program:
+    """Deadlock-free: disjoint locks, fixed acquisition order."""
+    p = Program(name)
+    for i in range(num_threads):
+        t = p.thread(f"w{i}")
+        for s in range(work):
+            t.acq(f"{name}_m{i}", loc=f"{name}:w{i}")
+            t.write(f"{name}_acc{i}", s)
+            t.rel(f"{name}_m{i}")
+            t.read(f"{name}_acc{(i + 1) % num_threads}")
+    return p
+
+
+def collection_program(name: str, num_bugs: int = 2, workers: int = 4) -> Program:
+    """java.util-collections shape: worker threads hammer shared
+    containers; ``num_bugs`` cross-container inverse-order pairs."""
+    p = inverse_order_program(name, num_bugs=num_bugs, spacing=6)
+    for i in range(workers):
+        t = p.thread(f"bg{i}")
+        for s in range(8):
+            t.acq(f"{name}_coll{i % 2}", loc=f"{name}:bg{i}")
+            t.write(f"{name}_elem{i}", s)
+            t.rel(f"{name}_coll{i % 2}")
+    return p
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One Table 2 row: program factory + published outcomes."""
+
+    name: str
+    factory: Callable[[], Program]
+    paper_spd_hits: int
+    paper_df_hits: int
+    paper_spd_bugs: int
+    paper_df_bugs: int
+    paper_all_bugs: int
+    #: bugs the replica's program actually contains (ground truth)
+    replica_bugs: int = 1
+    #: bugs SPDOnline can reach on the replica (size-2 restriction may
+    #: exclude multi-thread cycles; equals replica_bugs by default)
+    replica_spd_bugs: int = -1
+
+    def __post_init__(self):
+        if self.replica_spd_bugs < 0:
+            object.__setattr__(self, "replica_spd_bugs", self.replica_bugs)
+
+
+def _row(name, factory, spd_hits, df_hits, spd_b, df_b, all_b, replica_bugs,
+         replica_spd_bugs=-1):
+    return Table2Row(name, factory, spd_hits, df_hits, spd_b, df_b, all_b,
+                     replica_bugs, replica_spd_bugs)
+
+
+#: All 38 rows of Table 2, with factories shaping the replica programs.
+TABLE2_PROGRAMS: List[Table2Row] = [
+    _row("Deadlock", lambda: transfer_program("Deadlock"), 50, 50, 1, 1, 1, 1),
+    _row("Picklock", lambda: rare_pair_program("Picklock", 1, 1), 227, 97, 2, 1, 2, 2),
+    _row("Bensalem", lambda: rare_pair_program("Bensalem", 0, 2), 355, 32, 2, 1, 2, 2),
+    _row("Transfer", lambda: transfer_program("Transfer"), 54, 50, 1, 1, 1, 1),
+    _row("Test-Dimmunix", lambda: rare_pair_program("Dimmunix", 0, 2), 702, 0, 2, 0, 2, 2),
+    _row("StringBuffer", lambda: inverse_order_program("StringBuffer", 2), 153, 131, 2, 2, 2, 2),
+    _row("Test-Calfuzzer", lambda: inverse_order_program("Calfuzzer", 1), 177, 44, 1, 1, 1, 1),
+    # SPDOnline covers size-2 deadlocks; the online replica uses the
+    # two-philosopher instance (the offline Table 1 replica keeps n=5).
+    _row("DiningPhil", lambda: dining_program("DiningPhil", 2), 162, 100, 1, 1, 1, 1),
+    _row("HashTable", lambda: inverse_order_program("HashTable", 2), 169, 120, 2, 2, 2, 2),
+    _row("Account", lambda: inverse_order_program("Account", 1, spacing=10), 19, 188, 1, 1, 1, 1),
+    _row("Log4j2", lambda: rare_pair_program("Log4j2", 1, 1), 290, 100, 2, 1, 2, 2),
+    _row("Dbcp1", lambda: rare_pair_program("Dbcp1", 1, 1), 265, 138, 2, 2, 2, 2),
+    _row("Dbcp2", lambda: inverse_order_program("Dbcp2", 2), 129, 126, 2, 2, 2, 2),
+    _row("RayTracer", lambda: parallel_compute_program("RayTracer"), 0, 0, 0, 0, 0, 0),
+    _row("Tsp", lambda: parallel_compute_program("Tsp"), 0, 0, 0, 0, 0, 0),
+    _row("jigsaw", lambda: rare_pair_program("jigsaw", 0, 1), 1189, 1, 1, 1, 2, 1),
+    _row("elevator", lambda: parallel_compute_program("elevator"), 0, 0, 0, 0, 0, 0),
+    # Paper: DF found 3 bugs here, SPD only 2 — replicated with a
+    # size-3 cycle that the size-2 online analysis cannot see.
+    _row("JDBCMySQL-1", lambda: mixed_size_program("JDBC1", 2, 3), 349, 117, 2, 3, 3, 3,
+         replica_spd_bugs=2),
+    _row("JDBCMySQL-2", lambda: inverse_order_program("JDBC2", 1), 559, 73, 1, 1, 1, 1),
+    _row("JDBCMySQL-3", lambda: inverse_order_program("JDBC3", 1), 560, 224, 1, 1, 1, 1),
+    _row("JDBCMySQL-4", lambda: rare_pair_program("JDBC4", 1, 2), 1717, 101, 3, 1, 3, 3),
+    _row("hedc", lambda: parallel_compute_program("hedc"), 0, 0, 0, 0, 0, 0),
+    _row("cache4j", lambda: parallel_compute_program("cache4j"), 0, 0, 0, 0, 0, 0),
+    _row("lusearch", lambda: parallel_compute_program("lusearch"), 0, 0, 0, 0, 0, 0),
+    _row("ArrayList", lambda: collection_program("ArrayList", 3), 47, 45, 3, 3, 3, 3),
+    _row("Stack", lambda: collection_program("Stack", 3), 44, 27, 3, 3, 3, 3),
+    _row("IdentityHashMap", lambda: collection_program("IdentityHashMap", 2), 68, 62, 2, 2, 2, 2),
+    _row("LinkedList", lambda: collection_program("LinkedList", 3), 48, 26, 3, 2, 3, 3),
+    _row("Swing", lambda: parallel_compute_program("Swing"), 0, 0, 0, 0, 0, 0),
+    _row("Sor", lambda: parallel_compute_program("Sor"), 0, 0, 0, 0, 0, 0),
+    _row("HashMap", lambda: collection_program("HashMap", 2), 46, 44, 2, 2, 2, 2),
+    _row("Vector", lambda: inverse_order_program("Vector", 1), 126, 50, 1, 1, 1, 1),
+    _row("LinkedHashMap", lambda: collection_program("LinkedHashMap", 2), 57, 43, 2, 2, 2, 2),
+    _row("WeakHashMap", lambda: collection_program("WeakHashMap", 2), 29, 40, 2, 2, 2, 2),
+    _row("montecarlo", lambda: parallel_compute_program("montecarlo"), 0, 0, 0, 0, 0, 0),
+    _row("TreeMap", lambda: collection_program("TreeMap", 2), 42, 47, 2, 2, 2, 2),
+    _row("eclipse", lambda: parallel_compute_program("eclipse"), 0, 0, 0, 0, 0, 0),
+    _row("TestPerf", lambda: parallel_compute_program("TestPerf"), 0, 0, 0, 0, 0, 0),
+]
+
+TABLE2_BY_NAME: Dict[str, Table2Row] = {r.name: r for r in TABLE2_PROGRAMS}

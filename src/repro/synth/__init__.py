@@ -1,0 +1,41 @@
+"""Workload generation: paper traces, random traces, deadlock templates,
+and the Table-1-shaped benchmark suite."""
+
+from repro.synth.paper import (
+    fig5_trace,
+    fig6_trace,
+    sigma1,
+    sigma2,
+    sigma3,
+)
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.synth.templates import (
+    account_trace,
+    dining_philosophers_trace,
+    guarded_cycle_trace,
+    picklock_trace,
+    simple_deadlock_trace,
+    stringbuffer_trace,
+    transfer_trace,
+)
+from repro.synth.suite import BenchmarkSpec, TABLE1_SUITE, build_benchmark
+
+__all__ = [
+    "sigma1",
+    "sigma2",
+    "sigma3",
+    "fig5_trace",
+    "fig6_trace",
+    "RandomTraceConfig",
+    "generate_random_trace",
+    "simple_deadlock_trace",
+    "guarded_cycle_trace",
+    "dining_philosophers_trace",
+    "picklock_trace",
+    "stringbuffer_trace",
+    "transfer_trace",
+    "account_trace",
+    "BenchmarkSpec",
+    "TABLE1_SUITE",
+    "build_benchmark",
+]

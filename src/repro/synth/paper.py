@@ -1,0 +1,181 @@
+"""The literal example traces of the paper, 0-indexed.
+
+Event numbering in docstrings follows the paper's 1-based figures;
+``trace[i]`` is the paper's event ``e(i+1)``.
+"""
+
+from __future__ import annotations
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import Trace
+
+
+def sigma1() -> Trace:
+    """Fig. 1a: a deadlock pattern ⟨e2, e8⟩ that is *not* predictable.
+
+    The w(x)/r(x) dependency forces t1's critical sections to complete
+    before t2's read, so no correct reordering enables both acquires.
+    """
+    return (
+        TraceBuilder()
+        .acq("t1", "l1")            # e1
+        .acq("t1", "l2")            # e2  ← pattern
+        .write("t1", "x")           # e3
+        .rel("t1", "l2")            # e4
+        .rel("t1", "l1")            # e5
+        .acq("t2", "l2")            # e6
+        .read("t2", "x")            # e7
+        .acq("t2", "l1")            # e8  ← pattern
+        .rel("t2", "l1")            # e9
+        .rel("t2", "l2")            # e10
+        .build("sigma1")
+    )
+
+
+def sigma2() -> Trace:
+    """Fig. 1b: a sync-preserving deadlock ⟨e4, e18⟩.
+
+    Witnessed by ρ3 = e1 e2 e3 e8 e9 e12..e15 e16 e17, stalling t2 on
+    e4 and t3 on e18.  Threads: t1 = {e1,e2,e12..e15},
+    t2 = {e3..e7}, t4 = {e8..e11}, t3 = {e16..e20}.
+    """
+    return (
+        TraceBuilder()
+        .acq("t1", "l1").rel("t1", "l1")                    # e1 e2
+        .acq("t2", "l2")                                    # e3
+        .acq("t2", "l3")                                    # e4  ← pattern
+        .write("t2", "z").rel("t2", "l3").rel("t2", "l2")   # e5 e6 e7
+        .acq("t4", "l1").write("t4", "y")                   # e8 e9
+        .read("t4", "z").rel("t4", "l1")                    # e10 e11
+        .acq("t1", "l3").write("t1", "x")                   # e12 e13
+        .read("t1", "y").rel("t1", "l3")                    # e14 e15
+        .acq("t3", "l3").read("t3", "x")                    # e16 e17
+        .acq("t3", "l2")                                    # e18 ← pattern
+        .rel("t3", "l2").rel("t3", "l3")                    # e19 e20
+        .build("sigma2")
+    )
+
+
+def sigma3() -> Trace:
+    """Fig. 3: one abstract deadlock pattern, six concrete ones.
+
+    Abstract acquires: η1 = ⟨t1, l2, {l1}, [e2, e4, e29]⟩,
+    η2 = ⟨t2, l1, {l4}, [e23]⟩, η3 = ⟨t3, l1, {l2}, [e16, e19]⟩,
+    η4 = ⟨t3, l3, {l2}, [e13]⟩.  D_abs = ⟨η1, η3⟩; only D5 = ⟨e29, e16⟩
+    and D6 = ⟨e29, e19⟩ are sync-preserving deadlocks.
+    """
+    b = TraceBuilder()
+    b.acq("t1", "l1").acq("t1", "l2").rel("t1", "l2")               # e1-e3
+    b.acq("t1", "l2").write("t1", "y").rel("t1", "l2").rel("t1", "l1")  # e4-e7
+    b.acq("t2", "l3").write("t2", "x").read("t2", "y").rel("t2", "l3")  # e8-e11
+    b.acq("t3", "l2").acq("t3", "l3").read("t3", "x").rel("t3", "l3")   # e12-e15
+    b.acq("t3", "l1").write("t3", "v").rel("t3", "l1")              # e16-e18
+    b.acq("t3", "l1").rel("t3", "l1").rel("t3", "l2")               # e19-e21
+    b.acq("t2", "l4").acq("t2", "l1").write("t2", "z").read("t2", "v")  # e22-e25
+    b.rel("t2", "l1").rel("t2", "l4")                               # e26 e27
+    b.acq("t1", "l1").acq("t1", "l2").read("t1", "z")               # e28-e30
+    b.rel("t1", "l2").rel("t1", "l1")                               # e31 e32
+    return b.build("sigma3")
+
+
+def fig5_trace() -> Trace:
+    """Fig. 5 (Appendix C): SPDOffline finds ⟨e4, e14⟩; SeqCheck misses.
+
+    The witness leaves the critical section on l1 (e8..e11) *open*
+    after w(x); SeqCheck insists on closing it, which drags in r(y),
+    its writer w(y), and thread-order prefix e3..e6 — un-enabling e4.
+    Threads: tA = {e1,e2}, tB = {e3..e7}, tC = {e8..e11},
+    tD = {e12..e16}.
+    """
+    return (
+        TraceBuilder()
+        .acq("tA", "l1").rel("tA", "l1")                    # e1 e2
+        .acq("tB", "l2")                                    # e3
+        .acq("tB", "l3")                                    # e4  ← pattern
+        .rel("tB", "l3").rel("tB", "l2").write("tB", "y")   # e5 e6 e7
+        .acq("tC", "l1").write("tC", "x")                   # e8 e9
+        .read("tC", "y").rel("tC", "l1")                    # e10 e11
+        .acq("tD", "l3").read("tD", "x")                    # e12 e13
+        .acq("tD", "l2")                                    # e14 ← pattern
+        .rel("tD", "l2").rel("tD", "l3")                    # e15 e16
+        .build("fig5")
+    )
+
+
+def fig6_trace() -> Trace:
+    """Fig. 6 (Appendix C): ⟨e2, e6⟩ is sync-preserving; ⟨e2, e8⟩ is a
+    predictable deadlock that is *not* sync-preserving (witnessing it
+    requires reversing the two critical sections on l1)."""
+    return (
+        TraceBuilder()
+        .acq("t1", "l1")                    # e1
+        .acq("t1", "l2")                    # e2  ← both patterns
+        .rel("t1", "l2").rel("t1", "l1")    # e3 e4
+        .acq("t2", "l2")                    # e5
+        .acq("t2", "l1")                    # e6  ← pattern A
+        .rel("t2", "l1")                    # e7
+        .acq("t2", "l1")                    # e8  ← pattern B
+        .rel("t2", "l1").rel("t2", "l2")    # e9 e10
+        .build("fig6")
+    )
+
+
+def false_deadlock1_trace() -> Trace:
+    """Appendix D, FalseDeadlock1 (Fig. 7), as an execution trace.
+
+    T1 holds L1 across fork(T2)/join(T2); T2 and T3 acquire L2/L3
+    cyclically, but T3's cycle half is guarded by L1, so no deadlock is
+    predictable — yet the pattern ⟨T2:acq(L3), T3:acq(L2)⟩ exists and
+    Dirk's encoding reports it.
+    """
+    return (
+        TraceBuilder()
+        .acq("t1", "L1")
+        .fork("t1", "t2")
+        .acq("t2", "L2").acq("t2", "L3")
+        .write("t2", "x")
+        .rel("t2", "L3").rel("t2", "L2")
+        .join("t1", "t2")
+        .rel("t1", "L1")
+        .acq("t3", "L1").acq("t3", "L3").acq("t3", "L2")
+        .write("t3", "y")
+        .rel("t3", "L2").rel("t3", "L3").rel("t3", "L1")
+        .build("false_deadlock1")
+    )
+
+
+def false_deadlock2_trace() -> Trace:
+    """Appendix D, FalseDeadlock2 (Fig. 8), as an execution trace.
+
+    ``transfer2`` runs only after reading the integer written by
+    ``transfer1`` (the volatile ``data`` handshake), so the two
+    ``transferTo`` critical sections can never overlap; the observed
+    trace serializes them.  Value-relaxed reasoning that ignores the
+    control dependency of the read falsely predicts the deadlock.
+
+    Locks ``sa``/``sb`` are the two Store monitors; ``data`` is the
+    volatile variable.
+    """
+    return (
+        TraceBuilder()
+        # Transfer1.run: uObject.data = "string2"; a.transferTo(b); data = 1
+        .write("t1", "data")
+        .acq("t1", "sa").acq("t1", "sb").rel("t1", "sb").rel("t1", "sa")
+        .write("t1", "data")
+        # Transfer2.run: (int) uObject.data — control-flow gate — then
+        # b.transferTo(a)
+        .read("t2", "data")
+        .acq("t2", "sb").acq("t2", "sa").rel("t2", "sa").rel("t2", "sb")
+        .build("false_deadlock2")
+    )
+
+
+ALL_PAPER_TRACES = {
+    "sigma1": sigma1,
+    "sigma2": sigma2,
+    "sigma3": sigma3,
+    "fig5": fig5_trace,
+    "fig6": fig6_trace,
+    "false_deadlock1": false_deadlock1_trace,
+    "false_deadlock2": false_deadlock2_trace,
+}

@@ -1,0 +1,382 @@
+"""The Table-1-shaped benchmark suite.
+
+Each :class:`BenchmarkSpec` encodes one row of the paper's Table 1: the
+published trace characteristics and per-tool deadlock counts, plus the
+recipe for a *scaled synthetic replica* — a trace with the same
+deadlock structure (how many sync-preserving bugs, how many
+pattern-only false alarms, value-dependent bugs, non-sync-preserving
+bugs, dining cycles, non-nested locking) embedded in neutral filler.
+
+The replicas cannot reproduce absolute wall-clock numbers (the paper
+ran Java traces of up to 241M events); they reproduce the *shape*:
+which tool finds which bugs, where SeqCheck fails or Dirk times out,
+and how running time scales with concrete vs abstract pattern counts.
+
+Paper counts in the spec come straight from Table 1; ``None`` encodes
+"F" (technical failure) and ``"TO"`` markers are carried in
+``paper_dirk_status``.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import Trace
+
+# Caps applied when synthesizing replicas (the structure is preserved;
+# only bulk is reduced).  Override via environment to scale replicas
+# toward paper sizes, e.g. REPRO_SUITE_MAX_EVENTS=200000.
+import os
+
+MAX_EVENTS = int(os.environ.get("REPRO_SUITE_MAX_EVENTS", 20_000))
+MAX_THREADS = int(os.environ.get("REPRO_SUITE_MAX_THREADS", 48))
+MAX_LOCKS = int(os.environ.get("REPRO_SUITE_MAX_LOCKS", 64))
+MAX_VARS = int(os.environ.get("REPRO_SUITE_MAX_VARS", 256))
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One Table 1 row: published numbers + replica recipe."""
+
+    name: str
+    # -- published trace characteristics (Table 1, columns 2-9) --
+    paper_events: int
+    paper_threads: int
+    paper_vars: int
+    paper_locks: int
+    paper_acquires: int
+    paper_cycles: int
+    paper_abstract: int
+    paper_concrete: int
+    # -- published tool outcomes (columns 10-15) --
+    paper_dirk: Optional[int]          # None = failure
+    paper_dirk_status: str             # "ok" | "fail" | "timeout"
+    paper_seqcheck: Optional[int]      # None = failure
+    paper_spd: int
+    # -- replica recipe --
+    sp_bugs: int = 0                   # sync-preserving deadlocks
+    nonsp_bugs: int = 0                # predictable but not SP (SeqCheck-only)
+    value_bugs: int = 0                # beyond correct reorderings (Dirk-only)
+    dead_patterns: int = 0             # abstract patterns killed by rf deps
+    pseudo_cycles: int = 0             # ALG cycles that are not abstract patterns
+    dining: Optional[int] = None       # size-k cyclic deadlock (k >= 3)
+    rounds: int = 1                    # instantiation multiplicity (CP inflation)
+    nonnested: bool = False            # hand-over-hand locking (SeqCheck fails)
+    seed: int = 0
+
+    @property
+    def events(self) -> int:
+        return min(self.paper_events, MAX_EVENTS)
+
+    @property
+    def threads(self) -> int:
+        return min(self.paper_threads, MAX_THREADS)
+
+    @property
+    def locks(self) -> int:
+        return min(self.paper_locks, MAX_LOCKS)
+
+    @property
+    def variables(self) -> int:
+        return min(self.paper_vars, MAX_VARS)
+
+    @property
+    def expected_spd(self) -> int:
+        """Deadlocks SPDOffline must find on the replica.
+
+        Each Fig.6-style non-SP template still contributes one report:
+        its abstract pattern contains a sync-preserving instantiation
+        (the first inverse acquire), exactly as in the paper's jigsaw
+        row.  The *second*, reversal-only instantiation is what only
+        SeqCheck sees.
+        """
+        return self.sp_bugs + self.nonsp_bugs + (1 if self.dining else 0)
+
+    @property
+    def expected_predictable(self) -> int:
+        """All predictable deadlock bugs in the replica (ground truth
+        for precision comparisons): the non-SP templates carry one
+        extra, reversal-only bug each."""
+        return self.expected_spd + self.nonsp_bugs
+
+
+class _WorkloadBuilder:
+    """Composes bug templates with neutral filler into one trace."""
+
+    def __init__(self, spec: BenchmarkSpec) -> None:
+        self.spec = spec
+        # zlib.crc32, not hash(): str hashing is salted per process and
+        # replicas must be bit-identical across runs.
+        self.rng = random.Random(spec.seed ^ (zlib.crc32(spec.name.encode()) & 0xFFFF))
+        self.b = TraceBuilder()
+        self.workers = [f"w{i}" for i in range(max(2, spec.threads))]
+        self.filler_locks = [f"fl{i}" for i in range(max(1, spec.locks))]
+        self.filler_vars = [f"fv{i}" for i in range(max(1, spec.variables))]
+        self._held: dict = {t: [] for t in self.workers}
+
+    # -- neutral filler ---------------------------------------------------
+
+    def filler(self, n: int) -> None:
+        """Emit ~n events that can never contribute a deadlock pattern.
+
+        Locks are taken in strictly increasing index order (no cycles in
+        the lock graph), mixed with reads/writes over the filler vars.
+        """
+        rng = self.rng
+        emitted = 0
+        while emitted < n:
+            t = rng.choice(self.workers)
+            held = self._held[t]
+            roll = rng.random()
+            if roll < 0.18 and len(held) < 2:
+                floor = held[-1] + 1 if held else 0
+                if floor < len(self.filler_locks):
+                    j = rng.randrange(floor, len(self.filler_locks))
+                    if not any(j in h for h in self._held.values()):
+                        self.b.acq(t, self.filler_locks[j])
+                        held.append(j)
+                        emitted += 1
+                        continue
+            if roll < 0.36 and held:
+                j = held.pop()
+                self.b.rel(t, self.filler_locks[j])
+                emitted += 1
+                continue
+            var = rng.choice(self.filler_vars)
+            if rng.random() < 0.5:
+                self.b.write(t, var)
+            else:
+                self.b.read(t, var)
+            emitted += 1
+
+    def drain(self) -> None:
+        for t in self.workers:
+            while self._held[t]:
+                self.b.rel(t, self.filler_locks[self._held[t].pop()])
+
+    # -- bug templates ------------------------------------------------------
+
+    def sp_bug(self, i: int) -> None:
+        """An inverse-order pair forming ``rounds``² concrete patterns."""
+        name = self.spec.name
+        ta, tb = f"dl{i}a", f"dl{i}b"
+        la, lb = f"dla{i}", f"dlb{i}"
+        for r in range(self.spec.rounds):
+            self.b.acq(ta, la, loc=f"{name}.java:{100 + i}")
+            self.b.acq(ta, lb, loc=f"{name}.java:{101 + i}")
+            self.b.write(ta, f"dx{i}")
+            self.b.rel(ta, lb).rel(ta, la)
+        for r in range(self.spec.rounds):
+            self.b.acq(tb, lb, loc=f"{name}.java:{200 + i}")
+            self.b.acq(tb, la, loc=f"{name}.java:{201 + i}")
+            self.b.write(tb, f"dy{i}")
+            self.b.rel(tb, la).rel(tb, lb)
+
+    def dead_pattern(self, i: int) -> None:
+        """Inverse-order pair killed by a reads-from dependency
+        (Fig. 1a shape): an abstract pattern, never a deadlock."""
+        name = self.spec.name
+        ta, tb = f"fp{i}a", f"fp{i}b"
+        la, lb = f"fpa{i}", f"fpb{i}"
+        self.b.acq(ta, la, loc=f"{name}.java:{300 + i}")
+        self.b.acq(ta, lb, loc=f"{name}.java:{301 + i}")
+        self.b.write(ta, f"gate{i}")
+        self.b.rel(ta, lb).rel(ta, la)
+        self.b.acq(tb, lb, loc=f"{name}.java:{310 + i}")
+        self.b.read(tb, f"gate{i}", loc=f"ctrl:{name}.java:{312 + i}")
+        self.b.acq(tb, la, loc=f"{name}.java:{311 + i}")
+        self.b.rel(tb, la).rel(tb, lb)
+
+    def value_bug(self, i: int) -> None:
+        """Transfer-shaped: a flag handshake serializes the two halves;
+        only value-relaxed reasoning (Dirk) reports it."""
+        name = self.spec.name
+        ta, tb = f"vb{i}a", f"vb{i}b"
+        la, lb = f"vba{i}", f"vbb{i}"
+        self.b.write(ta, f"flag{i}")
+        self.b.acq(ta, la, loc=f"{name}.java:{400 + i}")
+        self.b.acq(ta, lb, loc=f"{name}.java:{401 + i}")
+        self.b.write(ta, f"vx{i}")
+        self.b.rel(ta, lb).rel(ta, la)
+        self.b.write(ta, f"flag{i}")
+        self.b.read(tb, f"flag{i}")
+        self.b.acq(tb, lb, loc=f"{name}.java:{410 + i}")
+        self.b.acq(tb, la, loc=f"{name}.java:{411 + i}")
+        self.b.write(tb, f"vy{i}")
+        self.b.rel(tb, la).rel(tb, lb)
+
+    def nonsp_bug(self, i: int) -> None:
+        """Fig. 6 shape, sharpened: two abstract patterns, one
+        sync-preserving, one predictable *only* by reversing same-lock
+        critical sections (a guard lock gives the re-request a distinct
+        held-set signature, so no SP instantiation hides inside it).
+        SeqCheck finds two bugs here, SPDOffline one — and the audit
+        classifies the second as the dataset's genuine non-SP miss,
+        mirroring the paper's 1-of-53."""
+        name = self.spec.name
+        ta, tb = f"ns{i}a", f"ns{i}b"
+        la, lb, g = f"nsa{i}", f"nsb{i}", f"nsg{i}"
+        self.b.acq(ta, la, loc=f"{name}.java:{500 + i}")
+        self.b.acq(ta, lb, loc=f"{name}.java:{501 + i}")
+        self.b.rel(ta, lb).rel(ta, la)
+        self.b.acq(tb, lb, loc=f"{name}.java:{510 + i}")
+        self.b.acq(tb, la, loc=f"{name}.java:{511 + i}")
+        self.b.rel(tb, la)
+        self.b.acq(tb, g)
+        self.b.acq(tb, la, loc=f"{name}.java:{512 + i}")
+        self.b.rel(tb, la).rel(tb, g).rel(tb, lb)
+
+    def dining_bug(self, k: int) -> None:
+        """Size-k cyclic deadlock (DiningPhil)."""
+        name = self.spec.name
+        for r in range(self.spec.rounds):
+            for i in range(k):
+                t = f"phil{i}"
+                left, right = f"fork{i}", f"fork{(i + 1) % k}"
+                self.b.acq(t, left, loc=f"{name}.java:{600 + i}")
+                self.b.acq(t, right, loc=f"{name}.java:{620 + i}")
+                self.b.write(t, f"plate{i}")
+                self.b.rel(t, right).rel(t, left)
+
+    def pseudo_cycle(self, i: int) -> None:
+        """A 4-cycle in ALG that repeats its two threads at distance 2:
+        counted in |Cyc| but not an abstract deadlock pattern (threads
+        not distinct), and — with only two threads over four locks — no
+        concrete deadlock pattern of any size exists either."""
+        tx, ty = f"pc{i}x", f"pc{i}y"
+        a, b_, c, d = (f"pc{i}{x}" for x in "abcd")
+        self.b.cs(tx, a, b_)
+        self.b.cs(ty, b_, c)
+        self.b.cs(tx, c, d)
+        self.b.cs(ty, d, a)
+
+    def nonnested_segment(self) -> None:
+        """Hand-over-hand locking — breaks SeqCheck's well-nesting."""
+        t = "hoh"
+        self.b.acq(t, "nn1").acq(t, "nn2").rel(t, "nn1")
+        self.b.acq(t, "nn3").rel(t, "nn2").rel(t, "nn3")
+
+
+def build_benchmark(spec: BenchmarkSpec) -> Trace:
+    """Synthesize the scaled replica trace for one Table 1 row."""
+    w = _WorkloadBuilder(spec)
+    segments: List = []
+    for i in range(spec.sp_bugs):
+        segments.append(lambda i=i: w.sp_bug(i))
+    for i in range(spec.nonsp_bugs):
+        segments.append(lambda i=i: w.nonsp_bug(i))
+    for i in range(spec.value_bugs):
+        segments.append(lambda i=i: w.value_bug(i))
+    for i in range(spec.dead_patterns):
+        segments.append(lambda i=i: w.dead_pattern(i))
+    for i in range(spec.pseudo_cycles):
+        segments.append(lambda i=i: w.pseudo_cycle(i))
+    if spec.dining:
+        segments.append(lambda: w.dining_bug(spec.dining))
+    if spec.nonnested:
+        segments.append(w.nonnested_segment)
+
+    w.rng.shuffle(segments)
+    n_gaps = len(segments) + 1
+    per_gap = max(0, spec.events - _estimated_template_events(spec)) // n_gaps
+    for seg in segments:
+        w.filler(per_gap)
+        seg()
+    w.filler(per_gap)
+    w.drain()
+    return w.b.build(spec.name)
+
+
+def _estimated_template_events(spec: BenchmarkSpec) -> int:
+    per_round_pair = 10 * spec.rounds
+    total = (spec.sp_bugs + spec.value_bugs) * per_round_pair
+    total += spec.nonsp_bugs * 10 + spec.dead_patterns * 10
+    total += spec.pseudo_cycles * 24
+    if spec.dining:
+        total += spec.dining * 6 * spec.rounds
+    if spec.nonnested:
+        total += 6
+    return total
+
+
+def _spec(
+    name, n, t, v, l, ar, cyc, ap, cp, dirk, dirk_status, seq, spd, **recipe
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        paper_events=n, paper_threads=t, paper_vars=v, paper_locks=l,
+        paper_acquires=ar, paper_cycles=cyc, paper_abstract=ap,
+        paper_concrete=cp, paper_dirk=dirk, paper_dirk_status=dirk_status,
+        paper_seqcheck=seq, paper_spd=spd, **recipe,
+    )
+
+
+K, M = 1_000, 1_000_000
+
+#: All 48 rows of Table 1.  Recipes are chosen so that on the replica,
+#: SPDOffline finds exactly ``paper_spd`` deadlocks, SeqCheck finds
+#: ``paper_seqcheck`` (or fails), and Dirk's extra/missing finds match.
+TABLE1_SUITE: List[BenchmarkSpec] = [
+    _spec("Deadlock", 39, 3, 4, 3, 8, 1, 1, 1, 1, "ok", 0, 0, value_bugs=1),
+    _spec("NotADeadlock", 60, 3, 4, 5, 16, 1, 1, 1, 0, "ok", 0, 0, dead_patterns=1),
+    _spec("Picklock", 66, 3, 6, 6, 20, 2, 2, 2, 1, "ok", 1, 1, sp_bugs=1, dead_patterns=1),
+    _spec("Bensalem", 68, 4, 5, 5, 22, 2, 2, 2, 1, "ok", 1, 1, sp_bugs=1, dead_patterns=1),
+    _spec("Transfer", 72, 3, 11, 4, 12, 1, 1, 1, 1, "ok", 0, 0, value_bugs=1),
+    _spec("Test-Dimmunix", 73, 3, 9, 7, 26, 2, 2, 2, 2, "ok", 2, 2, sp_bugs=2),
+    _spec("StringBuffer", 74, 3, 14, 4, 16, 1, 3, 6, 2, "ok", 2, 2, sp_bugs=2),
+    _spec("Test-Calfuzzer", 168, 5, 16, 6, 48, 2, 1, 1, 1, "ok", 1, 1, sp_bugs=1, pseudo_cycles=1),
+    _spec("DiningPhil", 277, 6, 21, 6, 100, 1, 1, 3 * K, 1, "ok", 0, 1, dining=5, rounds=3),
+    _spec("HashTable", 318, 3, 5, 3, 174, 1, 2, 43, 2, "ok", 2, 2, sp_bugs=2, rounds=3),
+    _spec("Account", 706, 6, 47, 7, 134, 3, 1, 12, 0, "ok", 0, 0, dead_patterns=1, pseudo_cycles=2, rounds=2),
+    _spec("Log4j2", 1 * K, 4, 334, 11, 43, 1, 1, 1, 1, "ok", 1, 1, sp_bugs=1),
+    _spec("Dbcp1", 2 * K, 3, 768, 5, 56, 2, 2, 3, None, "fail", 2, 2, sp_bugs=2),
+    _spec("Dbcp2", 2 * K, 3, 592, 10, 76, 1, 2, 4, None, "fail", 0, 0, dead_patterns=2),
+    _spec("Derby2", 3 * K, 3, 1 * K, 4, 16, 1, 1, 1, 1, "ok", 1, 1, sp_bugs=1),
+    _spec("RayTracer", 31 * K, 5, 5 * K, 15, 976, 0, 0, 0, None, "fail", 0, 0),
+    _spec("jigsaw", 143 * K, 21, 8 * K, 2 * K, 67 * K, 172, 12, 70, None, "fail", 2, 1,
+          nonsp_bugs=1, dead_patterns=10, pseudo_cycles=4),
+    _spec("elevator", 246 * K, 5, 727, 52, 48 * K, 0, 0, 0, 0, "ok", 0, 0),
+    _spec("hedc", 410 * K, 7, 109 * K, 8, 32, 0, 0, 0, 0, "ok", 0, 0),
+    _spec("JDBCMySQL-1", 442 * K, 3, 73 * K, 11, 13 * K, 2, 4, 6, 2, "ok", 2, 2, sp_bugs=2, dead_patterns=2),
+    _spec("JDBCMySQL-2", 442 * K, 3, 73 * K, 11, 13 * K, 4, 4, 9, 1, "ok", 1, 1, sp_bugs=1, dead_patterns=3, rounds=2),
+    _spec("JDBCMySQL-3", 443 * K, 3, 73 * K, 13, 13 * K, 5, 8, 16, 1, "ok", 1, 1, sp_bugs=1, dead_patterns=7, rounds=2),
+    _spec("JDBCMySQL-4", 443 * K, 3, 73 * K, 14, 13 * K, 5, 10, 18, 2, "ok", 2, 2, sp_bugs=2, dead_patterns=8),
+    _spec("cache4j", 775 * K, 2, 46 * K, 20, 35 * K, 0, 0, 0, 0, "ok", 0, 0),
+    _spec("ArrayList", 3 * M, 801, 121 * K, 802, 176 * K, 9, 3, 672, 3, "ok", 3, 3, sp_bugs=3, pseudo_cycles=2, rounds=4),
+    _spec("IdentityHashMap", 3 * M, 801, 496 * K, 802, 162 * K, 1, 3, 4, 1, "ok", 1, 1, sp_bugs=1, dead_patterns=2),
+    _spec("Stack", 3 * M, 801, 118 * K, 2 * K, 405 * K, 9, 3, 481, 1, "timeout", 3, 3, sp_bugs=3, pseudo_cycles=2, rounds=4),
+    _spec("Sor", 3 * M, 301, 2 * K, 3, 719 * K, 0, 0, 0, 0, "ok", 0, 0),
+    _spec("LinkedList", 3 * M, 801, 290 * K, 802, 176 * K, 9, 3, 10 * K, 3, "ok", 3, 3, sp_bugs=3, pseudo_cycles=2, rounds=8),
+    # seed chosen so the value-dependent pair does not straddle a Dirk
+    # window boundary (Dirk found 3 bugs here in the paper).
+    _spec("HashMap", 3 * M, 801, 555 * K, 802, 169 * K, 1, 3, 10 * K, 3, "ok", 2, 2, sp_bugs=2, value_bugs=1, rounds=8, seed=1),
+    _spec("WeakHashMap", 3 * M, 801, 540 * K, 802, 169 * K, 1, 3, 10 * K, None, "timeout", 2, 2, sp_bugs=2, rounds=8),
+    _spec("Swing", 4 * M, 8, 31 * K, 739, 2 * M, 0, 0, 0, None, "fail", 0, 0),
+    _spec("Vector", 4 * M, 3, 15, 4, 800 * K, 1, 1, 10 ** 9, None, "timeout", 1, 1, sp_bugs=1, rounds=32),
+    _spec("LinkedHashMap", 4 * M, 801, 617 * K, 802, 169 * K, 1, 3, 10 * K, 2, "ok", 2, 2, sp_bugs=2, rounds=8),
+    _spec("montecarlo", 8 * M, 3, 850 * K, 3, 26, 0, 0, 0, 0, "ok", 0, 0),
+    _spec("TreeMap", 9 * M, 801, 493 * K, 802, 169 * K, 1, 3, 10 * K, 2, "ok", 2, 2, sp_bugs=2, rounds=8),
+    _spec("hsqldb", 20 * M, 46, 945 * K, 403, 419 * K, 0, 0, 0, None, "fail", None, 0, nonnested=True),
+    _spec("sunflow", 21 * M, 16, 2 * M, 12, 1 * K, 0, 0, 0, None, "fail", 0, 0),
+    _spec("jspider", 22 * M, 11, 5 * M, 15, 10 * K, 0, 0, 0, None, "fail", 0, 0),
+    _spec("tradesoap", 42 * M, 236, 3 * M, 6 * K, 245 * K, 2, 1, 4, None, "fail", 0, 0, dead_patterns=1, pseudo_cycles=1, rounds=2),
+    _spec("tradebeans", 42 * M, 236, 3 * M, 6 * K, 245 * K, 2, 1, 4, None, "fail", 0, 0, dead_patterns=1, pseudo_cycles=1, rounds=2),
+    _spec("eclipse", 64 * M, 15, 10 * M, 5 * K, 377 * K, 9, 5, 280, None, "fail", 0, 0, dead_patterns=5, pseudo_cycles=4, rounds=3),
+    _spec("TestPerf", 80 * M, 50, 599, 9, 197 * K, 0, 0, 0, 0, "ok", 0, 0),
+    _spec("Groovy2", 120 * M, 13, 13 * M, 10 * K, 69 * K, 0, 0, 0, 0, "ok", 0, 0),
+    _spec("Tsp", 200 * M, 6, 24 * K, 3, 882, 0, 0, 0, 0, "ok", 0, 0),
+    _spec("lusearch", 203 * M, 7, 3 * M, 98, 273 * K, 0, 0, 0, 0, "ok", 0, 0),
+    _spec("biojava", 221 * M, 6, 121 * K, 79, 16 * K, 0, 0, 0, None, "fail", 0, 0),
+    _spec("graphchi", 241 * M, 20, 25 * M, 61, 1 * K, 0, 0, 0, None, "fail", 0, 0),
+]
+
+SUITE_BY_NAME = {s.name: s for s in TABLE1_SUITE}
+
+
+def small_suite() -> List[BenchmarkSpec]:
+    """Rows with paper traces under 5K events (fast CI subset)."""
+    return [s for s in TABLE1_SUITE if s.paper_events <= 5 * K]

@@ -1,0 +1,186 @@
+"""Deadlock scenario templates mirroring the benchmark families.
+
+Each function builds a trace with a known, documented deadlock
+structure.  Locations (``loc``) tag the acquire sites so reports
+deduplicate into "unique bugs" the way Table 2 counts them.
+"""
+
+from __future__ import annotations
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import Trace
+
+
+def simple_deadlock_trace(padding: int = 0) -> Trace:
+    """The textbook two-thread inverse-order deadlock (one SP deadlock).
+
+    ``padding`` interleaves unrelated accesses to inflate N without
+    changing the verdict.
+    """
+    b = TraceBuilder()
+    b.acq("t1", "la", loc="A.java:10").acq("t1", "lb", loc="A.java:11")
+    b.rel("t1", "lb").rel("t1", "la")
+    for i in range(padding):
+        b.write("t1", f"pad{i % 7}")
+    b.acq("t2", "lb", loc="A.java:20").acq("t2", "la", loc="A.java:21")
+    b.rel("t2", "la").rel("t2", "lb")
+    return b.build("simple_deadlock")
+
+
+def guarded_cycle_trace() -> Trace:
+    """Inverse-order acquisitions guarded by a common gate lock.
+
+    A cyclic lock-order-graph cycle exists, but the held sets share
+    ``gate``: *not* a deadlock pattern — Goodlock's classic false
+    positive when the guard check is skipped.
+    """
+    b = TraceBuilder()
+    b.acq("t1", "gate").acq("t1", "la").acq("t1", "lb")
+    b.rel("t1", "lb").rel("t1", "la").rel("t1", "gate")
+    b.acq("t2", "gate").acq("t2", "lb").acq("t2", "la")
+    b.rel("t2", "la").rel("t2", "lb").rel("t2", "gate")
+    return b.build("guarded_cycle")
+
+
+def order_violation_trace() -> Trace:
+    """Fig. 1a-style: a deadlock pattern killed by a reads-from edge."""
+    b = TraceBuilder()
+    b.acq("t1", "la", loc="B.java:5").acq("t1", "lb", loc="B.java:6")
+    b.write("t1", "handoff")
+    b.rel("t1", "lb").rel("t1", "la")
+    b.acq("t2", "lb", loc="B.java:15")
+    b.read("t2", "handoff")
+    b.acq("t2", "la", loc="B.java:17")
+    b.rel("t2", "la").rel("t2", "lb")
+    return b.build("order_violation")
+
+
+def dining_philosophers_trace(n: int = 5, rounds: int = 1) -> Trace:
+    """The size-n dining-philosophers deadlock (the DiningPhil row).
+
+    Philosopher i takes fork i then fork (i+1)%n — a single abstract
+    deadlock pattern of size n (SeqCheck, limited to size 2, misses
+    it; SPDOffline finds it).
+    """
+    b = TraceBuilder()
+    for r in range(rounds):
+        for i in range(n):
+            t = f"phil{i}"
+            left, right = f"fork{i}", f"fork{(i + 1) % n}"
+            b.acq(t, left, loc=f"Phil.java:{10 + i}")
+            b.acq(t, right, loc=f"Phil.java:{30 + i}")
+            b.write(t, f"plate{i}")
+            b.rel(t, right).rel(t, left)
+    return b.build(f"dining_phil_{n}")
+
+
+def picklock_trace() -> Trace:
+    """Picklock family: two deadlock patterns, one realizable.
+
+    Pattern A (la/lb inverse order) is a sync-preserving deadlock;
+    pattern B is protected by an rf dependency and is a false pattern.
+    """
+    b = TraceBuilder()
+    # realizable inverse-order pair
+    b.acq("t1", "la", loc="P.java:1").acq("t1", "lb", loc="P.java:2")
+    b.rel("t1", "lb").rel("t1", "la")
+    b.acq("t2", "lb", loc="P.java:8").acq("t2", "la", loc="P.java:9")
+    b.rel("t2", "la").rel("t2", "lb")
+    # rf-killed pair on lc/ld
+    b.acq("t1", "lc", loc="P.java:20").acq("t1", "ld", loc="P.java:21")
+    b.write("t1", "v")
+    b.rel("t1", "ld").rel("t1", "lc")
+    b.acq("t3", "ld", loc="P.java:30")
+    b.read("t3", "v")
+    b.acq("t3", "lc", loc="P.java:31")
+    b.rel("t3", "lc").rel("t3", "ld")
+    return b.build("picklock")
+
+
+def stringbuffer_trace() -> Trace:
+    """StringBuffer family: two distinct realizable deadlocks over
+    overlapping buffer monitors (two abstract patterns, 2 unique bugs)."""
+    b = TraceBuilder()
+    b.acq("t1", "sb1", loc="SB.java:append").acq("t1", "sb2", loc="SB.java:getChars")
+    b.write("t1", "buf1")
+    b.rel("t1", "sb2").rel("t1", "sb1")
+    b.acq("t2", "sb2", loc="SB.java:insert").acq("t2", "sb1", loc="SB.java:length")
+    b.write("t2", "buf2")
+    b.rel("t2", "sb1").rel("t2", "sb2")
+    b.acq("t3", "sb2", loc="SB.java:reverse").acq("t3", "sb3", loc="SB.java:setLength")
+    b.rel("t3", "sb3").rel("t3", "sb2")
+    b.acq("t1", "sb3", loc="SB.java:delete").acq("t1", "sb2", loc="SB.java:charAt")
+    b.rel("t1", "sb2").rel("t1", "sb3")
+    return b.build("stringbuffer")
+
+
+def transfer_trace() -> Trace:
+    """Transfer family: the deadlock needs value-relaxed reasoning.
+
+    The observed run serializes the two transfers through a variable
+    handshake; the inverse-order acquisitions form a pattern but no
+    correct reordering witnesses it.  Dirk-style value relaxation
+    reports it (Table 1's Transfer row: Dirk 1, sound tools 0).
+    """
+    b = TraceBuilder()
+    b.write("t1", "flag")
+    b.acq("t1", "acctA", loc="T.java:xferTo").acq("t1", "acctB", loc="T.java:add")
+    b.write("t1", "balA")
+    b.rel("t1", "acctB").rel("t1", "acctA")
+    b.write("t1", "flag")
+    b.read("t2", "flag")
+    b.acq("t2", "acctB", loc="T.java:xferTo2").acq("t2", "acctA", loc="T.java:add2")
+    b.write("t2", "balB")
+    b.rel("t2", "acctA").rel("t2", "acctB")
+    return b.build("transfer")
+
+
+def account_trace() -> Trace:
+    """Account family: lock-order cycles fully guarded by a gate lock —
+    patterns exist in the lock-order graph but no deadlock pattern
+    (held sets intersect), hence zero deadlocks everywhere."""
+    b = TraceBuilder()
+    for i, (t, first, second) in enumerate(
+        [("t1", "acct1", "acct2"), ("t2", "acct2", "acct3"), ("t3", "acct3", "acct1")]
+    ):
+        b.acq(t, "bank", loc=f"Acc.java:{i}")
+        b.acq(t, first).acq(t, second)
+        b.write(t, f"bal{i}")
+        b.rel(t, second).rel(t, first)
+        b.rel(t, "bank")
+    return b.build("account")
+
+
+def nested_family_trace(
+    num_threads: int, pairs_per_thread: int, deadlocking_pairs: int, name: str
+) -> Trace:
+    """Collection-style workload (ArrayList/HashMap/... rows): many
+    threads, many guarded operations, a controlled number of
+    inverse-order pairs that form real deadlocks."""
+    b = TraceBuilder()
+    for i in range(num_threads):
+        t = f"t{i}"
+        for p in range(pairs_per_thread):
+            la, lb = f"m{p}", f"m{p}b"
+            if i % 2 == 0 or p >= deadlocking_pairs:
+                b.acq(t, la, loc=f"{name}:{p}a").acq(t, lb, loc=f"{name}:{p}b")
+                b.write(t, f"st{p}")
+                b.rel(t, lb).rel(t, la)
+            else:
+                b.acq(t, lb, loc=f"{name}:{p}c").acq(t, la, loc=f"{name}:{p}d")
+                b.write(t, f"st{p}")
+                b.rel(t, la).rel(t, lb)
+    return b.build(name)
+
+
+def non_well_nested_trace() -> Trace:
+    """hsqldb-style hand-over-hand locking (not well-nested).
+
+    SeqCheck refuses this trace; SPDOffline analyzes it fine.
+    """
+    b = TraceBuilder()
+    b.acq("t1", "n1").acq("t1", "n2").rel("t1", "n1")   # release out of LIFO order
+    b.acq("t1", "n3").rel("t1", "n2").rel("t1", "n3")
+    b.write("t1", "x")
+    b.acq("t2", "n2").read("t2", "x").rel("t2", "n2")
+    return b.build("non_well_nested")

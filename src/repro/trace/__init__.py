@@ -1,0 +1,53 @@
+"""Execution-trace model for dynamic concurrency analyses.
+
+A trace is a linear sequence of events, each performed by a thread and
+operating on a variable (read/write), a lock (acquire/release), or a
+thread (fork/join).  This module provides:
+
+- :class:`Event`, :class:`Op` — the event model (paper Section 2).
+- :class:`Trace` — an immutable event sequence with derived relations
+  (thread order, reads-from, matching acquire/release, held locks).
+- :func:`parse_trace` / :func:`format_trace` — the STD text format used
+  by the RAPID analysis framework the paper's artifact builds on.
+- :class:`TraceStats` — the per-trace statistics reported in Table 1.
+- :func:`check_well_formed` — well-formedness validation.
+"""
+
+from repro.trace.events import (
+    ACQUIRE,
+    FORK,
+    JOIN,
+    READ,
+    RELEASE,
+    REQUEST,
+    WRITE,
+    Event,
+    Op,
+)
+from repro.trace.trace import Trace, TraceError
+from repro.trace.parser import ParseError, format_trace, parse_trace
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.wellformed import WellFormednessError, check_well_formed
+from repro.trace.builder import TraceBuilder
+
+__all__ = [
+    "ACQUIRE",
+    "FORK",
+    "JOIN",
+    "READ",
+    "RELEASE",
+    "REQUEST",
+    "WRITE",
+    "Event",
+    "Op",
+    "Trace",
+    "TraceError",
+    "TraceBuilder",
+    "ParseError",
+    "parse_trace",
+    "format_trace",
+    "TraceStats",
+    "compute_stats",
+    "WellFormednessError",
+    "check_well_formed",
+]

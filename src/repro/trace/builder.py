@@ -1,0 +1,80 @@
+"""Fluent construction of traces for tests, examples, and generators."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.trace.events import Event, Op
+from repro.trace.trace import Trace
+
+
+class TraceBuilder:
+    """Accumulates events and produces a :class:`Trace`.
+
+    Example::
+
+        t = (TraceBuilder()
+             .acq("t1", "l1").acq("t1", "l2").rel("t1", "l2").rel("t1", "l1")
+             .build("example"))
+    """
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def _add(self, thread: str, op: str, target: str, loc: Optional[str]) -> "TraceBuilder":
+        self._events.append(Event(len(self._events), thread, op, target, loc))
+        return self
+
+    def read(self, thread: str, var: str, loc: Optional[str] = None) -> "TraceBuilder":
+        return self._add(thread, Op.READ, var, loc)
+
+    def write(self, thread: str, var: str, loc: Optional[str] = None) -> "TraceBuilder":
+        return self._add(thread, Op.WRITE, var, loc)
+
+    def acq(self, thread: str, lock: str, loc: Optional[str] = None) -> "TraceBuilder":
+        return self._add(thread, Op.ACQUIRE, lock, loc)
+
+    def rel(self, thread: str, lock: str, loc: Optional[str] = None) -> "TraceBuilder":
+        return self._add(thread, Op.RELEASE, lock, loc)
+
+    def req(self, thread: str, lock: str, loc: Optional[str] = None) -> "TraceBuilder":
+        return self._add(thread, Op.REQUEST, lock, loc)
+
+    def fork(self, thread: str, child: str, loc: Optional[str] = None) -> "TraceBuilder":
+        return self._add(thread, Op.FORK, child, loc)
+
+    def join(self, thread: str, child: str, loc: Optional[str] = None) -> "TraceBuilder":
+        return self._add(thread, Op.JOIN, child, loc)
+
+    def cs(self, thread: str, *locks: str) -> "TraceBuilder":
+        """Nested critical sections: ``cs(t, l, l')`` emits
+        ``acq(l) acq(l') rel(l') rel(l)`` — the paper's ``cs(l, l')``
+        shortcut from Fig. 2."""
+        for lk in locks:
+            self.acq(thread, lk)
+        for lk in reversed(locks):
+            self.rel(thread, lk)
+        return self
+
+    def append_event(
+        self, thread: str, op: str, target: str, loc: Optional[str] = None
+    ) -> "TraceBuilder":
+        """Append an arbitrary event (generic escape hatch)."""
+        return self._add(thread, op, target, loc)
+
+    def extend(self, other: "TraceBuilder") -> "TraceBuilder":
+        for ev in other._events:
+            self._add(ev.thread, ev.op, ev.target, ev.loc)
+        return self
+
+    def extend_trace(self, trace) -> "TraceBuilder":
+        """Append every event of an existing trace."""
+        for ev in trace:
+            self._add(ev.thread, ev.op, ev.target, ev.loc)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def build(self, name: str = "trace") -> Trace:
+        return Trace(self._events, name=name)

@@ -1,0 +1,108 @@
+"""Event model: the atoms of an execution trace.
+
+An event is a tuple ``(idx, thread, op, target)`` following Section 2 of
+the paper.  ``idx`` is the position in the trace (unique identifier),
+``thread`` the performing thread, ``op`` one of the operation kinds
+below, and ``target`` the variable, lock, or thread operated on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Op:
+    """Operation kinds an event can perform.
+
+    ``READ``/``WRITE`` target a shared variable; ``ACQUIRE``/``RELEASE``
+    (and ``REQUEST``, emitted by some loggers just before a blocking
+    acquire) target a lock; ``FORK``/``JOIN`` target another thread.
+    """
+
+    READ = "r"
+    WRITE = "w"
+    ACQUIRE = "acq"
+    RELEASE = "rel"
+    REQUEST = "req"
+    FORK = "fork"
+    JOIN = "join"
+
+    ALL = (READ, WRITE, ACQUIRE, RELEASE, REQUEST, FORK, JOIN)
+
+
+READ = Op.READ
+WRITE = Op.WRITE
+ACQUIRE = Op.ACQUIRE
+RELEASE = Op.RELEASE
+REQUEST = Op.REQUEST
+FORK = Op.FORK
+JOIN = Op.JOIN
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single trace event.
+
+    Attributes:
+        idx: 0-based position of the event in its trace; unique id.
+        thread: identifier of the performing thread (string).
+        op: one of the :class:`Op` constants.
+        target: the variable (for r/w), lock (for acq/rel/req), or
+            thread (for fork/join) the operation acts on.
+        loc: optional source-location tag.  Deadlock reports are
+            deduplicated by location tuples ("unique bugs" in Table 2);
+            when absent, the event index is used instead.
+    """
+
+    idx: int
+    thread: str
+    op: str
+    target: str
+    loc: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in Op.ALL:
+            raise ValueError(f"unknown operation kind: {self.op!r}")
+
+    # -- convenience predicates -------------------------------------------
+
+    @property
+    def is_read(self) -> bool:
+        return self.op == Op.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.op == Op.WRITE
+
+    @property
+    def is_access(self) -> bool:
+        return self.op in (Op.READ, Op.WRITE)
+
+    @property
+    def is_acquire(self) -> bool:
+        return self.op == Op.ACQUIRE
+
+    @property
+    def is_release(self) -> bool:
+        return self.op == Op.RELEASE
+
+    @property
+    def is_request(self) -> bool:
+        return self.op == Op.REQUEST
+
+    @property
+    def is_fork(self) -> bool:
+        return self.op == Op.FORK
+
+    @property
+    def is_join(self) -> bool:
+        return self.op == Op.JOIN
+
+    @property
+    def location(self) -> str:
+        """Source location for bug deduplication (falls back to index)."""
+        return self.loc if self.loc is not None else f"@{self.idx}"
+
+    def __str__(self) -> str:
+        return f"e{self.idx}:{self.thread}:{self.op}({self.target})"

@@ -1,0 +1,93 @@
+"""Text format for traces (RAPID "STD" style).
+
+One event per line::
+
+    t1|acq(l1)
+    t1|w(x)|Main.java:12
+    t2|r(x)
+    t1|fork(t2)
+
+Lines starting with ``#`` and blank lines are ignored.  The optional
+third field is a source location used for bug deduplication.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.trace.events import Event
+from repro.trace.trace import Trace
+
+_LINE_RE = re.compile(
+    r"^(?P<thread>[^|]+)\|(?P<op>r|w|acq|rel|req|fork|join)\((?P<target>[^)]*)\)"
+    r"(?:\|(?P<loc>.*))?$"
+)
+
+
+class ParseError(Exception):
+    """Raised on malformed trace text."""
+
+    def __init__(self, lineno: int, line: str, reason: str) -> None:
+        super().__init__(f"line {lineno}: {reason}: {line!r}")
+        self.lineno = lineno
+        self.line = line
+
+
+def parse_trace(text: str, name: str = "trace") -> Trace:
+    """Parse the STD text format into a :class:`Trace`."""
+    events: List[Event] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _LINE_RE.match(line)
+        if m is None:
+            raise ParseError(lineno, line, "malformed event")
+        target = m.group("target").strip()
+        if not target:
+            raise ParseError(lineno, line, "empty target")
+        loc = m.group("loc")
+        events.append(
+            Event(len(events), m.group("thread").strip(), m.group("op"), target,
+                  loc.strip() if loc else None)
+        )
+    return Trace(events, name=name)
+
+
+def format_trace(trace: Trace) -> str:
+    """Inverse of :func:`parse_trace` (modulo comments/whitespace)."""
+    lines = []
+    for ev in trace:
+        base = f"{ev.thread}|{ev.op}({ev.target})"
+        if ev.loc is not None:
+            base += f"|{ev.loc}"
+        lines.append(base)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_trace(path: str, name: str = "") -> Trace:
+    """Read a trace file from ``path`` (``.gz`` transparently inflated).
+
+    Logged traces run to hundreds of millions of events; shipping them
+    compressed is the norm, so the loader handles it natively.
+    """
+    if path.endswith(".gz"):
+        import gzip
+
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            return parse_trace(fh.read(), name=name or path)
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_trace(fh.read(), name=name or path)
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write ``trace`` to ``path`` (gzipped when it ends in ``.gz``)."""
+    if path.endswith(".gz"):
+        import gzip
+
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(format_trace(trace))
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(format_trace(trace))

@@ -1,0 +1,131 @@
+"""Per-trace profiling beyond the Table 1 headline statistics.
+
+Dynamic analyses live and die by trace shape: which locks are hot,
+how deeply threads nest, how much of the trace is synchronization vs
+memory traffic.  :func:`profile_trace` computes the per-lock and
+per-thread breakdowns a practitioner checks before pointing a
+predictor at a multi-million-event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class LockProfile:
+    """One lock's usage summary."""
+
+    lock: str
+    acquisitions: int
+    threads: int
+    max_held_span: int        # longest critical section, in events
+    guarded_acquires: int     # acquisitions performed while held > 0
+
+    @property
+    def is_shared(self) -> bool:
+        return self.threads > 1
+
+
+@dataclass(frozen=True)
+class ThreadProfile:
+    """One thread's event mix."""
+
+    thread: str
+    events: int
+    accesses: int
+    acquisitions: int
+    max_nesting: int
+
+
+@dataclass
+class TraceProfile:
+    """Full profile: per-lock and per-thread breakdowns + ratios."""
+
+    locks: Dict[str, LockProfile] = field(default_factory=dict)
+    threads: Dict[str, ThreadProfile] = field(default_factory=dict)
+    num_events: int = 0
+
+    @property
+    def sync_ratio(self) -> float:
+        """Fraction of events that are lock operations."""
+        if self.num_events == 0:
+            return 0.0
+        sync = sum(2 * lp.acquisitions for lp in self.locks.values())
+        return min(1.0, sync / self.num_events)
+
+    def hottest_locks(self, n: int = 5) -> List[LockProfile]:
+        return sorted(
+            self.locks.values(), key=lambda lp: -lp.acquisitions
+        )[:n]
+
+    def shared_locks(self) -> List[str]:
+        return sorted(lp.lock for lp in self.locks.values() if lp.is_shared)
+
+    def deadlock_prone_locks(self) -> List[str]:
+        """Shared locks with nested (guarded) acquisitions — the only
+        locks that can participate in a deadlock pattern."""
+        return sorted(
+            lp.lock
+            for lp in self.locks.values()
+            if lp.is_shared and lp.guarded_acquires > 0
+        )
+
+
+def profile_trace(trace: Trace) -> TraceProfile:
+    """One-pass profile of ``trace``."""
+    profile = TraceProfile(num_events=len(trace))
+    lock_acqs: Dict[str, int] = {}
+    lock_threads: Dict[str, set] = {}
+    lock_guarded: Dict[str, int] = {}
+    lock_span: Dict[str, int] = {}
+    open_at: Dict[Tuple[str, str], int] = {}
+
+    thread_events: Dict[str, int] = {}
+    thread_accesses: Dict[str, int] = {}
+    thread_acqs: Dict[str, int] = {}
+    thread_nest: Dict[str, int] = {}
+
+    for ev in trace:
+        thread_events[ev.thread] = thread_events.get(ev.thread, 0) + 1
+        if ev.is_access:
+            thread_accesses[ev.thread] = thread_accesses.get(ev.thread, 0) + 1
+        elif ev.is_acquire:
+            lk = ev.target
+            lock_acqs[lk] = lock_acqs.get(lk, 0) + 1
+            lock_threads.setdefault(lk, set()).add(ev.thread)
+            held = trace.held_locks(ev.idx)
+            if held:
+                lock_guarded[lk] = lock_guarded.get(lk, 0) + 1
+            thread_acqs[ev.thread] = thread_acqs.get(ev.thread, 0) + 1
+            thread_nest[ev.thread] = max(
+                thread_nest.get(ev.thread, 0), len(held) + 1
+            )
+            open_at[(ev.thread, lk)] = ev.idx
+        elif ev.is_release:
+            key = (ev.thread, ev.target)
+            start = open_at.pop(key, None)
+            if start is not None:
+                span = ev.idx - start
+                lock_span[ev.target] = max(lock_span.get(ev.target, 0), span)
+
+    for lk, count in lock_acqs.items():
+        profile.locks[lk] = LockProfile(
+            lock=lk,
+            acquisitions=count,
+            threads=len(lock_threads.get(lk, ())),
+            max_held_span=lock_span.get(lk, 0),
+            guarded_acquires=lock_guarded.get(lk, 0),
+        )
+    for t, count in thread_events.items():
+        profile.threads[t] = ThreadProfile(
+            thread=t,
+            events=count,
+            accesses=thread_accesses.get(t, 0),
+            acquisitions=thread_acqs.get(t, 0),
+            max_nesting=thread_nest.get(t, 0),
+        )
+    return profile

@@ -1,0 +1,57 @@
+"""Per-trace statistics — the left half of Table 1.
+
+Columns 2-6 of Table 1 report, for each benchmark trace: the number of
+events N, threads T, variables V, locks L, and acquire+request events
+A/R.  :func:`compute_stats` derives all of them plus the lock-nesting
+depth in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a trace (Table 1 columns 2-6)."""
+
+    name: str
+    num_events: int
+    num_threads: int
+    num_variables: int
+    num_locks: int
+    num_acquires: int
+    num_requests: int
+    lock_nesting_depth: int
+
+    @property
+    def acquires_and_requests(self) -> int:
+        """The "A/R" column of Table 1."""
+        return self.num_acquires + self.num_requests
+
+    def row(self) -> tuple:
+        return (
+            self.name,
+            self.num_events,
+            self.num_threads,
+            self.num_variables,
+            self.num_locks,
+            self.acquires_and_requests,
+        )
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace``."""
+    num_requests = sum(1 for ev in trace if ev.is_request)
+    return TraceStats(
+        name=trace.name,
+        num_events=len(trace),
+        num_threads=len(trace.threads),
+        num_variables=len(trace.variables),
+        num_locks=len(trace.locks),
+        num_acquires=trace.num_acquires(),
+        num_requests=num_requests,
+        lock_nesting_depth=trace.lock_nesting_depth,
+    )

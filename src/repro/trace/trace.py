@@ -1,0 +1,241 @@
+"""The :class:`Trace` container and its derived relations.
+
+A trace owns its event list and lazily computes the standard relations
+of Section 2 of the paper:
+
+- thread order ``<=TO`` (via per-thread positions),
+- the reads-from function ``rf`` (last writer per variable),
+- matching acquire/release pairs (``match``),
+- held-lock sets ``HeldLks(e)`` for every event,
+- lock nesting depth.
+
+All derived maps are computed once, in a single O(N) pass, on first
+access, and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.trace.events import Event, Op
+
+
+class TraceError(Exception):
+    """Raised when a trace violates shared-memory semantics."""
+
+
+class Trace:
+    """An immutable, analyzed execution trace.
+
+    Args:
+        events: the event sequence.  Indices are re-assigned to match
+            list positions so that ``trace[i].idx == i`` always holds.
+        name: optional label used in reports and benchmarks.
+    """
+
+    def __init__(self, events: Iterable[Event], name: str = "trace") -> None:
+        self._events: List[Event] = [
+            ev if ev.idx == i else Event(i, ev.thread, ev.op, ev.target, ev.loc)
+            for i, ev in enumerate(events)
+        ]
+        self.name = name
+        self._analyzed = False
+        # Derived maps, filled by _analyze().
+        self._threads: List[str] = []
+        self._locks: List[str] = []
+        self._vars: List[str] = []
+        self._rf: Dict[int, Optional[int]] = {}
+        self._match: Dict[int, int] = {}
+        self._held: List[Tuple[str, ...]] = []
+        self._to_pos: Dict[int, Tuple[str, int]] = {}
+        self._by_thread: Dict[str, List[int]] = {}
+        self._acquires_of: Dict[str, List[int]] = {}
+
+    # -- basic sequence protocol ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, idx: int) -> Event:
+        return self._events[idx]
+
+    @property
+    def events(self) -> Sequence[Event]:
+        return self._events
+
+    # -- analysis -----------------------------------------------------------
+
+    def _analyze(self) -> None:
+        """Single forward pass computing all derived relations."""
+        if self._analyzed:
+            return
+        threads: List[str] = []
+        locks: List[str] = []
+        variables: List[str] = []
+        seen_threads: Set[str] = set()
+        seen_locks: Set[str] = set()
+        seen_vars: Set[str] = set()
+
+        last_write: Dict[str, int] = {}
+        open_acq: Dict[Tuple[str, str], List[int]] = {}
+        held_stack: Dict[str, List[str]] = {}
+        thread_len: Dict[str, int] = {}
+
+        for ev in self._events:
+            t = ev.thread
+            if t not in seen_threads:
+                seen_threads.add(t)
+                threads.append(t)
+                held_stack[t] = []
+                thread_len[t] = 0
+                self._by_thread[t] = []
+            self._to_pos[ev.idx] = (t, thread_len[t])
+            thread_len[t] += 1
+            self._by_thread[t].append(ev.idx)
+            self._held.append(tuple(held_stack[t]))
+
+            if ev.is_access:
+                if ev.target not in seen_vars:
+                    seen_vars.add(ev.target)
+                    variables.append(ev.target)
+                if ev.is_read:
+                    self._rf[ev.idx] = last_write.get(ev.target)
+                else:
+                    last_write[ev.target] = ev.idx
+            elif ev.op in (Op.ACQUIRE, Op.RELEASE, Op.REQUEST):
+                lk = ev.target
+                if lk not in seen_locks:
+                    seen_locks.add(lk)
+                    locks.append(lk)
+                if ev.is_acquire:
+                    open_acq.setdefault((t, lk), []).append(ev.idx)
+                    held_stack[t].append(lk)
+                    self._acquires_of.setdefault(lk, []).append(ev.idx)
+                elif ev.is_release:
+                    stack = open_acq.get((t, lk))
+                    if not stack:
+                        raise TraceError(
+                            f"release without matching acquire: {ev}"
+                        )
+                    acq_idx = stack.pop()
+                    self._match[acq_idx] = ev.idx
+                    self._match[ev.idx] = acq_idx
+                    # Locks need not be released in LIFO order (hsqldb has
+                    # non-well-nested critical sections), so remove the last
+                    # occurrence rather than popping the top of the stack.
+                    hs = held_stack[t]
+                    for j in range(len(hs) - 1, -1, -1):
+                        if hs[j] == lk:
+                            del hs[j]
+                            break
+                    else:
+                        raise TraceError(f"release of unheld lock: {ev}")
+
+        self._threads = threads
+        self._locks = locks
+        self._vars = variables
+        self._analyzed = True
+
+    # -- derived relations ----------------------------------------------------
+
+    @property
+    def threads(self) -> List[str]:
+        """Thread identifiers in order of first appearance."""
+        self._analyze()
+        return self._threads
+
+    @property
+    def locks(self) -> List[str]:
+        self._analyze()
+        return self._locks
+
+    @property
+    def variables(self) -> List[str]:
+        self._analyze()
+        return self._vars
+
+    def events_of_thread(self, thread: str) -> List[int]:
+        """Indices of the events of ``thread``, in trace order."""
+        self._analyze()
+        return self._by_thread.get(thread, [])
+
+    def acquires_of_lock(self, lock: str) -> List[int]:
+        """Indices of all acquire events on ``lock``, in trace order."""
+        self._analyze()
+        return self._acquires_of.get(lock, [])
+
+    def rf(self, read_idx: int) -> Optional[int]:
+        """Index of the write the read at ``read_idx`` reads from.
+
+        ``None`` means the read observes the initial value.  (The paper
+        assumes every read has a preceding write; we tolerate initial
+        reads, which then constrain nothing.)
+        """
+        self._analyze()
+        ev = self._events[read_idx]
+        if not ev.is_read:
+            raise ValueError(f"rf of non-read event {ev}")
+        return self._rf[read_idx]
+
+    def match(self, idx: int) -> Optional[int]:
+        """Matching release of an acquire (or vice versa), if present."""
+        self._analyze()
+        return self._match.get(idx)
+
+    def held_locks(self, idx: int) -> Tuple[str, ...]:
+        """``HeldLks(e)``: locks held by ``thread(e)`` right before ``e``."""
+        self._analyze()
+        return self._held[idx]
+
+    def thread_order_leq(self, a: int, b: int) -> bool:
+        """``a <=TO b``: same thread and ``a`` not after ``b``."""
+        self._analyze()
+        ta, pa = self._to_pos[a]
+        tb, pb = self._to_pos[b]
+        return ta == tb and pa <= pb
+
+    def thread_position(self, idx: int) -> Tuple[str, int]:
+        """(thread, per-thread position) of the event at ``idx``."""
+        self._analyze()
+        return self._to_pos[idx]
+
+    def thread_predecessor(self, idx: int) -> Optional[int]:
+        """Index of the immediately preceding event in the same thread."""
+        self._analyze()
+        t, pos = self._to_pos[idx]
+        if pos == 0:
+            return None
+        return self._by_thread[t][pos - 1]
+
+    @property
+    def lock_nesting_depth(self) -> int:
+        """Max ``|HeldLks(e)| + 1`` over acquire events (paper Section 2)."""
+        self._analyze()
+        depth = 0
+        for ev in self._events:
+            if ev.is_acquire:
+                depth = max(depth, len(self._held[ev.idx]) + 1)
+        return depth
+
+    def num_acquires(self) -> int:
+        self._analyze()
+        return sum(len(v) for v in self._acquires_of.values())
+
+    # -- slicing / projection ---------------------------------------------
+
+    def project(self, event_indices: Iterable[int], name: Optional[str] = None) -> "Trace":
+        """The subsequence of this trace restricted to ``event_indices``.
+
+        Events keep their relative order; indices are renumbered.  This
+        is how closure sets are turned into candidate reorderings
+        (Lemma 4.1 in the paper).
+        """
+        wanted = sorted(set(event_indices))
+        evs = [self._events[i] for i in wanted]
+        return Trace(evs, name=name or f"{self.name}|proj")
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, {len(self._events)} events)"

@@ -1,0 +1,128 @@
+"""Well-formedness checks for traces (paper Section 2).
+
+A trace is well-formed when it abides by shared-memory semantics:
+
+1. Critical sections on the same lock do not overlap across threads:
+   between two acquires of lock ``l`` by different threads there must
+   be a release by the first owner.
+2. A thread releases only locks it holds.
+3. Reentrant acquisition is rejected (the paper's model has non-
+   reentrant locks; loggers flatten reentrancy).
+4. Fork precedes every event of the forked thread; join follows every
+   event of the joined thread; a thread is forked at most once.
+
+:func:`check_well_formed` raises :class:`WellFormednessError` on the
+first violation and returns the trace otherwise, so it composes:
+``check_well_formed(parse_trace(text))``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.trace.events import Event
+from repro.trace.trace import Trace
+
+
+class WellFormednessError(Exception):
+    """A trace violates shared-memory semantics."""
+
+    def __init__(self, event: Event, reason: str) -> None:
+        super().__init__(f"{reason} at {event}")
+        self.event = event
+        self.reason = reason
+
+
+def check_well_formed(trace: Trace, strict_fork_join: bool = True) -> Trace:
+    """Validate ``trace``; raise :class:`WellFormednessError` on violation.
+
+    Args:
+        trace: the trace to validate.
+        strict_fork_join: when True, also enforce fork/join ordering
+            constraints (rule 4).  Traces logged from partial runs may
+            legitimately lack fork events for the main thread; the main
+            thread (first thread observed) is always exempt.
+    """
+    owner: Dict[str, str] = {}
+    held: Dict[str, Set[str]] = {}
+    first_thread: Optional[str] = None
+    started: Set[str] = set()
+    forked: Set[str] = set()
+    joined: Set[str] = set()
+
+    for ev in trace:
+        t = ev.thread
+        if first_thread is None:
+            first_thread = t
+        if t not in held:
+            held[t] = set()
+        started.add(t)
+
+        if t in joined:
+            raise WellFormednessError(ev, f"event in thread {t} after join({t})")
+
+        if ev.is_acquire:
+            lock = ev.target
+            if lock in owner:
+                raise WellFormednessError(
+                    ev, f"lock {lock} acquired while held by {owner[lock]}"
+                )
+            owner[lock] = t
+            held[t].add(lock)
+        elif ev.is_release:
+            lock = ev.target
+            if owner.get(lock) != t:
+                raise WellFormednessError(ev, f"release of lock {lock} not held")
+            del owner[lock]
+            held[t].discard(lock)
+        elif ev.is_request:
+            pass  # requests carry no semantics beyond signalling intent
+        elif ev.is_fork and strict_fork_join:
+            child = ev.target
+            if child in forked:
+                raise WellFormednessError(ev, f"thread {child} forked twice")
+            if child in started:
+                raise WellFormednessError(ev, f"fork of already-running thread {child}")
+            forked.add(child)
+        elif ev.is_join and strict_fork_join:
+            child = ev.target
+            joined.add(child)
+
+    if strict_fork_join:
+        for t in started:
+            if t != first_thread and forked and t not in forked:
+                # Only enforce when the trace uses forks at all; logged
+                # fragments often omit them entirely.
+                raise WellFormednessError(
+                    trace[trace.events_of_thread(t)[0]],
+                    f"thread {t} runs without a fork event",
+                )
+    return trace
+
+
+def is_well_formed(trace: Trace, strict_fork_join: bool = True) -> bool:
+    """Boolean wrapper around :func:`check_well_formed`."""
+    try:
+        check_well_formed(trace, strict_fork_join=strict_fork_join)
+        return True
+    except WellFormednessError:
+        return False
+
+
+def has_well_nested_locks(trace: Trace) -> bool:
+    """Whether every thread releases locks in LIFO order.
+
+    SeqCheck requires well-nested critical sections and fails on
+    hsqldb, which is not well-nested (Table 1, "F"); our algorithms do
+    not need this property, but the baseline checks it.
+    """
+    stacks: Dict[str, List[str]] = {}
+    for ev in trace:
+        if ev.is_acquire:
+            stacks.setdefault(ev.thread, []).append(ev.target)
+        elif ev.is_release:
+            stack = stacks.setdefault(ev.thread, [])
+            if not stack or stack[-1] != ev.target:
+                return False
+            stack.pop()
+    return True

@@ -1,0 +1,147 @@
+"""Vector clocks: timestamps mapping threads to local-event counts.
+
+The paper (Section 4.3) uses timestamps ``T : Threads -> N`` with
+pointwise comparison ``⊑`` and pointwise maximum ``⊔``.  This module
+provides a compact mutable implementation over a fixed thread universe
+(threads are interned to integer slots for speed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+class VectorClock:
+    """A timestamp over a fixed ordered thread universe.
+
+    The clock stores one integer per thread slot.  Instances sharing a
+    universe may be compared and joined; mixing universes is an error
+    caught by length mismatch.
+    """
+
+    __slots__ = ("_v",)
+
+    def __init__(self, size_or_values) -> None:
+        if isinstance(size_or_values, int):
+            self._v: List[int] = [0] * size_or_values
+        else:
+            self._v = list(size_or_values)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def bottom(cls, size: int) -> "VectorClock":
+        """The least timestamp (all zeros)."""
+        return cls(size)
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._v)
+
+    # -- accessors ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._v)
+
+    def __getitem__(self, slot: int) -> int:
+        return self._v[slot]
+
+    def __setitem__(self, slot: int, value: int) -> None:
+        self._v[slot] = value
+
+    def values(self) -> Sequence[int]:
+        return tuple(self._v)
+
+    def tick(self, slot: int) -> None:
+        """Increment the local component of ``slot``, growing if needed."""
+        self._ensure(slot + 1)
+        self._v[slot] += 1
+
+    def _ensure(self, size: int) -> None:
+        """Grow to at least ``size`` slots (new components are zero)."""
+        if len(self._v) < size:
+            self._v.extend([0] * (size - len(self._v)))
+
+    # -- lattice operations --------------------------------------------------
+    #
+    # Clocks of different lengths compare by padding the shorter one
+    # with zeros: a thread that has not yet appeared contributes no
+    # events.  This lets streaming analyses grow the thread universe
+    # mid-run without rewriting stored timestamps.
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Pointwise ``⊑`` (missing components are zero)."""
+        a, b = self._v, other._v
+        if len(a) > len(b):
+            if any(x > 0 for x in a[len(b):]):
+                return False
+            a = a[: len(b)]
+        return all(x <= y for x, y in zip(a, b))
+
+    def join_with(self, other: "VectorClock") -> bool:
+        """In-place pointwise ``⊔``; returns True if self changed."""
+        b = other._v
+        self._ensure(len(b))
+        a = self._v
+        changed = False
+        for i, y in enumerate(b):
+            if y > a[i]:
+                a[i] = y
+                changed = True
+        return changed
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        """Pure pointwise ``⊔``."""
+        out = self.copy()
+        out.join_with(other)
+        return out
+
+    @staticmethod
+    def join_all(clocks: Iterable["VectorClock"], size: int) -> "VectorClock":
+        """Pointwise max over a collection (``⨆`` in the paper)."""
+        out = VectorClock(size)
+        for c in clocks:
+            out.join_with(c)
+        return out
+
+    # -- comparisons ---------------------------------------------------------
+
+    def _stripped(self) -> tuple:
+        v = self._v
+        n = len(v)
+        while n > 0 and v[n - 1] == 0:
+            n -= 1
+        return tuple(v[:n])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorClock) and self._stripped() == other._stripped()
+
+    def __hash__(self) -> int:
+        return hash(self._stripped())
+
+    def __repr__(self) -> str:
+        return f"VC{self._v}"
+
+
+class ThreadUniverse:
+    """Interns thread names to dense integer slots."""
+
+    def __init__(self, threads: Iterable[str] = ()) -> None:
+        self._slots: Dict[str, int] = {}
+        for t in threads:
+            self.slot(t)
+
+    def slot(self, thread: str) -> int:
+        s = self._slots.get(thread)
+        if s is None:
+            s = len(self._slots)
+            self._slots[thread] = s
+        return s
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, thread: str) -> bool:
+        return thread in self._slots
+
+    def threads(self) -> Sequence[str]:
+        return tuple(self._slots)

@@ -1,0 +1,202 @@
+"""False-negative classification (Section 6.1) and detector comparison."""
+
+import pytest
+
+from repro.analysis.comparison import compare_detectors
+from repro.analysis.false_negatives import (
+    PatternVerdict,
+    classify_patterns,
+)
+from repro.reorder.exhaustive import ExhaustivePredictor
+from repro.synth.paper import fig5_trace, fig6_trace, sigma1, sigma2, sigma3
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.synth.suite import SUITE_BY_NAME, build_benchmark
+from repro.synth.templates import transfer_trace
+
+
+class TestClassification:
+    def test_sigma1_pattern_is_trf_blocked(self):
+        """Fig. 1a's pattern dies on the rf edge alone — the 48-of-53
+        category."""
+        report = classify_patterns(sigma1())
+        assert len(report.patterns) == 1
+        assert report.patterns[0].verdict == PatternVerdict.TRF_BLOCKED
+
+    def test_sigma2_pattern_is_sync_preserving(self):
+        report = classify_patterns(sigma2())
+        assert report.num_sync_preserving == 1
+        assert report.patterns[0].witness is not None
+
+    def test_sigma3_unique_pattern_found_sp(self):
+        report = classify_patterns(sigma3())
+        assert len(report.patterns) == 1
+        assert report.num_sync_preserving == 1
+
+    def test_fig6_pattern_is_sp(self):
+        """Fig. 6's abstract pattern contains an SP instantiation, so
+        the audit marks the whole pattern found."""
+        report = classify_patterns(fig6_trace())
+        assert report.num_sync_preserving == 1
+
+    def test_fig5_sp(self):
+        report = classify_patterns(fig5_trace())
+        assert report.num_sync_preserving == 1
+
+    def test_cross_cs_scheme(self):
+        """The 4-of-53 scheme: each pattern acquire is preceded by a
+        completed critical section on the other acquire's held lock,
+        *nested inside* its own still-open critical section — the
+        completed sections then deadlock against the open ones in
+        every candidate reordering."""
+        from repro.trace.builder import TraceBuilder
+
+        t = (
+            TraceBuilder()
+            # t1 holds q, completes a CS on p, then re-requests p.
+            .acq("t1", "q").acq("t1", "p").rel("t1", "p")
+            .acq("t1", "p")  # pattern event, holds {q}
+            .rel("t1", "p").rel("t1", "q")
+            # t2 symmetrically: holds p, completes a CS on q, re-requests q.
+            .acq("t2", "p").acq("t2", "q").rel("t2", "q")
+            .acq("t2", "q")  # pattern event, holds {p}
+            .rel("t2", "q").rel("t2", "p")
+            .build("cross_cs")
+        )
+        from repro.analysis.false_negatives import _cross_cs_blocked
+
+        # The re-request instantiation ⟨e4, e10⟩ (0-based 3, 9) is the
+        # scheme: blocked, and the oracle agrees it has no witness.
+        assert _cross_cs_blocked(t, (3, 9))
+        oracle = ExhaustivePredictor(t)
+        assert not oracle.is_predictable_deadlock((3, 9))
+        # The *first* inner acquires ⟨e2, e8⟩ are a genuine deadlock —
+        # the criterion must not fire on them, and the abstract pattern
+        # as a whole is correctly reported found.
+        assert not _cross_cs_blocked(t, (1, 7))
+        assert oracle.is_predictable_deadlock((1, 7))
+        report = classify_patterns(t)
+        assert report.num_sync_preserving == 1
+
+    def test_non_nested_completed_cs_is_not_blocking(self):
+        """A completed cross critical section *outside* the open one
+        does not block — the oracle finds a witness and the classifier
+        must not claim otherwise."""
+        from repro.trace.builder import TraceBuilder
+
+        t = (
+            TraceBuilder()
+            .acq("t1", "b").rel("t1", "b")
+            .acq("t1", "a")
+            .acq("t1", "b")  # pattern event, holds {a}
+            .rel("t1", "b").rel("t1", "a")
+            .acq("t2", "a").rel("t2", "a")
+            .acq("t2", "b")
+            .acq("t2", "a")  # pattern event, holds {b}
+            .rel("t2", "a").rel("t2", "b")
+            .build("cross_cs_outside")
+        )
+        oracle = ExhaustivePredictor(t)
+        assert oracle.all_predictable_deadlocks(2)
+        report = classify_patterns(t)
+        for cp in report.patterns:
+            assert cp.verdict != PatternVerdict.CROSS_CS_BLOCKED
+
+    def test_not_sp_but_predictable_flagged_as_potential_miss(self):
+        """A genuinely non-SP predictable deadlock (the 1-of-53) must
+        not be classified as provably unpredictable."""
+        from repro.trace.builder import TraceBuilder
+
+        # Fig. 6-like, but remove the SP instantiation so only the
+        # CS-reversal deadlock remains.
+        t = (
+            TraceBuilder()
+            .acq("t1", "l1").acq("t1", "l2").rel("t1", "l2").rel("t1", "l1")
+            .acq("t2", "l2").acq("t2", "l1").rel("t2", "l1")
+            .write("t2", "poison")
+            .acq("t2", "l1").rel("t2", "l1").rel("t2", "l2")
+            .build("nonsp_only")
+        )
+        # Make the first t2 acquire of l1 non-enabled-able by adding a
+        # read dependency into t1's critical section.
+        report = classify_patterns(t)
+        # At least one pattern must remain a potential miss or be SP;
+        # nothing may be misclassified as blocked if the oracle says
+        # it is predictable.
+        oracle = ExhaustivePredictor(t)
+        predictable = {
+            tuple(sorted(p.events)) for p in oracle.all_predictable_deadlocks(2)
+        }
+        if predictable:
+            blocked = [
+                p
+                for p in report.patterns
+                if p.verdict
+                in (PatternVerdict.TRF_BLOCKED, PatternVerdict.CROSS_CS_BLOCKED)
+            ]
+            for cp in blocked:
+                for inst in cp.abstract.instantiations():
+                    assert tuple(sorted(inst.events)) not in predictable
+
+    def test_classifier_never_blocks_a_predictable_pattern(self):
+        """Soundness of the audit on random traces: verdicts
+        TRF_BLOCKED / CROSS_CS_BLOCKED imply the oracle finds no
+        witness for any instantiation."""
+        for seed in range(40):
+            trace = generate_random_trace(
+                RandomTraceConfig(
+                    seed=seed, num_events=36, acquire_prob=0.45, max_nesting=3
+                )
+            )
+            report = classify_patterns(trace)
+            oracle = ExhaustivePredictor(trace)
+            for cp in report.patterns:
+                if cp.verdict in (
+                    PatternVerdict.TRF_BLOCKED,
+                    PatternVerdict.CROSS_CS_BLOCKED,
+                ):
+                    for inst in cp.abstract.instantiations():
+                        assert not oracle.is_predictable_deadlock(inst.events), (
+                            trace.name,
+                            inst.events,
+                            cp.verdict,
+                        )
+
+    def test_summary_format(self):
+        report = classify_patterns(sigma3())
+        assert "1 abstract deadlock patterns" in report.summary()
+
+    def test_suite_audit_mostly_unpredictable(self):
+        """On the replica suite, unconfirmed patterns are (as in the
+        paper) overwhelmingly provably unpredictable."""
+        trace = build_benchmark(SUITE_BY_NAME["JDBCMySQL-4"])
+        report = classify_patterns(trace)
+        assert report.num_sync_preserving == 2
+        assert report.num_provably_unpredictable >= 7
+        assert report.num_potential_misses <= 1
+
+
+class TestComparison:
+    def test_transfer_diff(self):
+        res = compare_detectors(transfer_trace())
+        assert len(res.spd_offline_bugs) == 0
+        assert res.only_dirk(), "value relaxation finds the Transfer bug"
+
+    def test_fig5_diff(self):
+        res = compare_detectors(fig5_trace(), run_dirk=False)
+        assert res.only_spd()
+        assert not res.only_seqcheck()
+
+    def test_fig6_diff(self):
+        res = compare_detectors(fig6_trace(), run_dirk=False)
+        assert res.only_seqcheck()
+
+    def test_seqcheck_failure_recorded(self):
+        from repro.synth.templates import non_well_nested_trace
+
+        res = compare_detectors(non_well_nested_trace(), run_dirk=False)
+        assert res.seqcheck_failed
+        assert "seqcheck=F" in res.summary()
+
+    def test_online_matches_offline_on_size2(self):
+        res = compare_detectors(sigma2(), run_dirk=False)
+        assert res.spd_online_bugs == res.spd_offline_bugs

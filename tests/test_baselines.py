@@ -1,0 +1,171 @@
+"""Baseline algorithms: Goodlock, naive, SeqCheck, Dirk."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.dirk import dirk
+from repro.baselines.goodlock import goodlock
+from repro.baselines.naive import naive_sp_detector
+from repro.baselines.seqcheck import SeqCheckFailure, seqcheck
+from repro.core.spd_offline import spd_offline
+from repro.synth.paper import (
+    false_deadlock1_trace,
+    false_deadlock2_trace,
+    sigma1,
+    sigma2,
+    sigma3,
+)
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.synth.templates import (
+    guarded_cycle_trace,
+    non_well_nested_trace,
+    transfer_trace,
+)
+
+
+class TestGoodlock:
+    def test_reports_unrealizable_pattern(self):
+        """σ1's pattern is not a deadlock, but Goodlock warns anyway —
+        the unsoundness that motivates the paper."""
+        res = goodlock(sigma1())
+        assert res.num_warnings == 1
+        assert spd_offline(sigma1()).num_deadlocks == 0
+
+    def test_guard_lock_suppresses_warning(self):
+        """The deadlock-pattern definition (held-set disjointness)
+        rejects gate-guarded cycles."""
+        assert goodlock(guarded_cycle_trace()).num_warnings == 0
+
+    def test_finds_real_deadlock_pattern(self):
+        assert goodlock(sigma2()).num_warnings == 1
+
+    def test_max_size_restricts(self):
+        from repro.synth.templates import dining_philosophers_trace
+
+        t = dining_philosophers_trace(4)
+        assert goodlock(t, max_size=2).num_warnings == 0
+        assert goodlock(t, max_size=4).num_warnings == 1
+
+
+class TestNaive:
+    def test_same_reports_as_spd_offline(self):
+        """The naive per-concrete-pattern detector is sound and complete
+        for SP deadlocks, so its verdicts match SPDOffline's."""
+        for seed in range(25):
+            trace = generate_random_trace(
+                RandomTraceConfig(seed=seed, num_events=40, acquire_prob=0.45,
+                                  max_nesting=3)
+            )
+            fast = spd_offline(trace)
+            slow = naive_sp_detector(trace)
+            assert (fast.num_deadlocks > 0) == (slow.num_deadlocks > 0), trace.name
+
+    def test_checks_more_patterns_than_abstract(self):
+        res = naive_sp_detector(sigma3(), first_hit_per_abstract=False)
+        assert res.patterns_checked == 6  # all concrete instantiations
+
+    def test_max_patterns_cap(self):
+        res = naive_sp_detector(sigma3(), max_patterns=2, first_hit_per_abstract=False)
+        assert res.patterns_checked == 2
+
+
+class TestSeqCheck:
+    def test_sound_on_random_traces(self):
+        """Every SeqCheck report is a predictable deadlock."""
+        from repro.reorder.exhaustive import ExhaustivePredictor
+
+        for seed in range(25):
+            trace = generate_random_trace(
+                RandomTraceConfig(seed=seed, num_events=36, acquire_prob=0.45,
+                                  max_nesting=3)
+            )
+            res = seqcheck(trace, first_hit_per_abstract=False)
+            oracle = ExhaustivePredictor(trace)
+            for rep in res.reports:
+                assert oracle.is_predictable_deadlock(rep.pattern.events), (
+                    trace.name, rep.pattern.events,
+                )
+
+    def test_fails_on_non_well_nested(self):
+        with pytest.raises(SeqCheckFailure):
+            seqcheck(non_well_nested_trace())
+
+    def test_spd_handles_non_well_nested(self):
+        assert spd_offline(non_well_nested_trace()).num_deadlocks == 0
+
+    def test_misses_sigma2_open_cs_deadlock(self):
+        """σ2's witness (ρ3) leaves t4's critical section on l1 open —
+        the same separating mechanism as Fig. 5, so the close-all-
+        critical-sections strategy misses it while SPDOffline does not."""
+        assert seqcheck(sigma2()).num_deadlocks == 0
+        assert spd_offline(sigma2()).num_deadlocks == 1
+
+    def test_finds_plain_inverse_order_deadlock(self):
+        from repro.synth.templates import simple_deadlock_trace
+
+        assert seqcheck(simple_deadlock_trace()).num_deadlocks == 1
+
+    def test_rejects_sigma1_pattern(self):
+        assert seqcheck(sigma1()).num_deadlocks == 0
+
+
+class TestDirk:
+    def test_value_relaxation_finds_transfer_bug(self):
+        """Transfer's deadlock needs reasoning beyond correct
+        reorderings: sound tools report 0, Dirk reports 1."""
+        t = transfer_trace()
+        assert spd_offline(t).num_deadlocks == 0
+        assert seqcheck(t).num_deadlocks == 0
+        assert dirk(t, relax_values=True).num_deadlocks == 1
+
+    def test_without_relaxation_agrees_with_sound_tools(self):
+        t = transfer_trace()
+        assert dirk(t, relax_values=False).num_deadlocks == 0
+
+    def test_windowing_misses_cross_window_deadlock(self):
+        from repro.synth.templates import simple_deadlock_trace
+
+        t = simple_deadlock_trace(padding=30)
+        assert dirk(t, window=10).num_deadlocks == 0
+        assert dirk(t, window=len(t)).num_deadlocks == 1
+
+    def test_finds_sigma2_deadlock(self):
+        assert dirk(sigma2()).num_deadlocks >= 1
+
+    def test_timeout_flag(self):
+        t = generate_random_trace(
+            RandomTraceConfig(seed=1, num_events=4000, acquire_prob=0.45,
+                              num_threads=6, num_locks=6, max_nesting=3)
+        )
+        res = dirk(t, timeout=0.0)
+        assert res.timed_out
+
+
+class TestDirkUnsoundness:
+    """Appendix D: Dirk's two documented false-positive modes."""
+
+    def test_false_deadlock1_guarded_by_fork_join(self):
+        """Fig. 7: cyclic L2/L3 guarded through L1 + fork/join — sound
+        tools report nothing; Dirk's encoding reports a deadlock."""
+        t = false_deadlock1_trace()
+        assert spd_offline(t).num_deadlocks == 0
+        assert dirk(t, faithful_unsound=True).num_deadlocks >= 1
+        # With the lock-set condition restored the report disappears.
+        assert dirk(t, faithful_unsound=False, relax_values=False).num_deadlocks == 0
+
+    def test_false_deadlock1_not_predictable(self):
+        from repro.reorder.exhaustive import ExhaustivePredictor
+        from repro.core.patterns import find_concrete_patterns
+
+        t = false_deadlock1_trace()
+        oracle = ExhaustivePredictor(t)
+        for p in find_concrete_patterns(t, 2):
+            assert not oracle.is_predictable_deadlock(p.events)
+
+    def test_false_deadlock2_value_relaxation(self):
+        """Fig. 8: the volatile handshake gates transfer2's control
+        flow; ignoring the read dependency fabricates a deadlock."""
+        t = false_deadlock2_trace()
+        assert spd_offline(t).num_deadlocks == 0
+        assert dirk(t, relax_values=True).num_deadlocks >= 1
+        assert dirk(t, relax_values=False).num_deadlocks == 0

@@ -1,0 +1,118 @@
+"""The extended CLI subcommands: races, compare, audit, graph."""
+
+import pytest
+
+from repro.cli import main
+from repro.synth.paper import sigma1, sigma2, sigma3
+from repro.trace.parser import save_trace
+
+
+@pytest.fixture
+def sigma2_file(tmp_path):
+    path = tmp_path / "sigma2.std"
+    save_trace(sigma2(), str(path))
+    return str(path)
+
+
+@pytest.fixture
+def sigma1_file(tmp_path):
+    path = tmp_path / "sigma1.std"
+    save_trace(sigma1(), str(path))
+    return str(path)
+
+
+class TestRacesCommand:
+    def test_racy_trace(self, tmp_path, capsys):
+        path = tmp_path / "r.std"
+        path.write_text("t1|w(x)\nt2|w(x)\n")
+        assert main(["races", str(path)]) == 1
+        assert "1 sync-preserving race" in capsys.readouterr().out
+
+    def test_clean_trace(self, tmp_path, capsys):
+        path = tmp_path / "c.std"
+        path.write_text("t1|acq(l)\nt1|w(x)\nt1|rel(l)\nt2|acq(l)\nt2|w(x)\nt2|rel(l)\n")
+        assert main(["races", str(path)]) == 0
+
+    def test_all_flag(self, tmp_path, capsys):
+        path = tmp_path / "r.std"
+        path.write_text("t1|w(x)\nt1|w(x)\nt2|w(x)\n")
+        assert main(["races", "--all", str(path)]) == 1
+
+
+class TestCompareCommand:
+    def test_compare_sigma2(self, sigma2_file, capsys):
+        assert main(["compare", "--no-dirk", sigma2_file]) == 0
+        out = capsys.readouterr().out
+        assert "spd-offline=1" in out
+        assert "only SPDOffline" in out  # sigma2 is a Fig.5-style case
+
+    def test_compare_with_dirk(self, sigma1_file, capsys):
+        assert main(["compare", sigma1_file]) == 0
+        out = capsys.readouterr().out
+        assert "dirk=" in out
+
+
+class TestAuditCommand:
+    def test_audit_sigma1(self, sigma1_file, capsys):
+        assert main(["audit", sigma1_file]) == 0
+        out = capsys.readouterr().out
+        assert "TRF ideal" in out
+
+    def test_audit_sigma2(self, sigma2_file, capsys):
+        assert main(["audit", sigma2_file]) == 0
+        out = capsys.readouterr().out
+        assert "sync-preserving deadlock" in out
+        assert "witness" in out
+
+
+class TestGraphCommand:
+    def test_alg_dot(self, tmp_path, capsys):
+        path = tmp_path / "s3.std"
+        save_trace(sigma3(), str(path))
+        assert main(["graph", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "acq(l2)" in out
+
+    def test_lock_order_dot(self, sigma2_file, capsys):
+        assert main(["graph", "--lock-order", sigma2_file]) == 0
+        out = capsys.readouterr().out
+        assert '"l2" -> "l3"' in out
+
+
+class TestJsonOutput:
+    def test_analyze_json(self, sigma2_file, capsys):
+        import json
+
+        assert main(["analyze", "--json", sigma2_file]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "offline"
+        assert payload["deadlocks"][0]["events"] == [3, 17]
+        assert payload["abstract_patterns"] == 1
+
+    def test_analyze_json_online(self, sigma2_file, capsys):
+        import json
+
+        assert main(["analyze", "--json", "--online", sigma2_file]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "online"
+        assert sorted(payload["deadlocks"][0]["events"]) == [3, 17]
+
+
+class TestProfileCommand:
+    def test_profile_output(self, sigma2_file, capsys):
+        assert main(["profile", sigma2_file]) == 0
+        out = capsys.readouterr().out
+        assert "deadlock-prone locks (2): l2, l3" in out
+        assert "hottest locks:" in out
+
+
+class TestExplainCommand:
+    def test_explain_deadlock(self, sigma2_file, capsys):
+        assert main(["explain", sigma2_file, "3", "17"]) == 0
+        assert "IS a sync-preserving deadlock" in capsys.readouterr().out
+
+    def test_explain_non_deadlock(self, sigma1_file, capsys):
+        assert main(["explain", sigma1_file, "1", "7"]) == 1
+        out = capsys.readouterr().out
+        assert "NOT a sync-preserving deadlock" in out

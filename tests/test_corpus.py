@@ -1,0 +1,75 @@
+"""Golden tests over the committed trace corpus.
+
+Every file in ``corpus/`` is loaded from disk (exercising the parser on
+real files, not in-memory strings) and checked against the recorded
+ground truth of ``corpus/MANIFEST.md``.
+"""
+
+import os
+
+import pytest
+
+from repro.baselines.seqcheck import SeqCheckFailure, seqcheck
+from repro.core.spd_offline import spd_offline
+from repro.trace.parser import load_trace
+from repro.trace.wellformed import is_well_formed
+
+CORPUS = os.path.join(os.path.dirname(__file__), "..", "corpus")
+
+GOLDEN = {
+    # name: (spd_deadlocks, abstract_patterns, seqcheck_bugs_or_None)
+    "sigma1": (0, 1, 0),
+    "sigma2": (1, 1, 0),
+    "sigma3": (1, 1, 2),  # SeqCheck reports both D5 and D6
+    "fig5": (1, 1, 0),
+    "fig6": (1, 1, 2),
+    "false_deadlock1": (0, 1, 0),
+    "false_deadlock2": (0, 1, 0),
+    "simple_deadlock": (1, 1, 1),
+    "guarded_cycle": (0, 0, 0),
+    "dining_phil5": (1, 1, 0),
+    "picklock": (1, 2, 1),
+    "stringbuffer": (2, 2, 2),
+    "transfer": (0, 1, 0),
+    "non_well_nested": (0, 0, None),
+}
+
+
+def corpus_path(name: str) -> str:
+    return os.path.join(CORPUS, f"{name}.std")
+
+
+class TestCorpusGolden:
+    def test_every_manifest_entry_has_a_file(self):
+        for name in GOLDEN:
+            assert os.path.exists(corpus_path(name)), name
+
+    def test_no_unlisted_traces(self):
+        on_disk = {
+            f[:-4] for f in os.listdir(CORPUS) if f.endswith(".std")
+        }
+        assert on_disk == set(GOLDEN)
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_well_formed(self, name):
+        trace = load_trace(corpus_path(name), name=name)
+        assert is_well_formed(trace, strict_fork_join=False)
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_spd_verdict(self, name):
+        deadlocks, abstracts, _ = GOLDEN[name]
+        trace = load_trace(corpus_path(name), name=name)
+        result = spd_offline(trace)
+        assert result.num_deadlocks == deadlocks, name
+        assert result.num_abstract_patterns == abstracts, name
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_seqcheck_verdict(self, name):
+        _, _, sq_bugs = GOLDEN[name]
+        trace = load_trace(corpus_path(name), name=name)
+        if sq_bugs is None:
+            with pytest.raises(SeqCheckFailure):
+                seqcheck(trace)
+        else:
+            res = seqcheck(trace, first_hit_per_abstract=False)
+            assert len({r.bug_id for r in res.reports}) == sq_bugs, name

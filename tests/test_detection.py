@@ -1,0 +1,91 @@
+"""Actual-deadlock detection from request events."""
+
+import pytest
+
+from repro.analysis.detection import detect_actual_deadlock
+from repro.runtime.programs import dining_program, inverse_order_program
+from repro.runtime.scheduler import RandomScheduler, run_program
+from repro.trace.builder import TraceBuilder
+
+
+class TestFromTraces:
+    def test_two_thread_cycle(self):
+        t = (
+            TraceBuilder()
+            .acq("t1", "a").acq("t2", "b")
+            .req("t1", "b").req("t2", "a")
+            .build()
+        )
+        dl = detect_actual_deadlock(t)
+        assert dl is not None and dl.size == 2
+        assert set(dl.threads) == {"t1", "t2"}
+        assert set(dl.locks) == {"a", "b"}
+
+    def test_clean_trace(self):
+        t = TraceBuilder().cs("t1", "a", "b").cs("t2", "b", "a").build()
+        assert detect_actual_deadlock(t) is None
+
+    def test_granted_request_is_not_blocking(self):
+        t = (
+            TraceBuilder()
+            .req("t1", "a").acq("t1", "a").rel("t1", "a")
+            .build()
+        )
+        assert detect_actual_deadlock(t) is None
+
+    def test_waiting_without_cycle(self):
+        """A thread blocked on a lock whose owner runs free: no cycle."""
+        t = (
+            TraceBuilder()
+            .acq("t1", "a").req("t2", "a").write("t1", "x")
+            .build()
+        )
+        assert detect_actual_deadlock(t) is None
+
+    def test_request_not_last_event_is_stale(self):
+        t = (
+            TraceBuilder()
+            .acq("t1", "a").acq("t2", "b")
+            .req("t1", "b")
+            .write("t1", "x")   # t1 moved on: logger noise, not blocked
+            .req("t2", "a")
+            .build()
+        )
+        assert detect_actual_deadlock(t) is None
+
+    def test_three_cycle(self):
+        t = (
+            TraceBuilder()
+            .acq("t0", "a").acq("t1", "b").acq("t2", "c")
+            .req("t0", "b").req("t1", "c").req("t2", "a")
+            .build()
+        )
+        dl = detect_actual_deadlock(t)
+        assert dl is not None and dl.size == 3
+
+
+class TestFromExecutions:
+    def test_recovers_cycle_from_deadlocked_run(self):
+        program = dining_program("DetectDine", 3)
+        for seed in range(60):
+            res = run_program(program, RandomScheduler(seed))
+            if not res.deadlocked:
+                continue
+            dl = detect_actual_deadlock(res.trace)
+            assert dl is not None
+            assert set(dl.threads) == set(res.deadlock_cycle)
+            assert dl.bug_id(res.trace) == res.deadlock_bug_id
+            return
+        pytest.fail("no deadlocked run in 60 seeds")
+
+    def test_inverse_pair_detection_matches_scheduler(self):
+        program = inverse_order_program("DetectPair", 1)
+        checked = 0
+        for seed in range(40):
+            res = run_program(program, RandomScheduler(seed))
+            dl = detect_actual_deadlock(res.trace)
+            assert (dl is not None) == res.deadlocked, seed
+            if res.deadlocked:
+                assert dl.size == 2
+                checked += 1
+        assert checked > 0

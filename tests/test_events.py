@@ -1,0 +1,66 @@
+"""Unit tests for the event model."""
+
+import pytest
+
+from repro.trace.events import Event, Op
+
+
+class TestEventConstruction:
+    def test_basic_fields(self):
+        ev = Event(3, "t1", Op.ACQUIRE, "l1")
+        assert ev.idx == 3
+        assert ev.thread == "t1"
+        assert ev.op == "acq"
+        assert ev.target == "l1"
+        assert ev.loc is None
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Event(0, "t1", "lock", "l1")
+
+    def test_all_ops_accepted(self):
+        for op in Op.ALL:
+            Event(0, "t1", op, "x")
+
+    def test_frozen(self):
+        ev = Event(0, "t1", Op.READ, "x")
+        with pytest.raises(AttributeError):
+            ev.thread = "t2"
+
+
+class TestEventPredicates:
+    def test_read(self):
+        ev = Event(0, "t", Op.READ, "x")
+        assert ev.is_read and ev.is_access
+        assert not (ev.is_write or ev.is_acquire or ev.is_release)
+
+    def test_write(self):
+        ev = Event(0, "t", Op.WRITE, "x")
+        assert ev.is_write and ev.is_access
+        assert not ev.is_read
+
+    def test_acquire_release(self):
+        acq = Event(0, "t", Op.ACQUIRE, "l")
+        rel = Event(1, "t", Op.RELEASE, "l")
+        assert acq.is_acquire and not acq.is_release
+        assert rel.is_release and not rel.is_acquire
+        assert not acq.is_access
+
+    def test_request(self):
+        assert Event(0, "t", Op.REQUEST, "l").is_request
+
+    def test_fork_join(self):
+        assert Event(0, "t", Op.FORK, "t2").is_fork
+        assert Event(0, "t", Op.JOIN, "t2").is_join
+
+
+class TestEventLocation:
+    def test_explicit_location(self):
+        ev = Event(5, "t", Op.ACQUIRE, "l", loc="Foo.java:10")
+        assert ev.location == "Foo.java:10"
+
+    def test_fallback_location_is_index(self):
+        assert Event(5, "t", Op.ACQUIRE, "l").location == "@5"
+
+    def test_str_rendering(self):
+        assert str(Event(2, "t1", Op.WRITE, "x")) == "e2:t1:w(x)"

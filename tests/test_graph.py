@@ -1,0 +1,131 @@
+"""Graph utilities: digraph, SCC, Johnson cycle enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.johnson import simple_cycles
+from repro.graph.scc import strongly_connected_components
+
+
+def graph_from_edges(edges, nodes=()):
+    g = DiGraph()
+    for n in nodes:
+        g.add_node(n)
+    for a, b in edges:
+        g.add_edge(a, b)
+    return g
+
+
+class TestDiGraph:
+    def test_nodes_deduplicated(self):
+        g = DiGraph()
+        assert g.add_node("a") == g.add_node("a") == 0
+        assert g.num_nodes == 1
+
+    def test_edges_deduplicated(self):
+        g = graph_from_edges([("a", "b"), ("a", "b")])
+        assert g.num_edges == 1
+
+    def test_successors(self):
+        g = graph_from_edges([("a", "b"), ("a", "c")])
+        assert set(g.successors("a")) == {"b", "c"}
+        assert g.has_edge("a", "b") and not g.has_edge("b", "a")
+
+    def test_edges_iteration(self):
+        g = graph_from_edges([("a", "b"), ("b", "c")])
+        assert set(g.edges()) == {("a", "b"), ("b", "c")}
+
+
+class TestSCC:
+    def test_two_sccs(self):
+        g = graph_from_edges([(0, 1), (1, 0), (1, 2)])
+        comps = {frozenset(c) for c in strongly_connected_components(g.adjacency())}
+        assert comps == {frozenset({0, 1}), frozenset({2})}
+
+    def test_allowed_restriction(self):
+        g = graph_from_edges([(0, 1), (1, 0)])
+        comps = strongly_connected_components(g.adjacency(), allowed={0})
+        assert comps == [[0]]
+
+    def test_long_chain_no_recursion_error(self):
+        n = 5000
+        g = graph_from_edges([(i, i + 1) for i in range(n)])
+        comps = strongly_connected_components(g.adjacency())
+        assert len(comps) == n + 1
+
+
+def cycles_as_sets(g, **kw):
+    return sorted(sorted(c) for c in simple_cycles(g, **kw))
+
+
+class TestJohnson:
+    def test_single_two_cycle(self):
+        g = graph_from_edges([(0, 1), (1, 0)])
+        assert cycles_as_sets(g) == [[0, 1]]
+
+    def test_self_loop(self):
+        g = graph_from_edges([(0, 0)])
+        assert cycles_as_sets(g) == [[0]]
+
+    def test_no_cycles_in_dag(self):
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2)])
+        assert cycles_as_sets(g) == []
+
+    def test_complete_graph_k3(self):
+        g = graph_from_edges([(a, b) for a in range(3) for b in range(3) if a != b])
+        # K3 directed: 3 two-cycles + 2 three-cycles
+        cycles = list(simple_cycles(g))
+        assert len(cycles) == 5
+
+    def test_complete_graph_k4_count(self):
+        g = graph_from_edges([(a, b) for a in range(4) for b in range(4) if a != b])
+        # directed K4: 6 + 8 + 6 = 20 elementary circuits
+        assert len(list(simple_cycles(g))) == 20
+
+    def test_max_length_prunes(self):
+        g = graph_from_edges([(a, b) for a in range(4) for b in range(4) if a != b])
+        assert all(len(c) <= 2 for c in simple_cycles(g, max_length=2))
+        assert len(list(simple_cycles(g, max_length=2))) == 6
+
+    def test_max_cycles_caps(self):
+        g = graph_from_edges([(a, b) for a in range(4) for b in range(4) if a != b])
+        assert len(list(simple_cycles(g, max_cycles=3))) == 3
+
+    def test_two_disjoint_cycles(self):
+        g = graph_from_edges([(0, 1), (1, 0), (2, 3), (3, 2)])
+        assert cycles_as_sets(g) == [[0, 1], [2, 3]]
+
+    def test_figure_eight(self):
+        g = graph_from_edges([(0, 1), (1, 0), (1, 2), (2, 1)])
+        assert cycles_as_sets(g) == [[0, 1], [1, 2]]
+
+    def test_canonical_start_at_min(self):
+        g = graph_from_edges([(2, 1), (1, 2)])
+        for cycle in simple_cycles(g):
+            assert cycle[0] == min(cycle)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(2, 6),
+        edges=st.sets(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=18
+        ),
+    )
+    def test_matches_networkx(self, n, edges):
+        """Cross-check cycle enumeration against networkx."""
+        import networkx as nx
+
+        g = graph_from_edges([(a, b) for a, b in edges if a != b and a < n and b < n],
+                             nodes=range(n))
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_edges_from((a, b) for a, b in edges if a != b and a < n and b < n)
+        ours = {frozenset(c) if len(set(c)) == len(c) else tuple(c)
+                for c in simple_cycles(g)}
+        ours_seq = sorted(tuple(c) for c in simple_cycles(g))
+        theirs = sorted(
+            tuple(c[c.index(min(c)):] + c[: c.index(min(c))])
+            for c in nx.simple_cycles(nxg)
+        )
+        assert ours_seq == theirs

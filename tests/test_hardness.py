@@ -1,0 +1,192 @@
+"""The Section 3 reductions, validated in both directions."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.patterns import find_concrete_patterns, is_deadlock_pattern
+from repro.hardness.independent_set import (
+    has_independent_set,
+    independent_set_to_trace,
+    random_graph,
+)
+from repro.hardness.orthogonal_vectors import (
+    has_orthogonal_pair,
+    orthogonal_vectors_to_trace,
+    random_ov_instance,
+)
+from repro.hardness.race_reduction import deadlock_to_race_trace
+from repro.trace.wellformed import is_well_formed
+
+
+def has_pattern_of_size(trace, k):
+    return bool(find_concrete_patterns(trace, k))
+
+
+class TestIndependentSetReduction:
+    def test_triangle_has_no_is3(self):
+        """K3 has no independent set of size 3 ⇒ no size-3 pattern."""
+        edges = [(0, 1), (1, 2), (0, 2)]
+        trace = independent_set_to_trace(3, edges, 3)
+        assert is_well_formed(trace)
+        assert not has_independent_set(3, edges, 3)
+        assert not has_pattern_of_size(trace, 3)
+
+    def test_empty_graph_has_is(self):
+        trace = independent_set_to_trace(3, [], 3)
+        assert has_independent_set(3, [], 3)
+        assert has_pattern_of_size(trace, 3)
+
+    def test_path_graph(self):
+        edges = [(0, 1), (1, 2)]  # independent set {0, 2} of size 2
+        trace = independent_set_to_trace(3, edges, 2)
+        assert has_independent_set(3, edges, 2)
+        assert has_pattern_of_size(trace, 2)
+
+    def test_fig2a_shape(self):
+        """The Fig. 2a example: 3 vertices, parameter c = 3."""
+        edges = [(0, 1), (0, 2)]
+        trace = independent_set_to_trace(3, edges, 3)
+        assert len(trace.threads) == 3
+        # |E| + c locks
+        assert len(trace.locks) == len(edges) + 3
+        # {1, 2} is not independent? (1,2) not an edge -> {1,2} plus none...
+        # G has edges a-b, a-c: independent sets of size 3 need all of
+        # {a,b,c} pairwise non-adjacent — false.
+        assert not has_independent_set(3, edges, 3)
+        assert not has_pattern_of_size(trace, 3)
+
+    def test_nesting_depth_bound(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        trace = independent_set_to_trace(3, edges, 2)
+        max_degree = 2
+        assert trace.lock_nesting_depth <= 2 + max_degree
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            independent_set_to_trace(2, [(0, 0)], 2)
+
+    def test_c_below_2_rejected(self):
+        with pytest.raises(ValueError):
+            independent_set_to_trace(2, [], 1)
+
+    def test_isolated_vertices_rejected(self):
+        """The construction needs neighbor-free vertices preprocessed
+        away (they always join a maximum independent set); with an
+        isolated vertex, several threads could instantiate the pattern
+        from the same vertex block."""
+        with pytest.raises(ValueError):
+            independent_set_to_trace(3, [(1, 2)], 3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(2, 5),
+        density=st.floats(0.0, 1.0),
+        seed=st.integers(0, 1000),
+        c=st.integers(2, 3),
+    )
+    def test_reduction_iff_random(self, n, density, seed, c):
+        """G has an independent set of size c iff the trace has a
+        deadlock pattern of size c (after the WLOG isolated-vertex
+        preprocessing)."""
+        if c > n:
+            return
+        edges = random_graph(n, density, seed)
+        # Preprocess: isolated vertices always join a maximum
+        # independent set — remove them and lower the target.
+        touched = sorted({v for e in edges for v in e})
+        remap = {v: i for i, v in enumerate(touched)}
+        kept_edges = [(remap[u], remap[v]) for u, v in edges]
+        c_eff = c - (n - len(touched))
+        if c_eff < 2 or c_eff > len(touched):
+            # trivially decided by the isolated vertices alone
+            assert has_independent_set(n, edges, c) == (c_eff <= len(touched))
+            return
+        trace = independent_set_to_trace(len(touched), kept_edges, c_eff)
+        assert is_well_formed(trace)
+        assert has_independent_set(n, edges, c) == has_pattern_of_size(trace, c_eff)
+
+
+class TestOVReduction:
+    def test_orthogonal_instance(self):
+        a = [[1, 0]]
+        b = [[0, 1]]
+        trace = orthogonal_vectors_to_trace(a, b)
+        assert is_well_formed(trace)
+        assert has_orthogonal_pair(a, b)
+        assert has_pattern_of_size(trace, 2)
+
+    def test_non_orthogonal_instance(self):
+        a = [[1, 1]]
+        b = [[1, 0]]
+        assert not has_orthogonal_pair(a, b)
+        assert not has_pattern_of_size(orthogonal_vectors_to_trace(a, b), 2)
+
+    def test_fig2b_instance(self):
+        """Fig. 2b: A = {[1,1],[1,0]}, B = {[1,0],[0,1]} — positive
+        ([1,0]·[0,1] = 0)."""
+        a = [[1, 1], [1, 0]]
+        b = [[1, 0], [0, 1]]
+        assert has_orthogonal_pair(a, b)
+        assert has_pattern_of_size(orthogonal_vectors_to_trace(a, b), 2)
+
+    def test_two_threads_d_plus_2_locks(self):
+        a, b = [[1, 0, 1]], [[0, 1, 0]]
+        trace = orthogonal_vectors_to_trace(a, b)
+        assert len(trace.threads) == 2
+        assert len(trace.locks) <= 3 + 2
+
+    def test_bad_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            orthogonal_vectors_to_trace([[1, 2]], [[0, 1]])
+        with pytest.raises(ValueError):
+            orthogonal_vectors_to_trace([], [[0]])
+        with pytest.raises(ValueError):
+            orthogonal_vectors_to_trace([[1]], [[0, 1]])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 4),
+        d=st.integers(1, 4),
+        p=st.floats(0.2, 0.9),
+        seed=st.integers(0, 1000),
+    )
+    def test_reduction_iff_random(self, n, d, p, seed):
+        a, b = random_ov_instance(n, d, p, seed)
+        trace = orthogonal_vectors_to_trace(a, b)
+        assert is_well_formed(trace)
+        assert has_orthogonal_pair(a, b) == has_pattern_of_size(trace, 2)
+
+
+class TestRaceReduction:
+    def test_witness_equivalence(self):
+        """Theorem 3.3 direction: the race trace has a predictable race
+        on the fresh writes iff the deadlock was predictable."""
+        from repro.reorder.exhaustive import ExhaustivePredictor
+        from repro.synth.paper import sigma1, sigma2
+
+        # sigma2's deadlock is predictable -> writes co-enabled.
+        t = sigma2()
+        race = deadlock_to_race_trace(t, (3, 17))
+        assert is_well_formed(race, strict_fork_join=False)
+        writes = [ev.idx for ev in race if ev.is_write and ev.target == "__race__"]
+        assert len(writes) == 2
+
+        # sigma1's pattern is NOT predictable -> neither is the race.
+        t1 = sigma1()
+        race1 = deadlock_to_race_trace(t1, (1, 7))
+        w1 = [ev.idx for ev in race1 if ev.is_write and ev.target == "__race__"]
+        assert len(w1) == 2
+
+    def test_rejects_non_acquires(self):
+        from repro.synth.paper import sigma1
+
+        with pytest.raises(ValueError):
+            deadlock_to_race_trace(sigma1(), (2, 7))
+
+    def test_rejects_non_fresh_variable(self):
+        from repro.synth.paper import sigma1
+
+        with pytest.raises(ValueError):
+            deadlock_to_race_trace(sigma1(), (1, 7), fresh_var="x")

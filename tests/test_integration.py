@@ -1,0 +1,120 @@
+"""End-to-end integration: programs → traces → every analysis layer.
+
+These tests wire the whole stack together the way a user would: run a
+DSL program, serialize/reload its trace, run offline and online
+prediction, the race detector, the audit, and cross-check coherence
+between the layers.
+"""
+
+import pytest
+
+from repro import (
+    check_well_formed,
+    compute_stats,
+    format_trace,
+    parse_trace,
+    sp_races,
+    spd_offline,
+    spd_online,
+)
+from repro.analysis.comparison import compare_detectors
+from repro.analysis.false_negatives import classify_patterns
+from repro.reorder.witness import witness_for_pattern
+from repro.runtime.monitor import run_with_monitor
+from repro.runtime.programs import (
+    collection_program,
+    inverse_order_program,
+    mixed_size_program,
+    transfer_program,
+)
+from repro.runtime.scheduler import BiasedScheduler, RandomScheduler, run_program
+
+
+def observed_trace(program, seed=0):
+    """First non-deadlocking run at or after ``seed``."""
+    for s in range(seed, seed + 50):
+        res = run_program(program, RandomScheduler(s))
+        if not res.deadlocked:
+            return res.trace
+    raise AssertionError("no clean run found in 50 seeds")
+
+
+class TestProgramToOffline:
+    def test_full_pipeline_inverse_order(self):
+        program = inverse_order_program("Pipe", 2, spacing=3)
+        trace = observed_trace(program, seed=2)
+        check_well_formed(trace, strict_fork_join=False)
+
+        # Serialize, reload, analyze — identical verdicts.
+        reloaded = parse_trace(format_trace(trace), name=trace.name)
+        direct = spd_offline(trace)
+        via_text = spd_offline(reloaded)
+        assert direct.num_deadlocks == via_text.num_deadlocks == 2
+        assert {r.bug_id for r in direct.reports} == {
+            r.bug_id for r in via_text.reports
+        }
+
+    def test_stats_and_reports_consistent(self):
+        program = collection_program("PipeColl", 2)
+        trace = observed_trace(program, seed=5)
+        stats = compute_stats(trace)
+        assert stats.num_events == len(trace)
+        result = spd_offline(trace)
+        for report in result.reports:
+            for idx in report.pattern.events:
+                assert trace[idx].is_acquire
+            schedule, ok = witness_for_pattern(trace, report.pattern.events)
+            assert ok, report
+
+    def test_online_predictions_subset_of_offline_contexts(self):
+        """Everything the monitor flags live, offline analysis of the
+        same trace confirms (same closure machinery)."""
+        program = inverse_order_program("PipeOn", 2, spacing=4)
+        for seed in range(6):
+            monitored = run_with_monitor(program, BiasedScheduler(seed=seed))
+            if monitored.execution.deadlocked:
+                continue
+            trace = monitored.execution.trace
+            offline_bugs = {r.bug_id for r in spd_offline(trace, max_size=2).reports}
+            online_bugs = {r.bug_id for r in monitored.predictions}
+            assert online_bugs == offline_bugs, (seed, online_bugs, offline_bugs)
+
+
+class TestCrossAnalysisCoherence:
+    def test_audit_consistent_with_detector(self):
+        program = mixed_size_program("PipeMix", 1, 3)
+        trace = observed_trace(program, seed=1)
+        audit = classify_patterns(trace)
+        detector = spd_offline(trace)
+        assert audit.num_sync_preserving == detector.num_deadlocks
+
+    def test_races_and_deadlocks_coexist(self):
+        program = inverse_order_program("PipeRace", 1, spacing=2)
+        trace = observed_trace(program, seed=3)
+        deadlocks = spd_offline(trace)
+        races = sp_races(trace)
+        # The shared padding writes race; the deadlock is also present.
+        assert deadlocks.num_deadlocks == 1
+        assert races.num_races >= 1
+
+    def test_compare_detectors_on_generated_trace(self):
+        program = transfer_program("PipeXfer")
+        trace = observed_trace(program, seed=7)
+        res = compare_detectors(trace, run_dirk=True, dirk_timeout=10.0)
+        # Sound tools agree with each other on this trace.
+        assert res.spd_offline_bugs == res.spd_online_bugs
+        assert not res.seqcheck_failed
+
+    def test_monitor_report_bugs_stable_across_reserialization(self):
+        program = inverse_order_program("PipeStable", 1)
+        m = None
+        for seed in range(30):
+            m = run_with_monitor(program, RandomScheduler(seed))
+            if not m.execution.deadlocked and m.predictions:
+                break
+        assert m is not None and not m.execution.deadlocked
+        trace = m.execution.trace
+        text = format_trace(trace)
+        assert spd_online(parse_trace(text)).unique_bugs() == {
+            r.bug_id for r in m.predictions
+        }

@@ -1,0 +1,95 @@
+"""Cross-cutting coverage: gz I/O, doctests, fork/join soundness, CLI errors."""
+
+import doctest
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import spd_online
+from repro.reorder.exhaustive import ExhaustivePredictor
+from repro.synth.paper import sigma2
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.trace.parser import load_trace, save_trace
+
+
+class TestGzipIO:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.std.gz")
+        save_trace(sigma2(), path)
+        reloaded = load_trace(path, name="sigma2")
+        assert len(reloaded) == 20
+        assert spd_offline(reloaded).num_deadlocks == 1
+
+    def test_gz_smaller_than_plain(self, tmp_path):
+        import os
+
+        from repro.synth.suite import SUITE_BY_NAME, build_benchmark
+
+        trace = build_benchmark(SUITE_BY_NAME["Derby2"])
+        plain = str(tmp_path / "t.std")
+        gz = str(tmp_path / "t.std.gz")
+        save_trace(trace, plain)
+        save_trace(trace, gz)
+        assert os.path.getsize(gz) < os.path.getsize(plain)
+
+
+class TestDoctests:
+    def test_package_docstring_examples(self):
+        import repro
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+    def test_cli_analyze_gz(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "t.std.gz")
+        save_trace(sigma2(), path)
+        assert main(["analyze", path]) == 1
+
+
+class TestForkJoinSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_offline_sound_with_fork_join(self, seed):
+        trace = generate_random_trace(
+            RandomTraceConfig(seed=seed, num_events=36, num_threads=3,
+                              acquire_prob=0.45, max_nesting=3,
+                              fork_join=True)
+        )
+        result = spd_offline(trace)
+        oracle = ExhaustivePredictor(trace, sync_preserving=True)
+        for report in result.reports:
+            assert oracle.is_predictable_deadlock(report.pattern.events), (
+                trace.name, report.pattern.events,
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_online_matches_offline_with_fork_join(self, seed):
+        trace = generate_random_trace(
+            RandomTraceConfig(seed=seed, num_events=40, num_threads=4,
+                              acquire_prob=0.45, max_nesting=3,
+                              fork_join=True)
+        )
+        assert (spd_online(trace).num_reports > 0) == (
+            spd_offline(trace, max_size=2).num_deadlocks > 0
+        ), trace.name
+
+
+class TestCLIErrors:
+    def test_missing_file(self):
+        from repro.cli import main
+
+        with pytest.raises(FileNotFoundError):
+            main(["analyze", "/nonexistent/trace.std"])
+
+    def test_malformed_trace_raises_parse_error(self, tmp_path):
+        from repro.cli import main
+        from repro.trace.parser import ParseError
+
+        path = tmp_path / "bad.std"
+        path.write_text("not a trace\n")
+        with pytest.raises(ParseError):
+            main(["analyze", str(path)])

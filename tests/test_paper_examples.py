@@ -1,0 +1,212 @@
+"""The paper's worked examples as executable assertions.
+
+Every number here comes straight from the text: Fig. 1/3 traces,
+Example 1-4 relations and closures, Fig. 4 abstract lock graphs, and
+the Appendix C incomparability examples (Fig. 5/6).
+Event numbering is 0-based (paper's e(i+1) is trace[i]).
+"""
+
+import pytest
+
+from repro.core.alg import abstract_deadlock_patterns, build_abstract_lock_graph
+from repro.core.closure import sp_closure_events
+from repro.core.patterns import find_concrete_patterns
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import spd_online
+from repro.baselines.seqcheck import seqcheck
+from repro.synth.paper import fig5_trace, fig6_trace, sigma1, sigma2, sigma3
+
+
+def one_based(indices):
+    return sorted(i + 1 for i in indices)
+
+
+class TestSigma1:
+    """Fig. 1a: a deadlock pattern that is not a predictable deadlock."""
+
+    def test_has_exactly_one_pattern(self):
+        pats = find_concrete_patterns(sigma1(), size=2)
+        assert [set(p.events) for p in pats] == [{1, 7}]  # e2, e8
+
+    def test_spd_offline_reports_nothing(self):
+        assert spd_offline(sigma1()).num_deadlocks == 0
+
+    def test_spd_online_reports_nothing(self):
+        assert spd_online(sigma1()).num_reports == 0
+
+    def test_not_predictable_by_exhaustive_search(self):
+        from repro.reorder.exhaustive import ExhaustivePredictor
+
+        assert not ExhaustivePredictor(sigma1()).is_predictable_deadlock((1, 7))
+
+    def test_alg_has_one_cycle_one_abstract_pattern(self):
+        n_cycles, aps = abstract_deadlock_patterns(sigma1())
+        assert n_cycles == 1 and len(aps) == 1 and aps[0].num_concrete == 1
+
+
+class TestSigma2:
+    """Fig. 1b / Examples 1-3: the sync-preserving deadlock ⟨e4, e18⟩."""
+
+    def test_trace_shape(self):
+        t = sigma2()
+        assert len(t) == 20
+        assert sorted(t.threads) == ["t1", "t2", "t3", "t4"]
+        assert sorted(t.locks) == ["l1", "l2", "l3"]
+        assert sorted(t.variables) == ["x", "y", "z"]
+
+    def test_example1_reads_from(self):
+        t = sigma2()
+        assert t.rf(9) == 4     # rf(e10) = e5
+        assert t.rf(13) == 8    # rf(e14) = e9
+        assert t.rf(16) == 12   # rf(e17) = e13
+
+    def test_example1_nesting_depth(self):
+        assert sigma2().lock_nesting_depth == 2
+
+    def test_example1_deadlock_pattern(self):
+        pats = find_concrete_patterns(sigma2(), size=2)
+        assert [set(p.events) for p in pats] == [{3, 17}]  # e4, e18
+
+    def test_example3_closure(self):
+        # SPClosure(pred({e4, e18})) = {e1,e2,e3, e8,e9, e12..e17}
+        closure = sp_closure_events(sigma2(), [2, 16])
+        assert one_based(closure) == [1, 2, 3, 8, 9, 12, 13, 14, 15, 16, 17]
+
+    def test_spd_offline_finds_the_deadlock(self):
+        result = spd_offline(sigma2())
+        assert result.num_deadlocks == 1
+        assert set(result.reports[0].pattern.events) == {3, 17}
+
+    def test_spd_online_finds_the_deadlock(self):
+        result = spd_online(sigma2())
+        assert result.deadlock_pairs() == {(3, 17)}
+
+    def test_witness_is_rho3(self):
+        """The constructed witness is exactly ρ3 = e1 e2 e3 e8 e9 e12..e17."""
+        from repro.reorder.witness import witness_for_pattern
+
+        schedule, ok = witness_for_pattern(sigma2(), (3, 17))
+        assert ok
+        assert one_based(schedule) == [1, 2, 3, 8, 9, 12, 13, 14, 15, 16, 17]
+
+
+class TestSigma3:
+    """Fig. 3 / Examples 2-4: abstract patterns and their instantiations."""
+
+    def test_abstract_acquires_match_figure(self):
+        from repro.locks.abstract import collect_abstract_acquires
+
+        etas = {
+            (a.thread, a.lock, tuple(sorted(a.held))): one_based(a.events)
+            for a in collect_abstract_acquires(sigma3())
+        }
+        assert etas[("t1", "l2", ("l1",))] == [2, 4, 29]      # η1
+        assert etas[("t2", "l1", ("l4",))] == [23]            # η2
+        assert etas[("t3", "l1", ("l2",))] == [16, 19]        # η3
+        assert etas[("t3", "l3", ("l2",))] == [13]            # η4
+
+    def test_six_concrete_patterns(self):
+        pats = find_concrete_patterns(sigma3(), size=2)
+        got = {tuple(sorted(one_based(p.events))) for p in pats}
+        assert got == {(2, 16), (2, 19), (4, 16), (4, 19), (16, 29), (19, 29)}
+
+    def test_unique_abstract_pattern_with_six_instantiations(self):
+        n_cycles, aps = abstract_deadlock_patterns(sigma3())
+        assert n_cycles == 1
+        assert len(aps) == 1
+        assert aps[0].num_concrete == 6
+
+    def test_example3_closures(self):
+        t = sigma3()
+        # SPClosure(pred(D1 = ⟨e2,e16⟩)) = {e1..e6, e8..e15}
+        assert one_based(sp_closure_events(t, [0, 14])) == (
+            [1, 2, 3, 4, 5, 6] + list(range(8, 16))
+        )
+        # SPClosure(pred(D5 = ⟨e29,e16⟩)) = {e1..e15, e28}
+        assert one_based(sp_closure_events(t, [27, 14])) == (
+            list(range(1, 16)) + [28]
+        )
+        # SPClosure(pred(D6 = ⟨e29,e19⟩)) = {e1..e18, e28}
+        assert one_based(sp_closure_events(t, [27, 17])) == (
+            list(range(1, 19)) + [28]
+        )
+
+    def test_spd_offline_reports_d5(self):
+        """Example 4: the incremental check lands on D5 = ⟨e29, e16⟩."""
+        result = spd_offline(sigma3())
+        assert result.num_deadlocks == 1
+        assert set(one_based(result.reports[0].pattern.events)) == {16, 29}
+
+    def test_d5_d6_sync_preserving_d1_to_d4_not(self):
+        from repro.reorder.exhaustive import ExhaustivePredictor
+
+        sp = ExhaustivePredictor(sigma3(), sync_preserving=True)
+        assert sp.is_predictable_deadlock((28, 15))   # D5
+        assert sp.is_predictable_deadlock((28, 18))   # D6
+        for d in [(1, 15), (1, 18), (3, 15), (3, 18)]:  # D1-D4
+            assert not sp.is_predictable_deadlock(d)
+
+    def test_d1_to_d4_not_predictable_at_all(self):
+        """Example 2: D1-D4 are not predictable deadlocks (any witness)."""
+        from repro.reorder.exhaustive import ExhaustivePredictor
+
+        pred = ExhaustivePredictor(sigma3())
+        for d in [(1, 15), (1, 18), (3, 15), (3, 18)]:
+            assert not pred.is_predictable_deadlock(d)
+
+
+class TestFig4AbstractLockGraphs:
+    def test_sigma1_graph(self):
+        g = build_abstract_lock_graph(sigma1())
+        assert g.num_nodes == 2
+        sigs = {(n.thread, n.lock, tuple(sorted(n.held))) for n in g.nodes()}
+        assert sigs == {("t1", "l2", ("l1",)), ("t2", "l1", ("l2",))}
+
+    def test_sigma2_graph(self):
+        g = build_abstract_lock_graph(sigma2())
+        sigs = {(n.thread, n.lock, tuple(sorted(n.held))) for n in g.nodes()}
+        assert sigs == {("t2", "l3", ("l2",)), ("t3", "l2", ("l3",))}
+
+    def test_sigma3_graph_nodes_and_unique_cycle(self):
+        g = build_abstract_lock_graph(sigma3())
+        assert g.num_nodes == 4
+        from repro.graph.johnson import simple_cycles
+
+        cycles = list(simple_cycles(g))
+        assert len(cycles) == 1
+        nodes = {g.node_at(i).signature[:2] for i in cycles[0]}
+        assert nodes == {("t1", "l2"), ("t3", "l1")}
+
+
+class TestAppendixC:
+    """Fig. 5 / Fig. 6: SPDOffline and SeqCheck are incomparable."""
+
+    def test_fig5_spd_finds_seqcheck_misses(self):
+        t = fig5_trace()
+        spd = spd_offline(t)
+        assert spd.num_deadlocks == 1
+        assert set(one_based(spd.reports[0].pattern.events)) == {4, 14}
+        sq = seqcheck(t)
+        assert sq.num_deadlocks == 0
+
+    def test_fig5_deadlock_is_predictable(self):
+        from repro.reorder.exhaustive import ExhaustivePredictor
+
+        assert ExhaustivePredictor(fig5_trace()).is_predictable_deadlock((3, 13))
+
+    def test_fig6_seqcheck_finds_both_spd_one(self):
+        t = fig6_trace()
+        sq = seqcheck(t, first_hit_per_abstract=False)
+        found = {tuple(sorted(one_based(r.pattern.events))) for r in sq.reports}
+        assert found == {(2, 6), (2, 8)}
+        spd = spd_offline(t)
+        assert spd.num_deadlocks == 1  # one abstract pattern, first hit e6
+
+    def test_fig6_e2_e8_predictable_but_not_sync_preserving(self):
+        from repro.reorder.exhaustive import ExhaustivePredictor
+
+        t = fig6_trace()
+        assert ExhaustivePredictor(t).is_predictable_deadlock((1, 7))
+        assert not ExhaustivePredictor(
+            t, sync_preserving=True
+        ).is_predictable_deadlock((1, 7))

@@ -1,0 +1,65 @@
+"""Parser/formatter round-trip and error handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.trace.parser import ParseError, format_trace, parse_trace
+
+
+class TestParsing:
+    def test_basic(self):
+        t = parse_trace("t1|acq(l1)\nt1|w(x)\nt1|rel(l1)\n")
+        assert len(t) == 3
+        assert t[0].is_acquire and t[0].target == "l1"
+        assert t[1].is_write and t[1].target == "x"
+
+    def test_comments_and_blank_lines_skipped(self):
+        t = parse_trace("# header\n\nt1|r(x)\n  \n# tail\n")
+        assert len(t) == 1
+
+    def test_location_field(self):
+        t = parse_trace("t1|acq(l1)|Main.java:42\n")
+        assert t[0].loc == "Main.java:42"
+
+    def test_whitespace_tolerated(self):
+        t = parse_trace("  t1|fork(t2)  \n")
+        assert t[0].is_fork and t[0].target == "t2"
+
+    def test_all_ops(self):
+        text = "\n".join(
+            f"t|{op}(tgt)" for op in ["r", "w", "acq", "rel", "req", "fork", "join"]
+        )
+        assert len(parse_trace(text)) == 7
+
+    def test_malformed_line_raises_with_lineno(self):
+        with pytest.raises(ParseError) as exc:
+            parse_trace("t1|acq(l1)\nbogus line\n")
+        assert exc.value.lineno == 2
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ParseError):
+            parse_trace("t1|acq()\n")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ParseError):
+            parse_trace("t1|lock(l1)\n")
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        text = "t1|acq(l1)|A.java:1\nt1|w(x)\nt2|r(x)\nt1|rel(l1)\n"
+        t = parse_trace(text)
+        assert format_trace(t) == text
+
+    def test_empty_trace(self):
+        assert format_trace(parse_trace("")) == ""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_traces_round_trip(self, seed):
+        trace = generate_random_trace(RandomTraceConfig(seed=seed, num_events=60))
+        reparsed = parse_trace(format_trace(trace))
+        assert len(reparsed) == len(trace)
+        for a, b in zip(trace, reparsed):
+            assert (a.thread, a.op, a.target, a.loc) == (b.thread, b.op, b.target, b.loc)

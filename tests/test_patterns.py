@@ -1,0 +1,154 @@
+"""Deadlock-pattern definitions: concrete and abstract."""
+
+import pytest
+
+from repro.core.patterns import (
+    AbstractDeadlockPattern,
+    DeadlockPattern,
+    DeadlockReport,
+    find_concrete_patterns,
+    is_deadlock_pattern,
+)
+from repro.locks.abstract import collect_abstract_acquires
+from repro.synth.paper import sigma3
+from repro.trace.builder import TraceBuilder
+
+
+@pytest.fixture
+def inverse_pair():
+    return (
+        TraceBuilder()
+        .acq("t1", "a", loc="L1").acq("t1", "b", loc="L2")
+        .rel("t1", "b").rel("t1", "a")
+        .acq("t2", "b", loc="L3").acq("t2", "a", loc="L4")
+        .rel("t2", "a").rel("t2", "b")
+        .build()
+    )
+
+
+class TestIsDeadlockPattern:
+    def test_classic_size2(self, inverse_pair):
+        assert is_deadlock_pattern(inverse_pair, (1, 5))
+        assert is_deadlock_pattern(inverse_pair, (5, 1))  # rotation-invariant
+
+    def test_same_thread_rejected(self, inverse_pair):
+        assert not is_deadlock_pattern(inverse_pair, (0, 1))
+
+    def test_non_acquire_rejected(self):
+        t = TraceBuilder().acq("t1", "a").write("t1", "x").build()
+        assert not is_deadlock_pattern(t, (0, 1))
+
+    def test_no_cyclic_held_rejected(self, inverse_pair):
+        # Outer acquires hold nothing: no cycle.
+        assert not is_deadlock_pattern(inverse_pair, (0, 4))
+
+    def test_common_held_lock_rejected(self):
+        t = (
+            TraceBuilder()
+            .acq("t1", "g").acq("t1", "a").acq("t1", "b")
+            .rel("t1", "b").rel("t1", "a").rel("t1", "g")
+            .acq("t2", "g").acq("t2", "b").acq("t2", "a")
+            .rel("t2", "a").rel("t2", "b").rel("t2", "g")
+            .build()
+        )
+        assert not is_deadlock_pattern(t, (2, 8))
+
+    def test_size3_cycle(self):
+        t = TraceBuilder()
+        for i, (first, second) in enumerate([("a", "b"), ("b", "c"), ("c", "a")]):
+            t.acq(f"t{i}", first).acq(f"t{i}", second)
+            t.rel(f"t{i}", second).rel(f"t{i}", first)
+        trace = t.build()
+        # inner acquires: 1 (b holding a), 5 (c holding b), 9 (a holding c)
+        assert is_deadlock_pattern(trace, (1, 5, 9))
+        assert not is_deadlock_pattern(trace, (1, 9, 5))  # wrong direction
+
+    def test_size1_rejected(self, inverse_pair):
+        assert not is_deadlock_pattern(inverse_pair, (1,))
+
+
+class TestFindConcretePatterns:
+    def test_finds_and_canonicalizes(self, inverse_pair):
+        pats = find_concrete_patterns(inverse_pair, 2)
+        assert [p.events for p in pats] == [(1, 5)]
+
+    def test_size3(self):
+        t = TraceBuilder()
+        for i, (first, second) in enumerate([("a", "b"), ("b", "c"), ("c", "a")]):
+            t.acq(f"t{i}", first).acq(f"t{i}", second)
+            t.rel(f"t{i}", second).rel(f"t{i}", first)
+        pats = find_concrete_patterns(t.build(), 3)
+        assert len(pats) == 1
+
+    def test_none_on_clean_trace(self):
+        t = TraceBuilder().cs("t1", "a", "b").cs("t2", "a", "b").build()
+        assert find_concrete_patterns(t, 2) == []
+
+
+class TestDeadlockPatternType:
+    def test_canonical_rotation(self):
+        assert DeadlockPattern((5, 1, 3)).canonical().events == (1, 3, 5)
+
+    def test_len_iter(self):
+        p = DeadlockPattern((1, 5))
+        assert len(p) == 2 and list(p) == [1, 5]
+
+    def test_str(self):
+        assert str(DeadlockPattern((1, 5))) == "⟨e1, e5⟩"
+
+
+class TestAbstractPatterns:
+    def test_num_concrete_is_product(self):
+        etas = collect_abstract_acquires(sigma3())
+        eta1 = next(a for a in etas if a.lock == "l2" and a.thread == "t1")
+        eta3 = next(a for a in etas if a.lock == "l1" and a.thread == "t3")
+        abstract = AbstractDeadlockPattern((eta1, eta3))
+        assert abstract.num_concrete == 6
+        assert len(list(abstract.instantiations())) == 6
+
+    def test_canonical_rotation_stable(self):
+        etas = collect_abstract_acquires(sigma3())
+        eta1 = next(a for a in etas if a.lock == "l2" and a.thread == "t1")
+        eta3 = next(a for a in etas if a.lock == "l1" and a.thread == "t3")
+        a = AbstractDeadlockPattern((eta1, eta3)).canonical()
+        b = AbstractDeadlockPattern((eta3, eta1)).canonical()
+        assert a == b
+
+
+class TestDeadlockReport:
+    def test_bug_id_is_sorted_locations(self, inverse_pair):
+        rep = DeadlockReport.from_pattern(inverse_pair, DeadlockPattern((1, 5)))
+        assert rep.bug_id == ("L2", "L4")
+
+    def test_bug_id_falls_back_to_index(self):
+        t = (
+            TraceBuilder()
+            .acq("t1", "a").acq("t1", "b").rel("t1", "b").rel("t1", "a")
+            .acq("t2", "b").acq("t2", "a").rel("t2", "a").rel("t2", "b")
+            .build()
+        )
+        rep = DeadlockReport.from_pattern(t, DeadlockPattern((1, 5)))
+        assert rep.bug_id == ("@1", "@5")
+
+
+class TestAbstractAcquireCollection:
+    def test_skips_unguarded_acquires(self):
+        t = TraceBuilder().acq("t1", "a").rel("t1", "a").build()
+        assert collect_abstract_acquires(t) == []
+
+    def test_groups_by_thread_lock_heldset(self):
+        t = (
+            TraceBuilder()
+            .acq("t1", "g")
+            .acq("t1", "a").rel("t1", "a")
+            .acq("t1", "a").rel("t1", "a")
+            .rel("t1", "g")
+            .acq("t1", "h").acq("t1", "a").rel("t1", "a").rel("t1", "h")
+            .build()
+        )
+        etas = collect_abstract_acquires(t)
+        sigs = {(a.thread, a.lock, tuple(sorted(a.held))): list(a.events) for a in etas}
+        assert sigs == {
+            ("t1", "a", ("g",)): [1, 3],
+            ("t1", "a", ("h",)): [7],
+        }

@@ -1,0 +1,90 @@
+"""Trace profiling (lock contention / thread breakdowns)."""
+
+import pytest
+
+from repro.synth.paper import sigma2, sigma3
+from repro.synth.suite import SUITE_BY_NAME, build_benchmark
+from repro.trace.builder import TraceBuilder
+from repro.trace.profile import profile_trace
+
+
+class TestLockProfiles:
+    def test_acquisition_counts(self):
+        p = profile_trace(sigma3())
+        assert p.locks["l1"].acquisitions == 5   # e1, e16, e19, e23, e28
+        assert p.locks["l2"].acquisitions == 4
+        assert p.locks["l4"].acquisitions == 1
+
+    def test_shared_vs_private(self):
+        p = profile_trace(sigma3())
+        assert p.locks["l1"].is_shared           # t1, t2, t3
+        assert not p.locks["l4"].is_shared       # t2 only
+
+    def test_guarded_acquires(self):
+        t = (
+            TraceBuilder()
+            .acq("t1", "outer").acq("t1", "inner").rel("t1", "inner")
+            .rel("t1", "outer")
+            .acq("t2", "inner").rel("t2", "inner")
+            .build()
+        )
+        p = profile_trace(t)
+        assert p.locks["inner"].guarded_acquires == 1
+        assert p.locks["outer"].guarded_acquires == 0
+
+    def test_max_held_span(self):
+        t = (
+            TraceBuilder()
+            .acq("t1", "l").write("t1", "a").write("t1", "b").rel("t1", "l")
+            .acq("t2", "l").rel("t2", "l")
+            .build()
+        )
+        p = profile_trace(t)
+        assert p.locks["l"].max_held_span == 3
+
+    def test_deadlock_prone_locks(self):
+        p = profile_trace(sigma2())
+        # Only locks acquired while holding another AND shared across
+        # threads can join a pattern.
+        assert set(p.deadlock_prone_locks()) == {"l2", "l3"}
+
+    def test_hottest_locks_ordering(self):
+        p = profile_trace(sigma3())
+        hottest = p.hottest_locks(2)
+        assert hottest[0].lock == "l1"
+
+
+class TestThreadProfiles:
+    def test_event_counts_partition_trace(self):
+        t = sigma2()
+        p = profile_trace(t)
+        assert sum(tp.events for tp in p.threads.values()) == len(t)
+
+    def test_access_and_acquire_split(self):
+        p = profile_trace(sigma2())
+        t2 = p.threads["t2"]
+        assert t2.acquisitions == 2
+        assert t2.accesses == 1   # w(z)
+
+    def test_max_nesting(self):
+        p = profile_trace(sigma3())
+        assert p.threads["t1"].max_nesting == 2
+
+    def test_sync_ratio_bounds(self):
+        for trace in (sigma2(), sigma3()):
+            r = profile_trace(trace).sync_ratio
+            assert 0.0 < r <= 1.0
+
+    def test_pure_memory_trace(self):
+        t = TraceBuilder().write("t1", "x").read("t2", "x").build()
+        p = profile_trace(t)
+        assert p.sync_ratio == 0.0
+        assert p.locks == {}
+
+    def test_profile_on_suite_replica(self):
+        trace = build_benchmark(SUITE_BY_NAME["HashTable"])
+        p = profile_trace(trace)
+        assert p.num_events == len(trace)
+        prone = p.deadlock_prone_locks()
+        # The planted bug locks are exactly the deadlock-prone ones.
+        assert any(lk.startswith("dl") for lk in prone)

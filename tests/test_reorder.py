@@ -1,0 +1,160 @@
+"""Correct-reordering validation, witnesses, and the exhaustive oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reorder.check import (
+    enabled_events,
+    is_correct_reordering,
+    is_sync_preserving,
+    witnesses_deadlock,
+)
+from repro.reorder.exhaustive import ExhaustivePredictor, SearchBudget
+from repro.reorder.witness import witness_from_closure, witness_for_pattern
+from repro.synth.paper import sigma2, sigma3
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.trace.builder import TraceBuilder
+
+
+class TestIsCorrectReordering:
+    def test_empty_is_correct(self):
+        assert is_correct_reordering(sigma2(), [])
+
+    def test_full_trace_is_correct(self):
+        t = sigma2()
+        assert is_correct_reordering(t, range(len(t)))
+
+    def test_rho3_from_paper(self):
+        # ρ3 = e1 e2 e3 e8 e9 e12..e15 e16 e17 (1-based)
+        rho3 = [0, 1, 2, 7, 8, 11, 12, 13, 14, 15, 16]
+        assert is_correct_reordering(sigma2(), rho3)
+        assert is_sync_preserving(sigma2(), rho3)
+
+    def test_rho4_from_example1(self):
+        """ρ4 reorders l1's critical sections: correct but not SP."""
+        t = sigma2()
+        rho4 = [2, 3, 4, 5, 6, 7, 8, 9, 10, 0, 1, 11, 12, 13, 14, 15, 16]
+        assert is_correct_reordering(t, rho4)
+        assert not is_sync_preserving(t, rho4)
+
+    def test_thread_order_violation_rejected(self):
+        t = TraceBuilder().write("t1", "x").write("t1", "y").build()
+        assert not is_correct_reordering(t, [1])      # gap
+        assert not is_correct_reordering(t, [1, 0])   # swapped
+
+    def test_rf_violation_rejected(self):
+        t = (
+            TraceBuilder()
+            .write("t1", "x").write("t2", "x").read("t1", "x")
+            .build()
+        )
+        # e2 reads from e1 (t2's write); dropping t2 breaks it.
+        assert not is_correct_reordering(t, [0, 2])
+        assert is_correct_reordering(t, [0, 1, 2])
+
+    def test_initial_read_must_stay_initial(self):
+        t = TraceBuilder().read("t1", "x").write("t2", "x").build()
+        assert is_correct_reordering(t, [0, 1])
+        assert not is_correct_reordering(t, [1, 0])
+
+    def test_lock_exclusion_enforced(self):
+        t = (
+            TraceBuilder()
+            .acq("t1", "l").rel("t1", "l").acq("t2", "l").rel("t2", "l")
+            .build()
+        )
+        assert not is_correct_reordering(t, [0, 2])  # both CS open
+        assert is_correct_reordering(t, [2, 3, 0, 1])  # reversed but exclusive
+
+    def test_duplicate_events_raise(self):
+        t = TraceBuilder().write("t1", "x").build()
+        with pytest.raises(ValueError):
+            is_correct_reordering(t, [0, 0])
+
+    def test_fork_required_before_child(self):
+        t = TraceBuilder().fork("t1", "t2").write("t2", "x").build()
+        assert not is_correct_reordering(t, [1])
+        assert is_correct_reordering(t, [0, 1])
+
+    def test_join_requires_full_child(self):
+        t = (
+            TraceBuilder()
+            .fork("t1", "t2").write("t2", "x").write("t2", "y").join("t1", "t2")
+            .build()
+        )
+        assert not is_correct_reordering(t, [0, 1, 3])
+        assert is_correct_reordering(t, [0, 1, 2, 3])
+
+
+class TestEnabledEvents:
+    def test_empty_prefix_enables_first_events(self):
+        t = sigma2()
+        enabled = enabled_events(t, [])
+        assert enabled == {0, 2, 7, 15}  # first event of each thread
+
+    def test_full_trace_enables_nothing(self):
+        t = sigma2()
+        assert enabled_events(t, range(len(t))) == set()
+
+    def test_witnesses_deadlock_on_paper_example(self):
+        rho3 = [0, 1, 2, 7, 8, 11, 12, 13, 14, 15, 16]
+        assert witnesses_deadlock(sigma2(), rho3, [3, 17])
+
+
+class TestWitnessConstruction:
+    def test_lemma_4_1_projection_is_sp_correct(self):
+        """Random seeds: the closure projection is always a
+        sync-preserving correct reordering."""
+        for seed in range(40):
+            trace = generate_random_trace(
+                RandomTraceConfig(seed=seed, num_events=40, acquire_prob=0.4)
+            )
+            schedule = witness_from_closure(trace, [len(trace) // 2])
+            assert is_correct_reordering(trace, schedule), trace.name
+            assert is_sync_preserving(trace, schedule), trace.name
+
+    def test_witness_for_non_deadlock_reports_not_ok(self):
+        from repro.synth.paper import sigma1
+
+        _, ok = witness_for_pattern(sigma1(), (1, 7))
+        assert not ok
+
+
+class TestExhaustivePredictor:
+    def test_budget_raises(self):
+        trace = generate_random_trace(
+            RandomTraceConfig(seed=0, num_events=60, num_threads=5)
+        )
+        pred = ExhaustivePredictor(trace, max_states=5)
+        from repro.core.patterns import find_concrete_patterns
+
+        pats = find_concrete_patterns(trace, 2)
+        if pats:
+            with pytest.raises(SearchBudget):
+                pred.is_predictable_deadlock(pats[0].events)
+
+    def test_two_pattern_events_in_one_thread_rejected(self):
+        t = sigma3()
+        pred = ExhaustivePredictor(t)
+        # e2 and e4 are both t1 acquires — cannot both stall t1.
+        assert not pred.is_predictable_deadlock((1, 3))
+
+    def test_all_predictable_deadlocks_on_sigma3(self):
+        pred = ExhaustivePredictor(sigma3())
+        found = {tuple(sorted(p.events)) for p in pred.all_predictable_deadlocks(2)}
+        assert found == {(15, 28), (18, 28)}  # D5, D6 (0-based)
+
+    def test_sp_subset_of_predictable(self):
+        for seed in range(30):
+            trace = generate_random_trace(
+                RandomTraceConfig(
+                    seed=seed, num_events=32, acquire_prob=0.45, max_nesting=3
+                )
+            )
+            sp = ExhaustivePredictor(trace, sync_preserving=True)
+            general = ExhaustivePredictor(trace)
+            from repro.core.patterns import find_concrete_patterns
+
+            for p in find_concrete_patterns(trace, 2):
+                if sp.is_predictable_deadlock(p.events):
+                    assert general.is_predictable_deadlock(p.events)

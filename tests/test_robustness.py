@@ -1,0 +1,114 @@
+"""Robustness fuzzing: mutated traces must never crash the detectors,
+and independent-event swaps must never change verdicts.
+
+Two harnesses:
+
+- **crash-freedom**: random event deletions (repaired to well-formed
+  shape by dropping orphans) run through every detector;
+- **commutation**: swapping two adjacent events of different threads
+  that touch unrelated objects is semantics-preserving; the verdict
+  must survive it.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.races import sp_races
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import spd_online
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.trace.events import Event
+from repro.trace.trace import Trace
+from repro.trace.wellformed import is_well_formed
+
+
+def repair(events):
+    """Drop events made orphan by deletions: releases without a held
+    acquire, re-acquisitions of held locks."""
+    owner = {}
+    out = []
+    for ev in events:
+        if ev.is_acquire:
+            if ev.target in owner:
+                continue
+            owner[ev.target] = ev.thread
+        elif ev.is_release:
+            if owner.get(ev.target) != ev.thread:
+                continue
+            del owner[ev.target]
+        out.append(ev)
+    return [Event(i, e.thread, e.op, e.target, e.loc) for i, e in enumerate(out)]
+
+
+class TestCrashFreedom:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000), drop_seed=st.integers(0, 1000))
+    def test_detectors_survive_random_deletions(self, seed, drop_seed):
+        trace = generate_random_trace(
+            RandomTraceConfig(seed=seed, num_events=50, acquire_prob=0.45,
+                              max_nesting=3)
+        )
+        rng = random.Random(drop_seed)
+        kept = [ev for ev in trace if rng.random() > 0.25]
+        mutated = Trace(repair(kept), name="mutated")
+        assert is_well_formed(mutated, strict_fork_join=False)
+        # None of these may raise.
+        spd_offline(mutated)
+        spd_online(mutated)
+        sp_races(mutated)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_analyses_survive_empty_and_tiny_traces(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(0, 3)
+        trace = generate_random_trace(
+            RandomTraceConfig(seed=seed, num_events=n or 1)
+        )
+        sub = trace.project(range(min(n, len(trace))))
+        spd_offline(sub)
+        spd_online(sub)
+        sp_races(sub)
+
+
+def independent(a: Event, b: Event) -> bool:
+    """Adjacent swap is semantics-preserving: different threads and no
+    shared target with a conflicting kind."""
+    if a.thread == b.thread:
+        return False
+    if a.target != b.target:
+        return True
+    # Same target: only read-read commutes for accesses; lock/fork ops
+    # on the same target never commute safely here.
+    return a.is_read and b.is_read
+
+
+class TestCommutation:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000), pos_seed=st.integers(0, 1000))
+    def test_independent_swap_preserves_verdict(self, seed, pos_seed):
+        trace = generate_random_trace(
+            RandomTraceConfig(seed=seed, num_events=44, acquire_prob=0.45,
+                              max_nesting=3)
+        )
+        rng = random.Random(pos_seed)
+        events = list(trace.events)
+        candidates = [
+            i for i in range(len(events) - 1)
+            if independent(events[i], events[i + 1])
+        ]
+        if not candidates:
+            return
+        i = rng.choice(candidates)
+        events[i], events[i + 1] = events[i + 1], events[i]
+        swapped = Trace(
+            [Event(k, e.thread, e.op, e.target, e.loc) for k, e in enumerate(events)],
+            name="swapped",
+        )
+        assert is_well_formed(swapped, strict_fork_join=False)
+        base = spd_offline(trace)
+        after = spd_offline(swapped)
+        assert base.num_deadlocks == after.num_deadlocks, (trace.name, i)
+        assert base.num_abstract_patterns == after.num_abstract_patterns

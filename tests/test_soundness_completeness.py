@@ -1,0 +1,168 @@
+"""The paper's headline guarantees, checked against the semantic oracle.
+
+On random small traces:
+
+- **Soundness** (Theorem-level claim): every deadlock SPDOffline or
+  SPDOnline reports is a sync-preserving (hence predictable) deadlock
+  per the exhaustive reordering search.
+- **Completeness for the SP class**: every sync-preserving deadlock of
+  size 2 found exhaustively is reported by both algorithms; all sizes
+  by SPDOffline.
+- **Witnesses**: each report comes with a schedule that actually
+  enables the pattern (Lemma 4.1).
+- **Online ≡ offline** on size-2 patterns.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.patterns import find_concrete_patterns
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import spd_online
+from repro.reorder.exhaustive import ExhaustivePredictor
+from repro.reorder.witness import witness_for_pattern
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+
+
+def deadlocky_config(seed: int, threads: int, locks: int) -> RandomTraceConfig:
+    """Configs biased toward nested locking, so patterns actually occur."""
+    return RandomTraceConfig(
+        seed=seed,
+        num_threads=threads,
+        num_locks=locks,
+        num_vars=2,
+        num_events=36,
+        acquire_prob=0.45,
+        release_prob=0.3,
+        max_nesting=3,
+    )
+
+
+trace_strategy = st.builds(
+    lambda seed, t, l: generate_random_trace(deadlocky_config(seed, t, l)),
+    seed=st.integers(0, 200_000),
+    t=st.integers(2, 4),
+    l=st.integers(2, 4),
+)
+
+
+class TestSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=trace_strategy)
+    def test_offline_reports_are_sync_preserving_deadlocks(self, trace):
+        result = spd_offline(trace)
+        oracle = ExhaustivePredictor(trace, sync_preserving=True)
+        for report in result.reports:
+            assert oracle.is_predictable_deadlock(report.pattern.events), (
+                trace.name,
+                report.pattern.events,
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=trace_strategy)
+    def test_offline_reports_are_predictable_deadlocks(self, trace):
+        """Soundness against the *general* notion (SP ⊆ predictable)."""
+        result = spd_offline(trace)
+        oracle = ExhaustivePredictor(trace, sync_preserving=False)
+        for report in result.reports:
+            assert oracle.is_predictable_deadlock(report.pattern.events)
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=trace_strategy)
+    def test_online_reports_are_sync_preserving_deadlocks(self, trace):
+        result = spd_online(trace)
+        oracle = ExhaustivePredictor(trace, sync_preserving=True)
+        for a, b in result.deadlock_pairs():
+            assert oracle.is_predictable_deadlock((a, b)), (trace.name, (a, b))
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=trace_strategy)
+    def test_every_report_ships_a_valid_witness(self, trace):
+        result = spd_offline(trace)
+        for report in result.reports:
+            schedule, ok = witness_for_pattern(trace, report.pattern.events)
+            assert ok, (trace.name, report.pattern.events, schedule)
+
+
+class TestCompleteness:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=trace_strategy)
+    def test_offline_finds_every_size2_sp_deadlock_abstract(self, trace):
+        """If any instantiation of an abstract pattern is an SP deadlock,
+        SPDOffline reports that abstract pattern."""
+        oracle = ExhaustivePredictor(trace, sync_preserving=True)
+        sp_patterns = [
+            p
+            for p in find_concrete_patterns(trace, size=2)
+            if oracle.is_predictable_deadlock(p.events)
+        ]
+        result = spd_offline(trace)
+        reported_abstract = {
+            a.canonical() for a in (r.abstract for r in result.reports) if a
+        }
+        for p in sp_patterns:
+            holder = _abstract_of(trace, p, result)
+            assert holder is not None, (trace.name, p.events)
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=trace_strategy)
+    def test_online_finds_every_size2_sp_deadlock_abstract(self, trace):
+        oracle = ExhaustivePredictor(trace, sync_preserving=True)
+        sp_patterns = [
+            p
+            for p in find_concrete_patterns(trace, size=2)
+            if oracle.is_predictable_deadlock(p.events)
+        ]
+        result = spd_online(trace)
+        # Online reports may pick different instantiations; compare at
+        # the level of (thread, lock, heldlock) context pairs.
+        reported_ctx = set()
+        for a, b in result.deadlock_pairs():
+            reported_ctx.add(_ctx_of(trace, a, b))
+        for p in sp_patterns:
+            a, b = sorted(p.events)
+            assert _ctx_of(trace, a, b) in reported_ctx, (trace.name, p.events)
+
+
+def _ctx_of(trace, a, b):
+    ea, eb = trace[a], trace[b]
+    key_a = (ea.thread, ea.target)
+    key_b = (eb.thread, eb.target)
+    return tuple(sorted([key_a, key_b]))
+
+
+def _abstract_of(trace, pattern, result):
+    """Find a report whose abstract pattern covers ``pattern``."""
+    want = set(pattern.events)
+    for report in result.reports:
+        if report.abstract is None:
+            continue
+        pools = [set(a.events) for a in report.abstract.acquires]
+        for combo in itertools.permutations(pools, len(pools)):
+            if all(e in pool for e, pool in zip(pattern.events, combo)):
+                return report
+    return None
+
+
+class TestOnlineOfflineAgreement:
+    @settings(max_examples=80, deadline=None)
+    @given(trace=trace_strategy)
+    def test_same_verdict_on_size2(self, trace):
+        """SPDOnline reports a deadlock iff SPDOffline (size 2) does."""
+        offline = spd_offline(trace, max_size=2)
+        online = spd_online(trace)
+        assert (offline.num_deadlocks > 0) == (online.num_reports > 0), trace.name
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=trace_strategy)
+    def test_online_context_set_matches_offline_abstract_set(self, trace):
+        offline = spd_offline(trace, max_size=2)
+        online = spd_online(trace)
+        off_ctx = set()
+        for r in offline.reports:
+            a, b = sorted(r.pattern.events)
+            off_ctx.add(_ctx_of(trace, a, b))
+        on_ctx = {_ctx_of(trace, a, b) for a, b in online.deadlock_pairs()}
+        assert off_ctx == on_ctx, trace.name

@@ -1,0 +1,90 @@
+"""Stateful property testing: the streaming detector as a state machine.
+
+Hypothesis drives SPDOnline one event at a time through randomly built
+well-formed traces, checking after every step that the streaming
+verdict equals the batch verdict on the prefix consumed so far —
+SPDOnline must never need lookahead, never retract a report, and never
+miss one the offline analysis of the same prefix finds.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import SPDOnline
+from repro.trace.events import Event, Op
+from repro.trace.trace import Trace
+
+THREADS = ["t0", "t1", "t2"]
+LOCKS = ["la", "lb", "lc"]
+VARS = ["x", "y"]
+
+
+class OnlineDetectorMachine(RuleBasedStateMachine):
+    """Builds a well-formed trace incrementally, mirroring it into the
+    streaming detector."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.events = []
+        self.detector = SPDOnline()
+        self.held = {t: [] for t in THREADS}
+        self.owner = {}
+        self.report_count = 0
+
+    def _emit(self, thread: str, op: str, target: str) -> None:
+        ev = Event(len(self.events), thread, op, target)
+        self.events.append(ev)
+        self.detector.step(ev)
+
+    @rule(t=st.sampled_from(THREADS), lk=st.sampled_from(LOCKS))
+    def acquire(self, t: str, lk: str) -> None:
+        if lk in self.owner or len(self.held[t]) >= 2:
+            return  # keep the trace well-formed
+        self.owner[lk] = t
+        self.held[t].append(lk)
+        self._emit(t, Op.ACQUIRE, lk)
+
+    @rule(t=st.sampled_from(THREADS))
+    def release(self, t: str) -> None:
+        if not self.held[t]:
+            return
+        lk = self.held[t].pop()
+        del self.owner[lk]
+        self._emit(t, Op.RELEASE, lk)
+
+    @rule(t=st.sampled_from(THREADS), v=st.sampled_from(VARS), w=st.booleans())
+    def access(self, t: str, v: str, w: bool) -> None:
+        self._emit(t, Op.WRITE if w else Op.READ, v)
+
+    @invariant()
+    def reports_never_retract(self) -> None:
+        assert len(self.detector.reports) >= self.report_count
+        self.report_count = len(self.detector.reports)
+
+    @invariant()
+    def prefix_verdict_matches_offline(self) -> None:
+        # Cheap guard: only compare when the prefix is small enough to
+        # re-analyze from scratch on every step.
+        if len(self.events) > 60 or len(self.events) % 7 != 0:
+            return
+        prefix = Trace(list(self.events), name="prefix")
+        offline = spd_offline(prefix, max_size=2)
+        online_found = bool(self.detector.reports)
+        offline_found = offline.num_deadlocks > 0
+        assert online_found == offline_found, (
+            len(self.events),
+            [str(e) for e in self.events],
+        )
+
+
+TestOnlineDetectorMachine = OnlineDetectorMachine.TestCase
+TestOnlineDetectorMachine.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

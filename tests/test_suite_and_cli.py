@@ -1,0 +1,145 @@
+"""The Table 1 suite replicas and the command-line interface."""
+
+import pytest
+
+from repro.baselines.seqcheck import SeqCheckFailure, seqcheck
+from repro.cli import main
+from repro.core.spd_offline import spd_offline
+from repro.synth.suite import (
+    SUITE_BY_NAME,
+    TABLE1_SUITE,
+    build_benchmark,
+    small_suite,
+)
+from repro.trace.parser import format_trace, save_trace
+from repro.trace.stats import compute_stats
+
+
+class TestSuiteShape:
+    def test_all_48_rows_present(self):
+        assert len(TABLE1_SUITE) == 48
+        assert len(SUITE_BY_NAME) == 48
+
+    def test_paper_totals(self):
+        """Aggregate claims from Table 1's Totals row."""
+        assert sum(s.paper_events for s in TABLE1_SUITE) > 1_000_000_000
+        assert sum(s.paper_spd for s in TABLE1_SUITE) == 40
+        seq_total = sum(s.paper_seqcheck or 0 for s in TABLE1_SUITE)
+        assert seq_total == 40
+        dirk_total = sum(s.paper_dirk or 0 for s in TABLE1_SUITE)
+        assert dirk_total == 35
+
+    def test_published_cycle_abstract_concrete_ordering(self):
+        """Abstract patterns never outnumber concrete ones."""
+        for s in TABLE1_SUITE:
+            assert s.paper_abstract <= s.paper_concrete
+
+    def test_hsqldb_is_the_nonnested_row(self):
+        assert SUITE_BY_NAME["hsqldb"].nonnested
+        assert SUITE_BY_NAME["hsqldb"].paper_seqcheck is None
+
+
+class TestSmallReplicas:
+    @pytest.mark.parametrize("spec", small_suite(), ids=lambda s: s.name)
+    def test_spd_count_matches_paper(self, spec):
+        trace = build_benchmark(spec)
+        result = spd_offline(trace)
+        assert result.num_deadlocks == spec.expected_spd == spec.paper_spd
+
+    @pytest.mark.parametrize("spec", small_suite(), ids=lambda s: s.name)
+    def test_seqcheck_count_matches_paper(self, spec):
+        trace = build_benchmark(spec)
+        res = seqcheck(trace, first_hit_per_abstract=False)
+        bugs = {r.bug_id for r in res.reports}
+        assert len(bugs) == spec.paper_seqcheck
+
+    def test_replicas_are_deterministic(self):
+        spec = SUITE_BY_NAME["Picklock"]
+        assert format_trace(build_benchmark(spec)) == format_trace(build_benchmark(spec))
+
+    def test_hsqldb_replica_defeats_seqcheck_not_spd(self):
+        spec = SUITE_BY_NAME["hsqldb"]
+        trace = build_benchmark(spec)
+        with pytest.raises(SeqCheckFailure):
+            seqcheck(trace)
+        assert spd_offline(trace).num_deadlocks == 0
+
+    def test_jigsaw_replica_separates_tools(self):
+        spec = SUITE_BY_NAME["jigsaw"]
+        trace = build_benchmark(spec)
+        spd_bugs = spd_offline(trace).num_deadlocks
+        sq = seqcheck(trace, first_hit_per_abstract=False)
+        sq_bugs = len({r.bug_id for r in sq.reports})
+        assert (spd_bugs, sq_bugs) == (spec.paper_spd, spec.paper_seqcheck) == (1, 2)
+
+    def test_dining_replica_needs_size_beyond_2(self):
+        spec = SUITE_BY_NAME["DiningPhil"]
+        trace = build_benchmark(spec)
+        assert spd_offline(trace, max_size=2).num_deadlocks == 0
+        assert spd_offline(trace).num_deadlocks == 1
+
+
+class TestCLI:
+    def test_analyze_reports_deadlock(self, tmp_path, capsys):
+        from repro.synth.templates import simple_deadlock_trace
+
+        path = tmp_path / "t.std"
+        save_trace(simple_deadlock_trace(), str(path))
+        code = main(["analyze", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "1 sync-preserving deadlock" in out
+
+    def test_analyze_online(self, tmp_path, capsys):
+        from repro.synth.templates import simple_deadlock_trace
+
+        path = tmp_path / "t.std"
+        save_trace(simple_deadlock_trace(), str(path))
+        code = main(["analyze", "--online", str(path)])
+        assert code == 1
+        assert "online" in capsys.readouterr().out
+
+    def test_analyze_clean_trace_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "t.std"
+        path.write_text("t1|acq(l)\nt1|rel(l)\n")
+        assert main(["analyze", str(path)]) == 0
+
+    def test_stats(self, tmp_path, capsys):
+        path = tmp_path / "t.std"
+        path.write_text("t1|acq(l)\nt1|w(x)\nt1|rel(l)\n")
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "events:      3" in out
+        assert "locks:       1" in out
+
+    def test_generate_known_benchmark(self, capsys):
+        assert main(["generate", "Picklock"]) == 0
+        out = capsys.readouterr().out
+        assert "|acq(" in out
+
+    def test_generate_unknown_benchmark(self, capsys):
+        assert main(["generate", "nope"]) == 2
+
+    def test_witness(self, tmp_path, capsys):
+        from repro.synth.paper import sigma2
+
+        path = tmp_path / "t.std"
+        save_trace(sigma2(), str(path))
+        assert main(["witness", str(path), "3", "17"]) == 0
+        out = capsys.readouterr().out
+        assert "witness schedule" in out
+
+    def test_witness_negative(self, tmp_path, capsys):
+        from repro.synth.paper import sigma1
+
+        path = tmp_path / "t.std"
+        save_trace(sigma1(), str(path))
+        assert main(["witness", str(path), "1", "7"]) == 1
+
+
+class TestStatsOnReplicas:
+    def test_scaled_dimensions_bounded(self):
+        for spec in small_suite():
+            st = compute_stats(build_benchmark(spec))
+            assert st.num_events <= 21_000
+            assert st.num_threads <= 60

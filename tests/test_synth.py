@@ -1,0 +1,161 @@
+"""Workload generators: templates, random traces, and the suite recipes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.goodlock import goodlock
+from repro.core.patterns import find_concrete_patterns
+from repro.core.spd_offline import spd_offline
+from repro.reorder.exhaustive import ExhaustivePredictor
+from repro.synth.random_traces import (
+    RandomTraceConfig,
+    generate_random_trace,
+    generate_trace_batch,
+)
+from repro.synth.suite import TABLE1_SUITE, build_benchmark
+from repro.synth.templates import (
+    account_trace,
+    dining_philosophers_trace,
+    guarded_cycle_trace,
+    nested_family_trace,
+    non_well_nested_trace,
+    order_violation_trace,
+    picklock_trace,
+    simple_deadlock_trace,
+    stringbuffer_trace,
+    transfer_trace,
+)
+from repro.trace.wellformed import has_well_nested_locks, is_well_formed
+
+
+class TestTemplates:
+    def test_simple_deadlock(self):
+        t = simple_deadlock_trace()
+        assert spd_offline(t).num_deadlocks == 1
+        assert ExhaustivePredictor(t).all_predictable_deadlocks(2)
+
+    def test_simple_deadlock_padding_preserves_verdict(self):
+        assert spd_offline(simple_deadlock_trace(padding=50)).num_deadlocks == 1
+
+    def test_guarded_cycle_no_pattern(self):
+        t = guarded_cycle_trace()
+        assert find_concrete_patterns(t, 2) == []
+        assert spd_offline(t).num_deadlocks == 0
+
+    def test_order_violation_pattern_but_no_deadlock(self):
+        t = order_violation_trace()
+        assert len(find_concrete_patterns(t, 2)) == 1
+        assert spd_offline(t).num_deadlocks == 0
+        assert not ExhaustivePredictor(t).all_predictable_deadlocks(2)
+
+    def test_dining_sizes(self):
+        for n in (3, 4, 5):
+            t = dining_philosophers_trace(n)
+            res = spd_offline(t)
+            assert res.num_deadlocks == 1
+            assert len(res.reports[0].pattern) == n
+
+    def test_dining_rounds_inflate_concrete_patterns(self):
+        t1 = dining_philosophers_trace(3, rounds=1)
+        t3 = dining_philosophers_trace(3, rounds=3)
+        r1, r3 = spd_offline(t1), spd_offline(t3)
+        assert r1.num_abstract_patterns == r3.num_abstract_patterns == 1
+        assert r3.num_concrete_patterns == 27 * r1.num_concrete_patterns
+
+    def test_picklock_one_real_one_false(self):
+        t = picklock_trace()
+        assert len(find_concrete_patterns(t, 2)) == 2
+        assert spd_offline(t).num_deadlocks == 1
+
+    def test_stringbuffer_two_bugs(self):
+        res = spd_offline(stringbuffer_trace())
+        assert len(res.unique_bugs()) == 2
+
+    def test_transfer_value_dependent(self):
+        t = transfer_trace()
+        assert len(find_concrete_patterns(t, 2)) == 1
+        assert spd_offline(t).num_deadlocks == 0
+
+    def test_account_guarded(self):
+        t = account_trace()
+        assert find_concrete_patterns(t, 2) == []
+        assert goodlock(t, max_size=3).num_warnings == 0
+
+    def test_nested_family_parametric(self):
+        t = nested_family_trace(4, 3, 2, "Fam")
+        res = spd_offline(t)
+        # Every (forward, reverse) thread pair forms an abstract
+        # pattern per deadlocking lock pair; bugs dedup by location.
+        assert len(res.unique_bugs()) == 2
+        assert res.num_deadlocks >= 2
+
+    def test_non_well_nested(self):
+        t = non_well_nested_trace()
+        assert not has_well_nested_locks(t)
+        assert is_well_formed(t, strict_fork_join=False)
+
+    def test_all_templates_well_formed(self):
+        for factory in (
+            simple_deadlock_trace, guarded_cycle_trace, order_violation_trace,
+            picklock_trace, stringbuffer_trace, transfer_trace, account_trace,
+            non_well_nested_trace,
+        ):
+            assert is_well_formed(factory(), strict_fork_join=False), factory
+
+
+class TestRandomGeneration:
+    def test_batch_distinct_seeds(self):
+        batch = generate_trace_batch(RandomTraceConfig(num_events=30), 5)
+        names = {t.name for t in batch}
+        assert len(names) == 5
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_target_length_respected(self, seed):
+        cfg = RandomTraceConfig(seed=seed, num_events=50)
+        t = generate_random_trace(cfg)
+        # Drain may add releases; never shorter than requested.
+        assert len(t) >= 50
+
+    def test_nesting_cap_respected(self):
+        cfg = RandomTraceConfig(seed=3, num_events=200, acquire_prob=0.6,
+                                max_nesting=2, num_locks=5)
+        t = generate_random_trace(cfg)
+        assert t.lock_nesting_depth <= 2
+
+
+class TestSuiteRecipes:
+    @pytest.mark.parametrize(
+        "spec", [s for s in TABLE1_SUITE if s.paper_events <= 25_000],
+        ids=lambda s: s.name,
+    )
+    def test_replica_dimension_caps(self, spec):
+        trace = build_benchmark(spec)
+        assert len(trace) <= spec.events + 2_000
+
+    def test_rounds_control_instantiations(self):
+        vec = next(s for s in TABLE1_SUITE if s.name == "Vector")
+        trace = build_benchmark(vec)
+        res = spd_offline(trace)
+        assert res.num_concrete_patterns == vec.rounds ** 2
+
+    def test_cross_process_determinism_hashfree(self):
+        """Replica construction must not depend on salted str hashes."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.synth.suite import SUITE_BY_NAME, build_benchmark;"
+            "from repro.trace.parser import format_trace;"
+            "import hashlib;"
+            "t = build_benchmark(SUITE_BY_NAME['Picklock']);"
+            "print(hashlib.sha256(format_trace(t).encode()).hexdigest())"
+        )
+        outs = set()
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True,
+            )
+            outs.add(proc.stdout.strip())
+        assert len(outs) == 1

@@ -1,0 +1,155 @@
+"""Unit tests for the Trace container and its derived relations."""
+
+import pytest
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import Trace, TraceError
+
+
+@pytest.fixture
+def simple():
+    return (
+        TraceBuilder()
+        .acq("t1", "l1")      # 0
+        .write("t1", "x")     # 1
+        .rel("t1", "l1")      # 2
+        .acq("t2", "l1")      # 3
+        .read("t2", "x")      # 4
+        .rel("t2", "l1")      # 5
+        .build("simple")
+    )
+
+
+class TestBasics:
+    def test_len_and_indexing(self, simple):
+        assert len(simple) == 6
+        assert simple[0].is_acquire
+        assert simple[4].is_read
+
+    def test_indices_renumbered(self):
+        from repro.trace.events import Event, Op
+
+        t = Trace([Event(99, "t1", Op.WRITE, "x")])
+        assert t[0].idx == 0
+
+    def test_threads_in_appearance_order(self, simple):
+        assert simple.threads == ["t1", "t2"]
+
+    def test_locks_and_vars(self, simple):
+        assert simple.locks == ["l1"]
+        assert simple.variables == ["x"]
+
+    def test_events_of_thread(self, simple):
+        assert simple.events_of_thread("t1") == [0, 1, 2]
+        assert simple.events_of_thread("t2") == [3, 4, 5]
+        assert simple.events_of_thread("nope") == []
+
+    def test_acquires_of_lock(self, simple):
+        assert simple.acquires_of_lock("l1") == [0, 3]
+
+
+class TestReadsFrom:
+    def test_rf_last_writer(self, simple):
+        assert simple.rf(4) == 1
+
+    def test_rf_initial_read_is_none(self):
+        t = TraceBuilder().read("t1", "x").build()
+        assert t.rf(0) is None
+
+    def test_rf_of_non_read_raises(self, simple):
+        with pytest.raises(ValueError):
+            simple.rf(1)
+
+    def test_rf_tracks_interleaved_writers(self):
+        t = (
+            TraceBuilder()
+            .write("t1", "x")   # 0
+            .write("t2", "x")   # 1
+            .read("t1", "x")    # 2
+            .write("t1", "x")   # 3
+            .read("t2", "x")    # 4
+            .build()
+        )
+        assert t.rf(2) == 1
+        assert t.rf(4) == 3
+
+
+class TestMatchAndHeldLocks:
+    def test_match_pairs(self, simple):
+        assert simple.match(0) == 2
+        assert simple.match(2) == 0
+        assert simple.match(1) is None
+
+    def test_unmatched_acquire(self):
+        t = TraceBuilder().acq("t1", "l1").build()
+        assert t.match(0) is None
+
+    def test_release_without_acquire_rejected(self):
+        with pytest.raises(TraceError):
+            TraceBuilder().rel("t1", "l1").build().threads  # force analysis
+
+    def test_held_locks_nested(self):
+        t = (
+            TraceBuilder()
+            .acq("t1", "l1")    # 0: holds {}
+            .acq("t1", "l2")    # 1: holds {l1}
+            .write("t1", "x")   # 2: holds {l1, l2}
+            .rel("t1", "l2")    # 3
+            .rel("t1", "l1")    # 4
+            .build()
+        )
+        assert t.held_locks(0) == ()
+        assert t.held_locks(1) == ("l1",)
+        assert set(t.held_locks(2)) == {"l1", "l2"}
+
+    def test_held_locks_non_lifo_release(self):
+        # hand-over-hand: acq a, acq b, rel a, rel b
+        t = (
+            TraceBuilder()
+            .acq("t1", "a").acq("t1", "b").rel("t1", "a")
+            .write("t1", "x")   # 3: holds {b}
+            .rel("t1", "b")
+            .build()
+        )
+        assert t.held_locks(3) == ("b",)
+
+    def test_nesting_depth(self):
+        t = TraceBuilder().cs("t1", "a", "b", "c").build()
+        assert t.lock_nesting_depth == 3
+
+    def test_nesting_depth_no_locks(self):
+        t = TraceBuilder().write("t1", "x").build()
+        assert t.lock_nesting_depth == 0
+
+
+class TestThreadOrder:
+    def test_same_thread_ordered(self, simple):
+        assert simple.thread_order_leq(0, 2)
+        assert simple.thread_order_leq(0, 0)
+        assert not simple.thread_order_leq(2, 0)
+
+    def test_cross_thread_unordered(self, simple):
+        assert not simple.thread_order_leq(0, 3)
+        assert not simple.thread_order_leq(3, 0)
+
+    def test_positions(self, simple):
+        assert simple.thread_position(4) == ("t2", 1)
+
+    def test_thread_predecessor(self, simple):
+        assert simple.thread_predecessor(0) is None
+        assert simple.thread_predecessor(1) == 0
+        assert simple.thread_predecessor(3) is None
+        assert simple.thread_predecessor(5) == 4
+
+
+class TestProjection:
+    def test_project_keeps_order(self, simple):
+        sub = simple.project([4, 0, 3])
+        assert [ev.op for ev in sub] == ["acq", "acq", "r"]
+        assert [ev.idx for ev in sub] == [0, 1, 2]
+
+    def test_project_empty(self, simple):
+        assert len(simple.project([])) == 0
+
+    def test_num_acquires(self, simple):
+        assert simple.num_acquires() == 2

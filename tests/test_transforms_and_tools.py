@@ -1,0 +1,199 @@
+"""Trace transforms, DOT export, and witness replay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.spd_offline import spd_offline
+from repro.graph.dot import alg_to_dot, lock_order_to_dot
+from repro.runtime.programs import inverse_order_program, transfer_program
+from repro.runtime.replay import (
+    ScriptedScheduler,
+    predict_and_replay,
+    replay_witness,
+    schedule_to_script,
+)
+from repro.runtime.scheduler import RandomScheduler, run_program
+from repro.synth.paper import sigma2, sigma3
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.trace.builder import TraceBuilder
+from repro.trace.transforms import (
+    concat,
+    filter_threads,
+    filter_variables,
+    flatten_reentrant_locks,
+    insert_requests,
+    rename,
+    truncate_well_formed,
+)
+from repro.trace.wellformed import is_well_formed
+
+
+class TestFlattenReentrant:
+    def test_inner_reacquire_dropped(self):
+        from repro.trace.events import Event, Op
+        from repro.trace.trace import Trace
+
+        raw = Trace([
+            Event(0, "t1", Op.ACQUIRE, "l"),
+            Event(1, "t1", Op.ACQUIRE, "l"),   # reentrant
+            Event(2, "t1", Op.WRITE, "x"),
+            Event(3, "t1", Op.RELEASE, "l"),   # inner release
+            Event(4, "t1", Op.RELEASE, "l"),
+        ])
+        flat = flatten_reentrant_locks(raw)
+        assert [ev.op for ev in flat] == ["acq", "w", "rel"]
+        assert is_well_formed(flat)
+
+    def test_unmatched_release_dropped(self):
+        from repro.trace.events import Event, Op
+        from repro.trace.trace import Trace
+
+        raw = Trace([Event(0, "t1", Op.RELEASE, "l"), Event(1, "t1", Op.WRITE, "x")])
+        flat = flatten_reentrant_locks(raw)
+        assert [ev.op for ev in flat] == ["w"]
+
+    def test_plain_trace_unchanged(self):
+        t = sigma2()
+        flat = flatten_reentrant_locks(t)
+        assert len(flat) == len(t)
+        assert spd_offline(flat).num_deadlocks == 1
+
+
+class TestOtherTransforms:
+    def test_insert_requests(self):
+        t = TraceBuilder().acq("t1", "l").rel("t1", "l").build()
+        out = insert_requests(t)
+        assert [ev.op for ev in out] == ["req", "acq", "rel"]
+
+    def test_rename_preserves_verdict(self):
+        t = sigma2()
+        renamed = rename(
+            t,
+            thread_map=lambda s: "T" + s,
+            lock_map=lambda s: "L" + s,
+            var_map=lambda s: "V" + s,
+        )
+        assert spd_offline(renamed).num_deadlocks == 1
+        assert renamed.threads == ["T" + x for x in t.threads]
+
+    def test_rename_maps_fork_targets(self):
+        t = TraceBuilder().fork("m", "c").write("c", "x").build()
+        renamed = rename(t, thread_map=lambda s: s.upper())
+        assert renamed[0].target == "C"
+
+    def test_filter_threads(self):
+        t = sigma2()
+        sub = filter_threads(t, {"t2", "t3"})
+        assert set(sub.threads) == {"t2", "t3"}
+        assert is_well_formed(sub, strict_fork_join=False)
+
+    def test_filter_variables(self):
+        t = sigma2()
+        sub = filter_variables(t, {"z"})
+        assert "z" not in sub.variables
+        assert is_well_formed(sub, strict_fork_join=False)
+
+    def test_concat(self):
+        a = TraceBuilder().cs("t1", "l").build()
+        b = TraceBuilder().cs("t2", "l").build()
+        joined = concat([a, b])
+        assert len(joined) == 4
+        assert is_well_formed(joined)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 50))
+    def test_truncate_always_well_formed(self, seed, n):
+        t = generate_random_trace(
+            RandomTraceConfig(seed=seed, num_events=60, acquire_prob=0.4)
+        )
+        cut = truncate_well_formed(t, n)
+        assert is_well_formed(cut, strict_fork_join=False)
+
+    def test_truncate_preserves_prefix(self):
+        t = sigma2()
+        cut = truncate_well_formed(t, 5)
+        for i in range(5):
+            assert cut[i].op == t[i].op and cut[i].target == t[i].target
+
+
+class TestDotExport:
+    def test_alg_dot_contains_nodes_and_edges(self):
+        dot = alg_to_dot(sigma3())
+        assert dot.startswith("digraph")
+        assert dot.count("shape=box") == 4  # η1..η4
+        assert "->" in dot
+        assert "fillcolor" in dot  # the cycle is highlighted
+
+    def test_alg_dot_no_cycles_no_highlight(self):
+        t = TraceBuilder().cs("t1", "a", "b").cs("t2", "a", "b").build()
+        dot = alg_to_dot(t)
+        assert "fillcolor" not in dot
+
+    def test_lock_order_dot(self):
+        dot = lock_order_to_dot(sigma2())
+        assert '"l2" -> "l3"' in dot
+        assert '"l3" -> "l2"' in dot
+
+
+class TestScriptedScheduler:
+    def test_follows_script(self):
+        prog = inverse_order_program("P", 1, spacing=0)
+        # Run thread t0 fully, then t1 fully.
+        script = ["t0"] * 8 + ["t1"] * 8
+        res = run_program(prog, ScriptedScheduler(script))
+        assert not res.deadlocked
+        threads = [ev.thread for ev in res.trace]
+        assert threads == ["t0"] * 6 + ["t1"] * 6
+
+    def test_divergence_flagged(self):
+        prog = inverse_order_program("P", 1, spacing=0)
+        sched = ScriptedScheduler(["zzz", "t0"])
+        run_program(prog, sched, max_steps=5)
+        assert sched.diverged
+
+
+class TestWitnessReplay:
+    def test_predict_and_replay_confirms(self):
+        """End to end: observe, predict, replay, actually deadlock."""
+        prog = inverse_order_program("P", 1, spacing=2)
+        result = predict_and_replay(prog, seed=3)
+        assert result is not None
+        assert result.confirmed
+        assert len(result.execution.deadlock_cycle) == 2
+
+    def test_replay_on_clean_program_returns_none(self):
+        from repro.runtime.programs import parallel_compute_program
+
+        result = predict_and_replay(parallel_compute_program("Q"), seed=0)
+        assert result is None
+
+    def test_replay_of_explicit_witness(self):
+        prog = inverse_order_program("P", 1, spacing=0)
+        # Observe a serialized run (t0 first, then t1): no actual
+        # deadlock, but a predictable one.
+        script = ["t0"] * 6 + ["t1"] * 6
+        observed = run_program(prog, ScriptedScheduler(script))
+        assert not observed.deadlocked
+        offline = spd_offline(observed.trace)
+        assert offline.num_deadlocks == 1
+        from repro.reorder.witness import witness_for_pattern
+
+        pattern = offline.reports[0].pattern.events
+        schedule, ok = witness_for_pattern(observed.trace, pattern)
+        assert ok
+        replay = replay_witness(prog, observed.trace, schedule, pattern)
+        assert replay.confirmed and not replay.diverged
+
+    def test_schedule_to_script(self):
+        t = TraceBuilder().write("a", "x").write("b", "y").build()
+        assert schedule_to_script(t, [1, 0]) == ["b", "a"]
+
+    def test_many_programs_replay(self):
+        """Replay confirms predictions across seeds and shapes."""
+        confirmed = 0
+        for seed in range(10):
+            prog = inverse_order_program(f"P{seed}", 1, spacing=seed % 4)
+            result = predict_and_replay(prog, seed=seed)
+            if result is not None and result.confirmed:
+                confirmed += 1
+        assert confirmed >= 8

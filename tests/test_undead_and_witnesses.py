@@ -1,0 +1,69 @@
+"""UNDEAD baseline and witness attachment."""
+
+import pytest
+
+from repro.baselines.undead import undead
+from repro.core.spd_offline import spd_offline
+from repro.reorder.check import (
+    enabled_events,
+    is_correct_reordering,
+    is_sync_preserving,
+)
+from repro.synth.paper import sigma1, sigma2, sigma3
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.synth.suite import SUITE_BY_NAME, build_benchmark
+
+
+class TestUndead:
+    def test_reports_unverified_pattern(self):
+        """σ1's pattern warns under UNDEAD (unsound) and not under SPD."""
+        res = undead(sigma1())
+        assert res.num_warnings == 1
+        assert spd_offline(sigma1()).num_deadlocks == 0
+
+    def test_warning_count_equals_abstract_patterns(self):
+        for trace in (sigma1(), sigma2(), sigma3()):
+            assert (
+                undead(trace).num_warnings
+                == spd_offline(trace).num_abstract_patterns
+            )
+
+    def test_dependency_dedup(self):
+        """σ3's η1 has three concrete acquires but one dependency."""
+        res = undead(sigma3())
+        assert res.num_dependencies == 4  # η1..η4
+
+    def test_ladder_position_on_suite_row(self):
+        """Goodlock ≥ UNDEAD ≥ SPD on an instantiation-heavy replica."""
+        from repro.baselines.goodlock import goodlock
+
+        trace = build_benchmark(SUITE_BY_NAME["JDBCMySQL-4"])
+        gl = goodlock(trace, max_size=2, max_warnings_per_cycle=100).num_warnings
+        ud = undead(trace).num_warnings
+        spd = spd_offline(trace).num_deadlocks
+        assert gl >= ud >= spd
+        assert ud == 10 and spd == 2  # paper row: 10 APs, 2 deadlocks
+
+
+class TestWitnessAttachment:
+    def test_sigma2_witness_is_rho3(self):
+        result = spd_offline(sigma2(), with_witnesses=True)
+        schedule = result.witnesses[(3, 17)]
+        assert sorted(i + 1 for i in schedule) == [1, 2, 3, 8, 9, 12, 13, 14, 15, 16, 17]
+
+    def test_witnesses_valid_on_random_traces(self):
+        for seed in range(20):
+            trace = generate_random_trace(
+                RandomTraceConfig(seed=seed, num_events=40, acquire_prob=0.45,
+                                  max_nesting=3)
+            )
+            result = spd_offline(trace, with_witnesses=True)
+            assert len(result.witnesses) == result.num_deadlocks
+            for pattern, schedule in result.witnesses.items():
+                assert is_correct_reordering(trace, schedule)
+                assert is_sync_preserving(trace, schedule)
+                enabled = enabled_events(trace, schedule)
+                assert all(e in enabled for e in pattern)
+
+    def test_default_off(self):
+        assert spd_offline(sigma2()).witnesses == {}

@@ -1,0 +1,138 @@
+"""Vector-clock lattice laws and TRF-timestamp characterization."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.vc.clock import ThreadUniverse, VectorClock
+from repro.vc.timestamps import TRFTimestamps, trf_reachable_set
+
+clock_values = st.lists(st.integers(0, 6), min_size=0, max_size=5)
+
+
+def vc(values):
+    return VectorClock(values)
+
+
+class TestLatticeLaws:
+    @given(clock_values)
+    def test_leq_reflexive(self, a):
+        assert vc(a).leq(vc(a))
+
+    @given(clock_values, clock_values)
+    def test_join_is_upper_bound(self, a, b):
+        j = vc(a).join(vc(b))
+        assert vc(a).leq(j) and vc(b).leq(j)
+
+    @given(clock_values, clock_values, clock_values)
+    def test_join_is_least_upper_bound(self, a, b, c):
+        ub = vc(c)
+        if vc(a).leq(ub) and vc(b).leq(ub):
+            assert vc(a).join(vc(b)).leq(ub)
+
+    @given(clock_values, clock_values)
+    def test_join_commutative(self, a, b):
+        assert vc(a).join(vc(b)) == vc(b).join(vc(a))
+
+    @given(clock_values, clock_values, clock_values)
+    def test_join_associative(self, a, b, c):
+        left = vc(a).join(vc(b)).join(vc(c))
+        right = vc(a).join(vc(b).join(vc(c)))
+        assert left == right
+
+    @given(clock_values)
+    def test_join_idempotent(self, a):
+        assert vc(a).join(vc(a)) == vc(a)
+
+    @given(clock_values, clock_values)
+    def test_leq_antisymmetric_modulo_padding(self, a, b):
+        if vc(a).leq(vc(b)) and vc(b).leq(vc(a)):
+            assert vc(a) == vc(b)
+
+
+class TestGrowth:
+    def test_missing_components_are_zero(self):
+        assert vc([1, 0]).leq(vc([1]))
+        assert vc([1]).leq(vc([1, 0]))
+        assert not vc([1, 2]).leq(vc([1]))
+
+    def test_join_with_grows(self):
+        a = vc([1])
+        a.join_with(vc([0, 5]))
+        assert a.values() == (1, 5)
+
+    def test_tick_grows(self):
+        a = vc([])
+        a.tick(2)
+        assert a.values() == (0, 0, 1)
+
+    def test_join_with_reports_change(self):
+        a = vc([2, 1])
+        assert a.join_with(vc([1, 3]))
+        assert not a.join_with(vc([1, 1]))
+
+    def test_hash_ignores_trailing_zeros(self):
+        assert hash(vc([1, 0, 0])) == hash(vc([1]))
+
+
+class TestThreadUniverse:
+    def test_slots_dense_and_stable(self):
+        u = ThreadUniverse()
+        assert u.slot("a") == 0
+        assert u.slot("b") == 1
+        assert u.slot("a") == 0
+        assert len(u) == 2
+        assert "a" in u and "c" not in u
+
+    def test_preseeded(self):
+        u = ThreadUniverse(["x", "y"])
+        assert u.threads() == ("x", "y")
+
+
+class TestTRFTimestamps:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 50_000), fork_join=st.booleans())
+    def test_timestamps_characterize_trf_reachability(self, seed, fork_join):
+        """e <=TRF f  iff  TS(e) ⊑ TS(f) — against explicit BFS."""
+        cfg = RandomTraceConfig(
+            seed=seed, num_events=40, num_threads=3, fork_join=fork_join
+        )
+        trace = generate_random_trace(cfg)
+        ts = TRFTimestamps(trace)
+        for f in range(len(trace)):
+            reachable = trf_reachable_set(trace, [f])
+            for e in range(len(trace)):
+                assert ts.leq(e, f) == (e in reachable), (e, f, trace.name)
+
+    def test_read_joins_writer(self):
+        from repro.trace.builder import TraceBuilder
+
+        t = TraceBuilder().write("t1", "x").read("t2", "x").build()
+        ts = TRFTimestamps(t)
+        assert ts.leq(0, 1)
+        assert not ts.leq(1, 0)
+
+    def test_fork_orders_parent_before_child(self):
+        from repro.trace.builder import TraceBuilder
+
+        t = TraceBuilder().write("t1", "a").fork("t1", "t2").write("t2", "b").build()
+        ts = TRFTimestamps(t)
+        assert ts.leq(0, 2) and ts.leq(1, 2)
+
+    def test_join_orders_child_before_parent(self):
+        from repro.trace.builder import TraceBuilder
+
+        t = (
+            TraceBuilder()
+            .fork("t1", "t2").write("t2", "b").join("t1", "t2").write("t1", "a")
+            .build()
+        )
+        ts = TRFTimestamps(t)
+        assert ts.leq(1, 3)
+
+    def test_pred_timestamp_bottom_for_first_event(self):
+        from repro.trace.builder import TraceBuilder
+
+        t = TraceBuilder().write("t1", "x").write("t1", "y").build()
+        ts = TRFTimestamps(t)
+        assert ts.pred_timestamp(0) == VectorClock.bottom(1)
+        assert ts.pred_timestamp(1) == ts.of(0)
