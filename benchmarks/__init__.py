@@ -1,0 +1,2 @@
+"""Benchmark test package (opt-in: `pytest benchmarks/`); packaged so
+module basenames shared with tests/ do not collide at collection."""

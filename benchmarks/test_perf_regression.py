@@ -1,0 +1,117 @@
+"""CI-friendly throughput smoke benchmark (the repo's perf baseline).
+
+Runs the three flagship detectors over fixed synthetic workloads,
+asserts SPDOnline has not regressed below the PR-1 acceptance bar
+(3x the recorded pre-optimization seed throughput), and writes the
+measured events/sec to ``BENCH_spd.json`` at the repo root so future
+PRs have a comparable record.
+
+The ``seed_baseline`` numbers were measured on the pre-optimization
+code (commit tagged ``v0``) on the same machine/workloads that this
+benchmark runs; they are recorded constants, not re-measured (the old
+code is gone).  Thresholds are set loose enough to absorb machine
+variance while still catching order-of-magnitude regressions.
+
+Run with ``pytest benchmarks/test_perf_regression.py`` (the tier-1
+``testpaths`` setting excludes benchmarks by default).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import SPDOnline
+from repro.hb.fasttrack import fasttrack_races
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.trace.compiled import compile_trace
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_spd.json")
+
+# Deadlock-dense workload for the streaming detectors.
+ONLINE_CFG = RandomTraceConfig(num_threads=8, num_locks=12, num_vars=16,
+                               num_events=20000, max_nesting=3,
+                               acquire_prob=0.35, release_prob=0.3, seed=7)
+# Smaller trace for the two-phase offline detector (quadratic-ish
+# pattern enumeration makes 20k events too slow for a smoke benchmark).
+OFFLINE_CFG = RandomTraceConfig(num_threads=6, num_locks=8, num_vars=12,
+                                num_events=4000, max_nesting=3,
+                                acquire_prob=0.35, release_prob=0.3, seed=11)
+
+#: events/sec of the seed (pre-optimization) code on these workloads.
+SEED_BASELINE = {
+    "spd_online": 596.6,
+    "spd_offline": 1324.7,
+    "fasttrack": 494926.1,
+}
+#: expected detector outputs on these workloads (bit-stability guard)
+EXPECTED = {"spd_online_reports": 622, "spd_offline_deadlocks": 112,
+            "fasttrack_races": 48}
+
+#: PR-1 acceptance bar: SPDOnline must stay >= 3x the seed throughput.
+MIN_ONLINE_SPEEDUP = 3.0
+
+
+def _measure():
+    online_trace = compile_trace(generate_random_trace(ONLINE_CFG))
+    offline_trace = compile_trace(generate_random_trace(OFFLINE_CFG))
+
+    t0 = time.perf_counter()
+    det = SPDOnline()
+    det.run(online_trace)
+    online_eps = len(online_trace) / (time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    off = spd_offline(offline_trace, max_size=2)
+    offline_eps = len(offline_trace) / (time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    ft = fasttrack_races(online_trace)
+    fasttrack_eps = len(online_trace) / (time.perf_counter() - t0)
+
+    outputs = {
+        "spd_online_reports": len(det.reports),
+        "spd_offline_deadlocks": off.num_deadlocks,
+        "fasttrack_races": ft.num_races,
+    }
+    eps = {
+        "spd_online": round(online_eps, 1),
+        "spd_offline": round(offline_eps, 1),
+        "fasttrack": round(fasttrack_eps, 1),
+    }
+    return eps, outputs
+
+
+def test_throughput_and_record():
+    eps, outputs = _measure()
+
+    # Detector outputs must stay bit-stable on the fixed workloads.
+    assert outputs == EXPECTED, outputs
+
+    payload = {
+        "description": "events/sec of the flagship detectors on fixed "
+                       "synthetic workloads (see benchmarks/test_perf_regression.py)",
+        "workloads": {
+            "online": ONLINE_CFG.__dict__,
+            "offline": OFFLINE_CFG.__dict__,
+        },
+        "seed_baseline_events_per_sec": SEED_BASELINE,
+        "current_events_per_sec": eps,
+        "speedup_vs_seed": {
+            k: round(eps[k] / SEED_BASELINE[k], 2) for k in eps
+        },
+        "outputs": outputs,
+    }
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    # The tentpole acceptance bar, with headroom for slow CI machines.
+    speedup = eps["spd_online"] / SEED_BASELINE["spd_online"]
+    assert speedup >= MIN_ONLINE_SPEEDUP, (
+        f"SPDOnline regressed: {eps['spd_online']:.0f} ev/s is only "
+        f"{speedup:.1f}x the recorded seed baseline "
+        f"({SEED_BASELINE['spd_online']} ev/s); need >= {MIN_ONLINE_SPEEDUP}x"
+    )

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Regenerate the committed trace corpus from the synthetic generators.
+
+The corpus is the on-disk ground truth exercised by
+``tests/test_corpus.py``: real files, loaded through the parser, with
+recorded per-tool verdicts.  Every trace is produced deterministically
+from ``repro.synth`` — rerunning this script from a clean tree is a
+no-op (byte-identical output).
+
+Usage::
+
+    PYTHONPATH=src python scripts/generate_corpus.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.synth.paper import (
+    false_deadlock1_trace,
+    false_deadlock2_trace,
+    fig5_trace,
+    fig6_trace,
+    sigma1,
+    sigma2,
+    sigma3,
+)
+from repro.synth.templates import (
+    dining_philosophers_trace,
+    guarded_cycle_trace,
+    non_well_nested_trace,
+    picklock_trace,
+    simple_deadlock_trace,
+    stringbuffer_trace,
+    transfer_trace,
+)
+from repro.trace.parser import save_trace
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "corpus")
+
+# name -> zero-argument constructor.  Must stay in sync with the GOLDEN
+# table in tests/test_corpus.py (which also asserts no unlisted files).
+TRACES = {
+    "sigma1": sigma1,
+    "sigma2": sigma2,
+    "sigma3": sigma3,
+    "fig5": fig5_trace,
+    "fig6": fig6_trace,
+    "false_deadlock1": false_deadlock1_trace,
+    "false_deadlock2": false_deadlock2_trace,
+    "simple_deadlock": simple_deadlock_trace,
+    "guarded_cycle": guarded_cycle_trace,
+    "dining_phil5": lambda: dining_philosophers_trace(5),
+    "picklock": picklock_trace,
+    "stringbuffer": stringbuffer_trace,
+    "transfer": transfer_trace,
+    "non_well_nested": non_well_nested_trace,
+}
+
+MANIFEST_HEADER = """\
+# Trace corpus
+
+Golden input traces for the analysis pipeline, in the RAPID "STD" text
+format (`thread|op(target)[|location]`, one event per line).  Generated
+deterministically by `scripts/generate_corpus.py` from `repro.synth` —
+do not edit the `.std` files by hand; regenerate instead.
+
+Ground truth (asserted by `tests/test_corpus.py`):
+
+| trace | SPD deadlocks | abstract patterns | SeqCheck bugs |
+|---|---|---|---|
+"""
+
+# Mirrors tests/test_corpus.py::GOLDEN; None = SeqCheck technical failure.
+GOLDEN = {
+    "sigma1": (0, 1, 0),
+    "sigma2": (1, 1, 0),
+    "sigma3": (1, 1, 2),
+    "fig5": (1, 1, 0),
+    "fig6": (1, 1, 2),
+    "false_deadlock1": (0, 1, 0),
+    "false_deadlock2": (0, 1, 0),
+    "simple_deadlock": (1, 1, 1),
+    "guarded_cycle": (0, 0, 0),
+    "dining_phil5": (1, 1, 0),
+    "picklock": (1, 2, 1),
+    "stringbuffer": (2, 2, 2),
+    "transfer": (0, 1, 0),
+    "non_well_nested": (0, 0, None),
+}
+
+
+def main() -> int:
+    os.makedirs(CORPUS_DIR, exist_ok=True)
+    for name, build in sorted(TRACES.items()):
+        path = os.path.join(CORPUS_DIR, f"{name}.std")
+        save_trace(build(), path)
+        print(f"wrote {path}")
+    rows = []
+    for name in sorted(GOLDEN):
+        spd, abstracts, sq = GOLDEN[name]
+        sq_cell = "F" if sq is None else str(sq)
+        rows.append(f"| {name} | {spd} | {abstracts} | {sq_cell} |")
+    manifest = MANIFEST_HEADER + "\n".join(rows) + "\n"
+    with open(os.path.join(CORPUS_DIR, "MANIFEST.md"), "w", encoding="utf-8") as fh:
+        fh.write(manifest)
+    print("wrote corpus/MANIFEST.md")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,6 +69,9 @@ def dirk(
             condition (Appendix D, FalseDeadlock1).
         search_budget: per-pattern state budget of the witness search.
     """
+    from repro.trace.compiled import ensure_trace
+
+    trace = ensure_trace(trace)
     start = time.perf_counter()
     result = DirkResult()
     seen: Set[Tuple[int, ...]] = set()

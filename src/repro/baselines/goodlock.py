@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.patterns import DeadlockPattern, is_deadlock_pattern
 from repro.graph.digraph import DiGraph
 from repro.graph.johnson import simple_cycles
+from repro.trace.compiled import ensure_trace
 from repro.trace.trace import Trace
 
 
@@ -46,6 +47,7 @@ def goodlock(
     acquire events forming a deadlock pattern, reporting up to
     ``max_warnings_per_cycle`` instantiations.
     """
+    trace = ensure_trace(trace)
     start = time.perf_counter()
     # edge (l1, l2) -> acquire events of l2 performed while holding l1
     edge_events: Dict[Tuple[str, str], List[int]] = {}

@@ -18,6 +18,7 @@ from typing import List, Optional
 from repro.core.alg import abstract_deadlock_patterns
 from repro.core.closure import SPClosureEngine
 from repro.core.patterns import DeadlockReport
+from repro.trace.compiled import ensure_trace
 from repro.trace.trace import Trace
 from repro.vc.timestamps import TRFTimestamps
 
@@ -53,6 +54,7 @@ def naive_sp_detector(
             instantiations after the first confirmed deadlock, matching
             SPDOffline's per-abstract-pattern reporting.
     """
+    trace = ensure_trace(trace)
     start = time.perf_counter()
     result = NaiveResult()
     timestamps = TRFTimestamps(trace)
@@ -66,7 +68,7 @@ def naive_sp_detector(
             engine = SPClosureEngine(trace, timestamps)  # fresh cursors
             t0 = engine.pred_timestamp_of_events(pattern.events)
             t_clock = engine.compute(t0)
-            if all(not timestamps.of(e).leq(t_clock) for e in pattern.events):
+            if all(not timestamps.leq_clock(e, t_clock) for e in pattern.events):
                 result.reports.append(
                     DeadlockReport.from_pattern(trace, pattern, abstract)
                 )

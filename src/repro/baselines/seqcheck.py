@@ -207,6 +207,9 @@ def seqcheck(
     Raises :class:`SeqCheckFailure` on non-well-nested locks (matching
     the tool's documented failure on hsqldb).
     """
+    from repro.trace.compiled import ensure_trace
+
+    trace = ensure_trace(trace)
     start = time.perf_counter()
     if not has_well_nested_locks(trace):
         raise SeqCheckFailure(f"{trace.name}: critical sections not well nested")

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.core.alg import abstract_deadlock_patterns
 from repro.core.patterns import AbstractDeadlockPattern
+from repro.trace.compiled import ensure_trace
 from repro.trace.trace import Trace
 
 
@@ -45,6 +46,7 @@ def undead(
     max_cycles: Optional[int] = None,
 ) -> UndeadResult:
     """Report every abstract deadlock pattern as a warning."""
+    trace = ensure_trace(trace)
     start = time.perf_counter()
     from repro.locks.abstract import collect_abstract_acquires
 

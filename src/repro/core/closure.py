@@ -47,11 +47,14 @@ class SPClosureEngine:
         ``SPClosure({e | TS(e) ⊑ t0})``.
         """
         t_clock = t0.copy()
+        histories = self.histories
+        locks = histories.locks  # static for a built trace; snapshot once
+        advance = histories.advance_lock
         changed = True
         while changed:
             changed = False
-            for lock in self.histories.locks:
-                join = self.histories.advance_lock(lock, t_clock)
+            for lock in locks:
+                join = advance(lock, t_clock)
                 if join is not None and t_clock.join_with(join):
                     changed = True
         return t_clock

@@ -50,6 +50,7 @@ def check_abstract_pattern(
     pointers = [0] * k
     t_clock = VectorClock.bottom(len(ts.universe))
 
+    leq_clock = ts.leq_clock
     while all(pointers[j] < len(sequences[j]) for j in range(k)):
         current = [sequences[j][pointers[j]] for j in range(k)]
         # Closure of the thread-local predecessors of the instantiation,
@@ -57,14 +58,14 @@ def check_abstract_pattern(
         for idx in current:
             t_clock.join_with(ts.pred_timestamp(idx))
         t_clock = engine.compute(t_clock)
-        if all(not ts.of(e).leq(t_clock) for e in current):
+        if all(not leq_clock(e, t_clock) for e in current):
             return DeadlockPattern(tuple(current))
         # Corollary 4.5: skip every instantiation whose events are
         # already inside the closure — they can never succeed.
         for j in range(k):
             seq = sequences[j]
             i = pointers[j]
-            while i < len(seq) and ts.of(seq[i]).leq(t_clock):
+            while i < len(seq) and leq_clock(seq[i], t_clock):
                 i += 1
             pointers[j] = i
     return None
@@ -120,6 +121,9 @@ def spd_offline(
             Lemma 4.1 witness schedule to every report
             (:attr:`SPDOfflineResult.witnesses`).
     """
+    from repro.trace.compiled import ensure_trace
+
+    trace = ensure_trace(trace)
     start = time.perf_counter()
     num_cycles, abstracts = abstract_deadlock_patterns(
         trace, max_size=max_size, max_cycles=max_cycles

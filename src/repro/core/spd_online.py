@@ -22,6 +22,25 @@ new event against the queued acquires of every other thread ``u`` on
 ``l'`` holding ``l`` — the two abstract acquires form a size-2 abstract
 deadlock pattern — and runs the closure check.  Queue entries that fail
 to produce a deadlock are discarded forever (Corollary 4.5).
+
+Representation (the performance model):
+
+- threads, locks, and variables are interned to dense ints on entry;
+  every per-thread/per-lock map is a list indexed by id, and a
+  :class:`~repro.trace.compiled.CompiledTrace` streams straight through
+  without touching strings;
+- acquire/release/last-write timestamps are *canonical snapshots*, so
+  every ``⊑`` test in the hot path is an O(1) epoch comparison
+  (see :mod:`repro.vc.clock`); snapshots are copy-on-write, so a thread
+  pays at most one clock copy per event;
+- an acquire of ``l`` holding ``l'`` consults only the threads indexed
+  under ``(l', l)`` — the threads that actually queued opposing
+  acquires — instead of scanning every known thread;
+- the per-context closure runs a dirty-lock worklist: a lock is
+  re-examined only when the closure clock grew in a slot of a thread
+  holding critical sections on it, or when its history gained records
+  (tracked by an append-only log with per-closure cursors), instead of
+  re-scanning every known lock each fix-point round.
 """
 
 from __future__ import annotations
@@ -31,86 +50,201 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.patterns import DeadlockPattern, DeadlockReport
-from repro.trace.events import Event
+from repro.trace.compiled import CompiledTrace, InterningDetectorMixin
+from repro.trace.events import (
+    OP_ACQUIRE,
+    OP_FORK,
+    OP_JOIN,
+    OP_READ,
+    OP_RELEASE,
+    OP_WRITE,
+    Event,
+)
 from repro.trace.trace import Trace
 from repro.vc.clock import ThreadUniverse, VectorClock
 
 
-@dataclass
 class _CSRecord:
-    """One critical section in the global history."""
+    """One critical section in the global history.
 
-    acq_idx: int
-    acq_ts: VectorClock
-    rel_ts: Optional[VectorClock] = None
+    ``acq_val`` is the acquiring thread's component at the acquire
+    (its canonical epoch); ``rel_val``/``rel_ts`` are filled at release.
+    The full acquire clock is never needed: closure membership of an
+    acquire is exactly the epoch test ``acq_val <= T[tid]``.
+    """
+
+    __slots__ = ("acq_idx", "tid", "acq_val", "rel_val", "rel_ts")
+
+    def __init__(self, acq_idx: int, tid: int, acq_val: int) -> None:
+        self.acq_idx = acq_idx
+        self.tid = tid
+        self.acq_val = acq_val
+        self.rel_val: Optional[int] = None
+        self.rel_ts: Optional[VectorClock] = None
 
 
-@dataclass
 class _AcqEntry:
-    """Queued acquire awaiting deadlock checks: (pred-ts, ts, index, loc)."""
+    """Queued acquire awaiting deadlock checks.
 
-    idx: int
-    pred_ts: VectorClock
-    ts: VectorClock
-    loc: str
+    ``(tid, ts_val)`` is the epoch of the acquire's (post-tick)
+    timestamp; ``pred_ts`` the full thread-predecessor clock used to
+    seed closures; ``loc`` the location carried into reports.
+    """
+
+    __slots__ = ("idx", "tid", "ts_val", "pred_ts", "loc")
+
+    def __init__(self, idx: int, tid: int, ts_val: int,
+                 pred_ts: VectorClock, loc: str) -> None:
+        self.idx = idx
+        self.tid = tid
+        self.ts_val = ts_val
+        self.pred_ts = pred_ts
+        self.loc = loc
 
 
-# Context key: the ordered abstract pattern ⟨u, l', {l}⟩ vs ⟨t, l, {l'}⟩.
-_Ctx = Tuple[str, str, str, str]
+# Context key: the ordered abstract pattern ⟨u, l', {l}⟩ vs ⟨t, l, {l'}⟩,
+# as interned ids.
+_Ctx = Tuple[int, int, int, int]
 
 
 class _OnlineClosure:
-    """Per-context Algorithm 1 over the shared critical-section history."""
+    """Per-context Algorithm 1 over the shared critical-section history.
+
+    The closure clock grows monotonically across calls (Proposition
+    4.4).  Work is driven by a dirty-lock worklist: seeds report which
+    slots they grew (``join_update``), the owner's append log reports
+    history growth, and only the affected locks are re-advanced.
+    """
+
+    __slots__ = ("_owner", "_by_lock", "clock", "_log_pos", "_pending")
 
     def __init__(self, owner: "SPDOnline") -> None:
         self._owner = owner
-        self._cursors: Dict[Tuple[str, str], int] = {}
-        self._last: Dict[Tuple[str, str], Optional[_CSRecord]] = {}
+        # lid -> per-thread [cursor, last-record, records] rows, aligned
+        # with owner.threads_with_lock[lid] (synced lazily on growth).
+        self._by_lock: Dict[int, List[list]] = {}
         self.clock = VectorClock(0)
+        # Cursor into the owner's append-only cs_log: histories that
+        # gained records past this point are dirty for this closure.
+        # -1 = never computed; the first compute dirties every lock
+        # with records directly (O(locks), not O(log)).
+        self._log_pos = -1
+        self._pending: Set[int] = set()
+
+    def join_seed(self, seed: VectorClock) -> None:
+        """Grow the closure clock; mark locks reachable from grown slots."""
+        grown = self.clock.join_update(seed)
+        if grown:
+            lot = self._owner.locks_of_thread
+            n = len(lot)
+            pend = self._pending
+            for s in grown:
+                if s < n:
+                    pend.update(lot[s])
 
     def compute(self, seed: VectorClock) -> VectorClock:
         """Fix-point closure starting from ``clock ⊔ seed``."""
-        t_clock = self.clock
-        t_clock.join_with(seed)
+        self.join_seed(seed)
         owner = self._owner
-        changed = True
-        while changed:
-            changed = False
-            for lock in owner.known_locks:
-                join = self._advance_lock(lock, t_clock)
-                if join is not None and t_clock.join_with(join):
-                    changed = True
+        t_clock = self.clock
+        # Histories that gained records since this closure last looked:
+        # consume the owner's append log from this closure's cursor.
+        # When the backlog exceeds the lock count (first compute, or a
+        # long-idle closure), dirtying every lock with records is the
+        # cheaper superset — per compute this costs
+        # O(min(new records, locks)).
+        pend = self._pending
+        log = owner.cs_log
+        pos = self._log_pos
+        n = len(log)
+        if pos < n:
+            if pos < 0 or n - pos > len(owner.threads_with_lock):
+                pend.update(owner.threads_with_lock)
+            else:
+                while pos < n:
+                    pend.add(log[pos])
+                    pos += 1
+            self._log_pos = n
+        if not pend:
+            return t_clock
+        lot = owner.locks_of_thread
+        nlot = len(lot)
+        work = list(pend)
+        while work:
+            lid = work.pop()
+            pend.discard(lid)
+            joins = self._advance_lock(lid, t_clock)
+            if joins:
+                self._owner._closure_iterations += 1
+                for rel_ts in joins:
+                    for s in t_clock.join_update(rel_ts):
+                        if s < nlot:
+                            for l2 in lot[s]:
+                                if l2 not in pend:
+                                    pend.add(l2)
+                                    work.append(l2)
         return t_clock
 
-    def _advance_lock(self, lock: str, t_clock: VectorClock) -> Optional[VectorClock]:
+    def _advance_lock(
+        self, lid: int, t_clock: VectorClock
+    ) -> Optional[List[VectorClock]]:
         owner = self._owner
-        candidates: List[_CSRecord] = []
-        for thread in owner.threads_with_lock.get(lock, ()):
-            key = (thread, lock)
-            records = owner.cs_history.get(key)
-            if not records:
-                continue
-            cursor = self._cursors.get(key, 0)
-            last = self._last.get(key)
-            while cursor < len(records) and records[cursor].acq_ts.leq(t_clock):
-                last = records[cursor]
-                cursor += 1
-            self._cursors[key] = cursor
-            self._last[key] = last
-            if last is not None:
-                candidates.append(last)
+        tv = t_clock._v
+        ltv = len(tv)
+        twl = owner.threads_with_lock.get(lid)
+        if not twl:
+            return None
+        rows = self._by_lock.get(lid)
+        if rows is None:
+            rows = self._by_lock[lid] = [
+                [0, None, owner.cs_history[(tid, lid)], tid] for tid in twl
+            ]
+        elif len(rows) < len(twl):
+            for tid in twl[len(rows):]:
+                rows.append([0, None, owner.cs_history[(tid, lid)], tid])
+        # Pass 1: advance cursors.  If none moves, every prior
+        # contribution was already joined into t_clock (and, with
+        # mutex-exclusive locking, a non-latest candidate's release
+        # timestamp was already recorded when its successor acquire
+        # entered the history) — nothing new, skip candidate building.
+        moved = False
+        for row in rows:
+            cursor = row[0]
+            records = row[2]
+            n = len(records)
+            if cursor < n:
+                tid = row[3]
+                bound = tv[tid] if tid < ltv else 0
+                if records[cursor].acq_val <= bound:
+                    last = records[cursor]
+                    cursor += 1
+                    while cursor < n and records[cursor].acq_val <= bound:
+                        last = records[cursor]
+                        cursor += 1
+                    row[0] = cursor
+                    row[1] = last
+                    moved = True
+        if not moved:
+            return None
+        candidates = [row[1] for row in rows if row[1] is not None]
         if len(candidates) <= 1:
             return None
-        latest = max(candidates, key=lambda r: r.acq_idx)
-        join: Optional[VectorClock] = None
+        latest = candidates[0]
         for rec in candidates:
-            if rec is latest or rec.rel_ts is None or rec.rel_ts.leq(t_clock):
+            if rec.acq_idx > latest.acq_idx:
+                latest = rec
+        joins: Optional[List[VectorClock]] = None
+        for rec in candidates:
+            if rec is latest or rec.rel_ts is None:
                 continue
-            if join is None:
-                join = rec.rel_ts.copy()
+            bound = tv[rec.tid] if rec.tid < ltv else 0
+            if rec.rel_val <= bound:
+                continue  # release already inside the closure
+            if joins is None:
+                joins = [rec.rel_ts]
             else:
-                join.join_with(rec.rel_ts)
-        return join
+                joins.append(rec.rel_ts)
+        return joins
 
 
 @dataclass
@@ -119,7 +253,7 @@ class OnlineReport:
 
     first_event: int
     second_event: int
-    context: _Ctx
+    context: Tuple[str, str, str, str]
     locations: Tuple[str, str]
 
     @property
@@ -127,7 +261,7 @@ class OnlineReport:
         return tuple(sorted(self.locations))
 
 
-class SPDOnline:
+class SPDOnline(InterningDetectorMixin):
     """Streaming detector; feed events with :meth:`step`.
 
     Example::
@@ -136,24 +270,41 @@ class SPDOnline:
         for ev in trace:
             det.step(ev)
         print(det.reports)
+
+    Feeding a :class:`~repro.trace.compiled.CompiledTrace` through
+    :meth:`run` skips string interning entirely.
     """
 
     def __init__(self) -> None:
         self.universe = ThreadUniverse()
-        self._clocks: Dict[str, VectorClock] = {}
-        self._last_write: Dict[str, VectorClock] = {}
-        self._held: Dict[str, List[str]] = {}
+        # Intern tables (thread id == universe slot).
+        self._tid: Dict[str, int] = {}
+        self._thread_names: List[str] = []
+        self._lid: Dict[str, int] = {}
+        self._lock_names: List[str] = []
+        self._vid: Dict[str, int] = {}
+        # Dense per-id state.
+        self._clocks: List[VectorClock] = []
+        self._held: List[List[int]] = []
+        self._last_write: List[Optional[Tuple[int, int, VectorClock]]] = []
+        #: per-thread list of locks the thread has critical sections on
+        self.locks_of_thread: List[List[int]] = []
+        #: append-only log of lock ids, one entry per critical-section
+        #: record; closures consume it via a private cursor to learn
+        #: which histories grew since they last computed
+        self.cs_log: List[int] = []
         # Shared critical-section history (per thread, lock), plus the
         # open-acquire stack used to fill release timestamps.
-        self.cs_history: Dict[Tuple[str, str], List[_CSRecord]] = {}
-        self._open_cs: Dict[Tuple[str, str], List[_CSRecord]] = {}
-        self.threads_with_lock: Dict[str, List[str]] = {}
-        self.known_locks: List[str] = []
-        self._known_threads: List[str] = []
+        self.cs_history: Dict[Tuple[int, int], List[_CSRecord]] = {}
+        self._open_cs: Dict[Tuple[int, int], List[_CSRecord]] = {}
+        self.threads_with_lock: Dict[int, List[int]] = {}
         # AcqHist: shared per-(thread, lock, held-lock) acquire lists with
         # per-context cursors (equivalent to the per-opposing-thread queue
-        # copies of Algorithm 4, but robust to threads appearing later).
-        self._acq_seq: Dict[Tuple[str, str, str], List[_AcqEntry]] = {}
+        # copies of Algorithm 4, but robust to threads appearing later),
+        # plus the (lock, held-lock) -> threads index that narrows the
+        # checkDeadlock fan-out to threads with opposing entries.
+        self._acq_seq: Dict[Tuple[int, int, int], List[_AcqEntry]] = {}
+        self._pair_threads: Dict[Tuple[int, int], List[int]] = {}
         self._ctx_cursor: Dict[_Ctx, int] = {}
         self._closures: Dict[_Ctx, _OnlineClosure] = {}
         self.reports: List[OnlineReport] = []
@@ -164,105 +315,140 @@ class SPDOnline:
 
     # -- bookkeeping -------------------------------------------------------
 
-    def _clock_of(self, thread: str) -> VectorClock:
-        c = self._clocks.get(thread)
-        if c is None:
-            self.universe.slot(thread)
-            c = VectorClock(0)
-            self._clocks[thread] = c
-            self._held[thread] = []
-            self._known_threads.append(thread)
-        return c
+    def _add_thread(self, thread: str) -> int:
+        tid = len(self._thread_names)
+        self._tid[thread] = tid
+        self._thread_names.append(thread)
+        self.universe.slot(thread)
+        self._clocks.append(VectorClock(0))
+        self._held.append([])
+        self.locks_of_thread.append([])
+        return tid
 
-    def _note_lock(self, lock: str) -> None:
-        if lock not in self.threads_with_lock:
-            self.threads_with_lock[lock] = []
-            self.known_locks.append(lock)
+    def _add_lock(self, lock: str) -> int:
+        lid = len(self._lock_names)
+        self._lid[lock] = lid
+        self._lock_names.append(lock)
+        return lid
+
+    def _add_var(self, var: str) -> int:
+        vid = len(self._last_write)
+        self._vid[var] = vid
+        self._last_write.append(None)
+        return vid
 
     # -- event handlers (Algorithm 4) ---------------------------------------
 
     def step(self, event: Event) -> List[OnlineReport]:
         """Process one event; return the reports it triggered."""
         before = len(self.reports)
-        t = event.thread
-        clock = self._clock_of(t)
-        slot = self.universe.slot(t)
-        if event.is_write:
-            self._last_write[event.target] = clock.copy()
-            clock.tick(slot)
-        elif event.is_read:
-            lw = self._last_write.get(event.target)
-            if lw is not None:
-                clock.join_with(lw)
-            clock.tick(slot)
-        elif event.is_acquire:
-            self._handle_acquire(event, clock, slot)
-        elif event.is_release:
-            clock.tick(slot)
-            key = (t, event.target)
+        op, tid, target_id = self._intern_event(event)
+        self._step_coded(op, tid, target_id, event.loc)
+        return self.reports[before:]
+
+    def _step_coded(self, op: int, tid: int, target_id: int,
+                    loc: Optional[str]) -> None:
+        """Process one already-interned event."""
+        clock = self._clocks[tid]
+        if op == OP_WRITE:
+            self._last_write[target_id] = (tid, clock.component(tid),
+                                           clock.snapshot())
+            clock.tick(tid)
+        elif op == OP_READ:
+            lw = self._last_write[target_id]
+            # Epoch fast path: the last-write snapshot is already ⊑ the
+            # reader's clock iff the reader knows the writer's epoch.
+            if lw is not None and lw[1] > clock.component(lw[0]):
+                clock.join_with(lw[2])
+            clock.tick(tid)
+        elif op == OP_ACQUIRE:
+            self._handle_acquire(tid, target_id, loc, clock)
+        elif op == OP_RELEASE:
+            clock.tick(tid)
+            key = (tid, target_id)
             stack = self._open_cs.get(key)
             if stack:
                 rec = stack.pop()
-                rec.rel_ts = clock.copy()
-            held = self._held[t]
+                rec.rel_val = clock[tid]
+                rec.rel_ts = clock.snapshot()
+            held = self._held[tid]
             for j in range(len(held) - 1, -1, -1):
-                if held[j] == event.target:
+                if held[j] == target_id:
                     del held[j]
                     break
-        elif event.is_fork:
-            child_clock = self._clock_of(event.target)
-            clock.tick(slot)
+        elif op == OP_FORK:
+            child_clock = self._clocks[target_id]
+            clock.tick(tid)
             child_clock.join_with(clock)
-        elif event.is_join:
-            child_clock = self._clocks.get(event.target)
-            if child_clock is not None:
-                clock.join_with(child_clock)
-            clock.tick(slot)
+        elif op == OP_JOIN:
+            clock.join_with(self._clocks[target_id])
+            clock.tick(tid)
         else:  # request events carry no analysis semantics
-            clock.tick(slot)
+            clock.tick(tid)
         self._events_seen += 1
-        return self.reports[before:]
 
-    def _handle_acquire(self, event: Event, clock: VectorClock, slot: int) -> None:
-        t, lock = event.thread, event.target
-        self._note_lock(lock)
-        c_pred = clock.copy()
-        clock.tick(slot)
-        snapshot = clock.copy()
+    def _handle_acquire(self, tid: int, lid: int, loc: Optional[str],
+                        clock: VectorClock) -> None:
+        idx = self._events_seen
+        c_pred = clock.snapshot()
+        clock.tick(tid)
+        val = clock[tid]
         # Record the critical section in the shared history.
-        key = (t, lock)
-        if key not in self.cs_history:
-            self.cs_history[key] = []
-            self.threads_with_lock[lock].append(t)
-        rec = _CSRecord(acq_idx=self._events_seen, acq_ts=snapshot)
-        self.cs_history[key].append(rec)
-        self._open_cs.setdefault(key, []).append(rec)
+        key = (tid, lid)
+        records = self.cs_history.get(key)
+        if records is None:
+            records = self.cs_history[key] = []
+            self.threads_with_lock.setdefault(lid, []).append(tid)
+            self.locks_of_thread[tid].append(lid)
+        rec = _CSRecord(acq_idx=idx, tid=tid, acq_val=val)
+        records.append(rec)
+        self.cs_log.append(lid)
+        open_stack = self._open_cs.get(key)
+        if open_stack is None:
+            open_stack = self._open_cs[key] = []
+        open_stack.append(rec)
 
-        held = list(self._held[t])
-        self._held[t].append(lock)
+        held = self._held[tid]
         if not held:
+            held.append(lid)
             return
+        held_before = held[:]
+        held.append(lid)
 
         # Queue this acquire for future checks by opposing threads.
-        entry = _AcqEntry(
-            idx=self._events_seen, pred_ts=c_pred, ts=snapshot, loc=event.location
-        )
-        for l2 in held:
-            self._acq_seq.setdefault((t, lock, l2), []).append(entry)
+        entry = _AcqEntry(idx=idx, tid=tid, ts_val=val, pred_ts=c_pred,
+                          loc=loc if loc is not None else f"@{idx}")
+        acq_seq = self._acq_seq
+        pair_threads = self._pair_threads
+        for l2 in held_before:
+            skey = (tid, lid, l2)
+            queue = acq_seq.get(skey)
+            if queue is None:
+                acq_seq[skey] = [entry]
+                # Index this thread under (lock, held-lock) so opposing
+                # acquires find it without scanning all threads.
+                pair = pair_threads.get((lid, l2))
+                if pair is None:
+                    pair_threads[(lid, l2)] = [tid]
+                else:
+                    pair.append(tid)
+            else:
+                queue.append(entry)
 
-        # Check against queued opposing acquires: u acquired l2 holding lock.
-        for l2 in held:
-            for u in self._known_threads:
-                if u == t:
+        # Check against queued opposing acquires: u acquired l2 holding lid.
+        closures = self._closures
+        for l2 in held_before:
+            for u in pair_threads.get((l2, lid), ()):
+                if u == tid:
                     continue
-                queue = self._acq_seq.get((u, l2, lock))
+                queue = acq_seq.get((u, l2, lid))
                 if not queue:
                     continue
-                opp_ctx: _Ctx = (u, l2, t, lock)
-                closure = self._closures.get(opp_ctx)
+                opp_ctx: _Ctx = (u, l2, tid, lid)
+                closure = closures.get(opp_ctx)
                 if closure is None:
                     closure = _OnlineClosure(self)
-                    self._closures[opp_ctx] = closure
+                    closures[opp_ctx] = closure
                 self._check_deadlock(queue, closure, opp_ctx, c_pred, entry)
 
     def _check_deadlock(
@@ -280,18 +466,24 @@ class SPDOnline:
         (Corollary 4.5); the first entry that survives the closure is a
         sync-preserving deadlock with ``new_entry``.
         """
-        closure.clock.join_with(c_pred)
+        closure.join_seed(c_pred)
         cursor = self._ctx_cursor.get(ctx, 0)
-        while cursor < len(queue):
+        n = len(queue)
+        while cursor < n:
             old = queue[cursor]
             self._deadlock_checks += 1
             t_clock = closure.compute(old.pred_ts)
-            if not old.ts.leq(t_clock):
+            # Epoch test: old's acquire timestamp ⊑ closure clock?
+            if old.ts_val > t_clock.component(old.tid):
+                u, l2, t, lock = ctx
+                names = self._thread_names
+                lock_names = self._lock_names
                 self.reports.append(
                     OnlineReport(
                         first_event=old.idx,
                         second_event=new_entry.idx,
-                        context=ctx,
+                        context=(names[u], lock_names[l2],
+                                 names[t], lock_names[lock]),
                         locations=(old.loc, new_entry.loc),
                     )
                 )
@@ -320,10 +512,27 @@ class SPDOnline:
 
     # -- batch driver ---------------------------------------------------------
 
-    def run(self, trace: Trace) -> "SPDOnlineResult":
+    def _fresh(self) -> bool:
+        return not (self._events_seen or self._thread_names)
+
+    def run(self, trace) -> "SPDOnlineResult":
+        """Stream a whole trace; accepts :class:`Trace` (string events)
+        or :class:`~repro.trace.compiled.CompiledTrace` (interned fast
+        path)."""
         start = time.perf_counter()
-        for ev in trace:
-            self.step(ev)
+        if isinstance(trace, CompiledTrace) and self._adopt_tables(trace):
+            step_coded = self._step_coded
+            locs = trace.locs
+            ops, tids, targets = trace.columns()
+            if locs:
+                for i in range(len(ops)):
+                    step_coded(ops[i], tids[i], targets[i], locs.get(i))
+            else:
+                for i in range(len(ops)):
+                    step_coded(ops[i], tids[i], targets[i], None)
+        else:
+            for ev in trace:
+                self.step(ev)
         elapsed = time.perf_counter() - start
         return SPDOnlineResult(
             reports=list(self.reports), elapsed=elapsed, stats=self.stats()
@@ -361,6 +570,6 @@ class SPDOnlineResult:
         return out
 
 
-def spd_online(trace: Trace) -> SPDOnlineResult:
+def spd_online(trace) -> SPDOnlineResult:
     """Run :class:`SPDOnline` over a complete trace."""
     return SPDOnline().run(trace)

@@ -21,6 +21,10 @@ This module is that extension:
   SPDOffline (capped at K) does on the same trace — tested against it
   on random traces.
 
+Signatures are interned-id tuples ``(tid, lid, frozenset(lids))``;
+reports translate back to names.  Closure membership checks use the
+same O(1) epoch comparisons as the parent.
+
 Worst-case time adds the cycle-enumeration factor that Theorem 3.1
 says is unavoidable; with the signature count small (as in practice),
 the streaming pass stays near-linear.
@@ -32,10 +36,12 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.spd_online import SPDOnline, _AcqEntry, _OnlineClosure
-from repro.trace.events import Event
-from repro.trace.trace import Trace
+from repro.vc.clock import VectorClock
 
-Signature = Tuple[str, str, FrozenSet[str]]  # (thread, lock, held)
+#: Interned signature: (thread id, lock id, held lock ids).
+Signature = Tuple[int, int, FrozenSet[int]]
+#: Name-level signature, as exposed in reports.
+NamedSignature = Tuple[str, str, FrozenSet[str]]
 
 
 @dataclass
@@ -44,7 +50,7 @@ class OnlineKReport:
 
     events: Tuple[int, ...]
     locations: Tuple[str, ...]
-    signatures: Tuple[Signature, ...]
+    signatures: Tuple[NamedSignature, ...]
 
     @property
     def bug_id(self) -> Tuple[str, ...]:
@@ -150,30 +156,32 @@ class SPDOnlineK(SPDOnline):
 
     # -- event handling -------------------------------------------------------
 
-    def _handle_acquire(self, event: Event, clock, slot) -> None:
-        held_before = frozenset(self._held[event.thread])
-        super()._handle_acquire(event, clock, slot)
+    def _handle_acquire(self, tid: int, lid: int, loc: Optional[str],
+                        clock: VectorClock) -> None:
+        held_before = frozenset(self._held[tid])
+        super()._handle_acquire(tid, lid, loc, clock)
         if not held_before or self.max_size < 3:
             return
-        sig: Signature = (event.thread, event.target, held_before)
+        sig: Signature = (tid, lid, held_before)
         entries = self._sig_entries.get(sig)
         if entries is None:
             self._sig_entries[sig] = entries = []
             self._add_signature(sig)
         # The entry was already queued by the parent for size-2; build
         # the any-size entry from the same data.
-        last = self._acq_seq[(event.thread, event.target, next(iter(held_before)))][-1]
+        last = self._acq_seq[(tid, lid, next(iter(held_before)))][-1]
         entries.append(last)
         for ctx in self._contexts_of_sig.get(sig, ()):
             self._check_context(ctx, sig, last)
 
-    def _check_context(self, ctx: _Context, sig: Signature, new_entry: _AcqEntry) -> None:
+    def _check_context(self, ctx: _Context, sig: Signature,
+                       new_entry: _AcqEntry) -> None:
         """Algorithm 2 with the newest event pinned at sig's coordinate."""
         if ctx.reported:
             return
         pin = ctx.signatures.index(sig)
         k = len(ctx.signatures)
-        ctx.closure.clock.join_with(new_entry.pred_ts)
+        ctx.closure.join_seed(new_entry.pred_ts)
         while True:
             candidate: List[Optional[_AcqEntry]] = [None] * k
             candidate[pin] = new_entry
@@ -197,28 +205,40 @@ class SPDOnlineK(SPDOnline):
                     continue
                 queue = self._sig_entries.get(ctx.signatures[j], [])
                 i = ctx.cursors[j]
-                while i < len(queue) and queue[i].ts.leq(t_clock):
+                # Epoch test for closure membership of each queued acquire.
+                while i < len(queue) and (
+                    queue[i].ts_val <= t_clock.component(queue[i].tid)
+                ):
                     i += 1
                 if i != ctx.cursors[j]:
                     swallowed = True
                 ctx.cursors[j] = i
             if not swallowed:
-                if all(not e.ts.leq(t_clock) for e in candidate):
+                if all(e.ts_val > t_clock.component(e.tid) for e in candidate):
                     ctx.reported = True
-                    events = tuple(e.idx for e in candidate)
                     self.k_reports.append(
                         OnlineKReport(
-                            events=events,
+                            events=tuple(e.idx for e in candidate),
                             locations=tuple(e.loc for e in candidate),
-                            signatures=ctx.signatures,
+                            signatures=tuple(
+                                self._named_signature(s) for s in ctx.signatures
+                            ),
                         )
                     )
                 return
 
+    def _named_signature(self, sig: Signature) -> NamedSignature:
+        tid, lid, held = sig
+        lock_names = self._lock_names
+        return (
+            self._thread_names[tid],
+            lock_names[lid],
+            frozenset(lock_names[h] for h in held),
+        )
 
-def spd_online_k(trace: Trace, max_size: int = 3) -> SPDOnlineK:
+
+def spd_online_k(trace, max_size: int = 3) -> SPDOnlineK:
     """Run :class:`SPDOnlineK` over a complete trace."""
     det = SPDOnlineK(max_size=max_size)
-    for ev in trace:
-        det.step(ev)
+    det.run(trace)
     return det

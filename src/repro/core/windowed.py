@@ -77,6 +77,9 @@ def spd_offline_windowed(
     """
     if not 0 <= overlap < 1:
         raise ValueError("overlap must be in [0, 1)")
+    from repro.trace.compiled import ensure_trace
+
+    trace = ensure_trace(trace)
     start = time.perf_counter()
     result = WindowedResult()
     step = max(1, int(window * (1 - overlap)))

@@ -16,6 +16,12 @@ Faithful to the published state machine:
   (SHARED state) and deflation on exclusive writes;
 - locks, fork/join: standard HB clock maintenance.
 
+Threads, locks, and variables are interned to dense ints on entry
+(:class:`~repro.trace.compiled.CompiledTrace` streams through
+pre-interned), lock-release clocks carry their epoch so ordered
+re-acquires skip the O(T) join, and the :class:`Epoch` type itself now
+lives in :mod:`repro.vc.clock`, shared with the deadlock engines.
+
 Equivalence with the full-VC detector on the *first race per variable*
 is tested property-style in ``tests/test_fasttrack.py``.
 """
@@ -26,35 +32,41 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.trace.trace import Trace
-from repro.vc.clock import ThreadUniverse, VectorClock
+from repro.trace.compiled import CompiledTrace, InterningDetectorMixin
+from repro.trace.events import (
+    OP_ACQUIRE,
+    OP_FORK,
+    OP_JOIN,
+    OP_READ,
+    OP_RELEASE,
+    OP_WRITE,
+)
+from repro.vc.clock import Epoch, ThreadUniverse, VectorClock
 
-
-@dataclass(frozen=True)
-class Epoch:
-    """``c@t``: clock value ``c`` of thread slot ``t``."""
-
-    clock: int
-    slot: int
-
-    def leq(self, vc: VectorClock) -> bool:
-        """``c@t ⊑ V  ⟺  c ≤ V[t]`` — the O(1) comparison."""
-        return self.clock <= (vc[self.slot] if self.slot < len(vc) else 0)
-
+__all__ = [
+    "Epoch",
+    "FastTrack",
+    "FastTrackRace",
+    "FastTrackResult",
+    "fasttrack_races",
+]
 
 _BOTTOM = Epoch(0, 0)
 
 
-@dataclass
 class _VarState:
     """FastTrack per-variable state: write epoch + read epoch-or-VC."""
 
-    write: Epoch = _BOTTOM
-    write_event: Optional[int] = None
-    read: Epoch = _BOTTOM
-    read_event: Optional[int] = None
-    shared_reads: Optional[VectorClock] = None      # SHARED state
-    shared_events: Dict[int, int] = field(default_factory=dict)  # slot -> event
+    __slots__ = ("write", "write_event", "read", "read_event",
+                 "shared_reads", "shared_events")
+
+    def __init__(self) -> None:
+        self.write = _BOTTOM
+        self.write_event: Optional[int] = None
+        self.read = _BOTTOM
+        self.read_event: Optional[int] = None
+        self.shared_reads: Optional[VectorClock] = None      # SHARED state
+        self.shared_events: Dict[int, int] = {}              # slot -> event
 
 
 @dataclass(frozen=True)
@@ -81,29 +93,56 @@ class FastTrackResult:
         return {r.variable for r in self.races}
 
 
-class FastTrack:
+class FastTrack(InterningDetectorMixin):
     """Streaming epoch-based HB race detector."""
 
     def __init__(self) -> None:
         self.universe = ThreadUniverse()
-        self._clocks: Dict[str, VectorClock] = {}
-        self._last_release: Dict[str, VectorClock] = {}
-        self._vars: Dict[str, _VarState] = {}
+        self._tid: Dict[str, int] = {}
+        self._vid: Dict[str, int] = {}
+        self._lid: Dict[str, int] = {}
+        self._var_names: List[str] = []
+        self._clocks: List[VectorClock] = []
+        # Threads that have performed an event or been fork targets.
+        # A join of a thread never materialized this way is a no-op
+        # (its epoch-1 initial clock represents no events; joining it
+        # would fabricate an HB edge and mask races).
+        self._materialized: List[bool] = []
+        # Per-lock (release-epoch value, slot, clock) of the last release.
+        self._last_release: List[Optional[Tuple[int, int, VectorClock]]] = []
+        self._vars: List[_VarState] = []
         self.result = FastTrackResult()
         self._reported: Set[Tuple[str, str]] = set()
 
-    def _clock(self, thread: str) -> VectorClock:
-        c = self._clocks.get(thread)
-        if c is None:
-            slot = self.universe.slot(thread)
-            c = VectorClock(slot + 1)
-            c[slot] = 1  # epochs start at 1 so c@t ⋢ ⊥ holds
-            self._clocks[thread] = c
-        return c
+    # -- interning ---------------------------------------------------------
 
-    def _report(self, first: Optional[int], second: int, var: str, kind: str) -> None:
+    def _add_thread(self, thread: str) -> int:
+        slot = self.universe.slot(thread)
+        self._tid[thread] = slot
+        c = VectorClock(slot + 1)
+        c[slot] = 1  # epochs start at 1 so c@t ⋢ ⊥ holds
+        self._clocks.append(c)
+        self._materialized.append(False)
+        return slot
+
+    def _add_var(self, var: str) -> int:
+        vid = len(self._vars)
+        self._vid[var] = vid
+        self._var_names.append(var)
+        self._vars.append(_VarState())
+        return vid
+
+    def _add_lock(self, lock: str) -> int:
+        lid = len(self._last_release)
+        self._lid[lock] = lid
+        self._last_release.append(None)
+        return lid
+
+    def _report(self, first: Optional[int], second: int, vid: int,
+                kind: str) -> None:
         if first is None:
             return
+        var = self._var_names[vid]
         key = (var, kind)
         if key in self._reported:
             return
@@ -113,44 +152,63 @@ class FastTrack:
     # -- handlers (the PLDI'09 state machine) -------------------------------
 
     def step(self, event) -> None:
-        thread = event.thread
-        c = self._clock(thread)
-        slot = self.universe.slot(thread)
-        if event.is_write:
-            self._write(event, c, slot)
-        elif event.is_read:
-            self._read(event, c, slot)
-        elif event.is_acquire:
-            rel = self._last_release.get(event.target)
+        op, tid, target_id = self._intern_event(event)
+        self._step_coded(op, tid, target_id, event.idx)
+
+    def _step_coded(self, op: int, tid: int, target_id: int, idx: int) -> None:
+        c = self._clocks[tid]
+        self._materialized[tid] = True
+        if op == OP_WRITE:
+            self._write(idx, target_id, c, tid)
+        elif op == OP_READ:
+            self._read(idx, target_id, c, tid)
+        elif op == OP_ACQUIRE:
+            rel = self._last_release[target_id]
             if rel is not None:
-                c.join_with(rel)
-                self.result.vector_ops += 1
-        elif event.is_release:
-            self._last_release[event.target] = c.copy()
-            c.tick(slot)
-        elif event.is_fork:
-            child = self._clock(event.target)
+                # Epoch fast path: an ordered re-acquire needs no join.
+                # Exact because release exports are canonical (each
+                # release copies then immediately ticks, so one export
+                # per component value); a thread that keeps syncing
+                # after being join()ed could break canonicality, which
+                # is why joins of unmaterialized threads are no-ops.
+                self.result.epoch_ops += 1
+                if rel[0] > c.component(rel[1]):
+                    c.join_with(rel[2])
+                    self.result.vector_ops += 1
+        elif op == OP_RELEASE:
+            self._last_release[target_id] = (c.component(tid), tid, c.snapshot())
+            c.tick(tid)
+        elif op == OP_FORK:
+            child = self._clocks[target_id]
+            self._materialized[target_id] = True
             child.join_with(c)
             self.result.vector_ops += 1
-            c.tick(slot)
-        elif event.is_join:
-            child = self._clocks.get(event.target)
-            if child is not None:
+            c.tick(tid)
+        elif op == OP_JOIN:
+            if self._materialized[target_id]:
+                child = self._clocks[target_id]
                 c.join_with(child)
                 self.result.vector_ops += 1
+                # Tick the child past the absorbed observation so a
+                # later export of it cannot reuse this component value
+                # with more knowledge (acquire joins don't tick) —
+                # keeps every export canonical, which the acquire
+                # epoch fast-path's exactness depends on.
+                child.tick(target_id)
 
-    def _write(self, event, c: VectorClock, slot: int) -> None:
-        vs = self._vars.setdefault(event.target, _VarState())
+    def _write(self, idx: int, vid: int, c: VectorClock, slot: int) -> None:
+        vs = self._vars[vid]
         # WW check: epoch vs clock, O(1).
         self.result.epoch_ops += 1
-        if not vs.write.leq(c) and vs.write.slot != slot:
-            self._report(vs.write_event, event.idx, event.target, "ww")
+        write = vs.write
+        if write.slot != slot and not write.leq(c):
+            self._report(vs.write_event, idx, vid, "ww")
         # RW check.
         if vs.shared_reads is not None:
             self.result.vector_ops += 1
             if not vs.shared_reads.leq(c):
                 racer = self._shared_racer(vs, c)
-                self._report(racer, event.idx, event.target, "rw")
+                self._report(racer, idx, vid, "rw")
             # Deflate: exclusive write clears the shared read set.
             vs.shared_reads = None
             vs.shared_events.clear()
@@ -158,29 +216,31 @@ class FastTrack:
             vs.read_event = None
         else:
             self.result.epoch_ops += 1
-            if not vs.read.leq(c) and vs.read.slot != slot:
-                self._report(vs.read_event, event.idx, event.target, "rw")
+            read = vs.read
+            if read.slot != slot and not read.leq(c):
+                self._report(vs.read_event, idx, vid, "rw")
         vs.write = Epoch(c[slot], slot)
-        vs.write_event = event.idx
+        vs.write_event = idx
         c.tick(slot)
 
-    def _read(self, event, c: VectorClock, slot: int) -> None:
-        vs = self._vars.setdefault(event.target, _VarState())
+    def _read(self, idx: int, vid: int, c: VectorClock, slot: int) -> None:
+        vs = self._vars[vid]
         # WR check, O(1).
         self.result.epoch_ops += 1
-        if not vs.write.leq(c) and vs.write.slot != slot:
-            self._report(vs.write_event, event.idx, event.target, "wr")
+        write = vs.write
+        if write.slot != slot and not write.leq(c):
+            self._report(vs.write_event, idx, vid, "wr")
         if vs.shared_reads is not None:
             # Already SHARED: O(1) slot update.
             vs.shared_reads._ensure(slot + 1)
             vs.shared_reads[slot] = c[slot]
-            vs.shared_events[slot] = event.idx
+            vs.shared_events[slot] = idx
         else:
             self.result.epoch_ops += 1
             if vs.read.leq(c):
                 # Same-epoch or ordered read: stay exclusive.
                 vs.read = Epoch(c[slot], slot)
-                vs.read_event = event.idx
+                vs.read_event = idx
             else:
                 # Concurrent reads: inflate to SHARED.
                 vc = VectorClock(max(slot, vs.read.slot) + 1)
@@ -190,7 +250,7 @@ class FastTrack:
                 vs.shared_events = {}
                 if vs.read_event is not None:
                     vs.shared_events[vs.read.slot] = vs.read_event
-                vs.shared_events[slot] = event.idx
+                vs.shared_events[slot] = idx
         c.tick(slot)
 
     def _shared_racer(self, vs: _VarState, c: VectorClock) -> Optional[int]:
@@ -202,12 +262,28 @@ class FastTrack:
                 return ev_idx
         return next(iter(vs.shared_events.values()), None)
 
+    # -- batch driver -------------------------------------------------------
 
-def fasttrack_races(trace: Trace) -> FastTrackResult:
+    def _fresh(self) -> bool:
+        return not (self._clocks or self._vars or self._last_release)
+
+    def run(self, trace) -> FastTrackResult:
+        """Stream a whole trace (``Trace`` or ``CompiledTrace``)."""
+        start = time.perf_counter()
+        if isinstance(trace, CompiledTrace) and self._adopt_tables(trace):
+            step_coded = self._step_coded
+            ops, tids, targets = trace.columns()
+            for i in range(len(ops)):
+                # request events fall through _step_coded as no-ops,
+                # matching the string path exactly
+                step_coded(ops[i], tids[i], targets[i], i)
+        else:
+            for ev in trace:
+                self.step(ev)
+        self.result.elapsed = time.perf_counter() - start
+        return self.result
+
+
+def fasttrack_races(trace) -> FastTrackResult:
     """Run FastTrack over a complete trace."""
-    det = FastTrack()
-    start = time.perf_counter()
-    for ev in trace:
-        det.step(ev)
-    det.result.elapsed = time.perf_counter() - start
-    return det.result
+    return FastTrack().run(trace)

@@ -14,6 +14,10 @@ acquires of the same thread on the same lock release the lock before
 the later acquire (locks are non-reentrant), so their releases are
 thread-order predecessors of an event already in the closure and enter
 it for free.
+
+Closure-membership tests use the O(1) epoch form (acquire and release
+timestamps are canonical snapshots; see :mod:`repro.vc.timestamps`);
+the full release clock is kept only for the join.
 """
 
 from __future__ import annotations
@@ -28,12 +32,16 @@ from repro.vc.timestamps import TRFTimestamps
 
 @dataclass
 class CSEntry:
-    """One critical section: acquire index, its timestamp, and the
-    timestamp of the matching release (``None`` if the lock is never
-    released in the observed trace)."""
+    """One critical section: acquire index, its timestamp epoch
+    ``(slot, acq_val)``, and the matching release (``rel_val`` is the
+    release timestamp's own-slot component; ``None`` if the lock is
+    never released in the observed trace)."""
 
     acq_idx: int
+    slot: int
+    acq_val: int
     acq_ts: VectorClock
+    rel_val: Optional[int]
     rel_ts: Optional[VectorClock]
 
 
@@ -53,16 +61,22 @@ class CSHistories:
         self.trace = trace
         self.timestamps = timestamps
         self._queues: Dict[Tuple[str, str], List[CSEntry]] = {}
-        self._cursors: Dict[Tuple[str, str], int] = {}
-        self._last: Dict[Tuple[str, str], Optional[CSEntry]] = {}
         self._threads_with_lock: Dict[str, List[str]] = {}
+        # Per-lock rows aligned with _threads_with_lock[lock]:
+        # [cursor, last-entry, queue] — rebuilt by reset().
+        self._rows: Dict[str, List[list]] = {}
+        slot_of = timestamps.universe.slot
         for ev in trace:
             if not ev.is_acquire:
                 continue
             rel = trace.match(ev.idx)
+            slot = slot_of(ev.thread)
             entry = CSEntry(
                 acq_idx=ev.idx,
+                slot=slot,
+                acq_val=timestamps.epoch(ev.idx)[1],
                 acq_ts=timestamps.of(ev.idx),
+                rel_val=timestamps.epoch(rel)[1] if rel is not None else None,
                 rel_ts=timestamps.of(rel) if rel is not None else None,
             )
             key = (ev.thread, ev.target)
@@ -74,9 +88,10 @@ class CSHistories:
 
     def reset(self) -> None:
         """Rewind all cursors (start a fresh abstract-pattern check)."""
-        for key in self._queues:
-            self._cursors[key] = 0
-            self._last[key] = None
+        self._rows = {
+            lock: [[0, None, self._queues[(t, lock)]] for t in threads]
+            for lock, threads in self._threads_with_lock.items()
+        }
 
     @property
     def locks(self) -> List[str]:
@@ -88,27 +103,40 @@ class CSHistories:
         Returns the join of release timestamps that must enter the
         closure, or ``None`` when nothing new is contributed.
         """
-        candidates: List[CSEntry] = []
-        for thread in self._threads_with_lock.get(lock, ()):
-            key = (thread, lock)
-            queue = self._queues[key]
-            cursor = self._cursors[key]
-            last = self._last[key]
-            while cursor < len(queue) and queue[cursor].acq_ts.leq(t_clock):
-                last = queue[cursor]
-                cursor += 1
-            self._cursors[key] = cursor
-            self._last[key] = last
-            if last is not None:
-                candidates.append(last)
-        if len(candidates) <= 1:
+        rows = self._rows.get(lock)
+        if not rows:
             return None
-        latest = max(candidates, key=lambda e: e.acq_idx)
+        tv = t_clock._v
+        ltv = len(tv)
+        candidates: Optional[List[CSEntry]] = None
+        for row in rows:
+            cursor, last, queue = row
+            n = len(queue)
+            if cursor < n:
+                slot = queue[0].slot
+                bound = tv[slot] if slot < ltv else 0
+                while cursor < n and queue[cursor].acq_val <= bound:
+                    last = queue[cursor]
+                    cursor += 1
+                row[0] = cursor
+                row[1] = last
+            if last is not None:
+                if candidates is None:
+                    candidates = [last]
+                else:
+                    candidates.append(last)
+        if candidates is None or len(candidates) <= 1:
+            return None
+        latest = candidates[0]
+        for entry in candidates:
+            if entry.acq_idx > latest.acq_idx:
+                latest = entry
         join: Optional[VectorClock] = None
         for entry in candidates:
             if entry is latest or entry.rel_ts is None:
                 continue
-            if entry.rel_ts.leq(t_clock):
+            bound = tv[entry.slot] if entry.slot < ltv else 0
+            if entry.rel_val <= bound:
                 continue  # already inside the closure
             if join is None:
                 join = entry.rel_ts.copy()

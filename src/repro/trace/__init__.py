@@ -26,6 +26,12 @@ from repro.trace.events import (
 )
 from repro.trace.trace import Trace, TraceError
 from repro.trace.parser import ParseError, format_trace, parse_trace
+from repro.trace.compiled import (
+    CompiledTrace,
+    InternTable,
+    compile_trace,
+    load_compiled_trace,
+)
 from repro.trace.stats import TraceStats, compute_stats
 from repro.trace.wellformed import WellFormednessError, check_well_formed
 from repro.trace.builder import TraceBuilder
@@ -46,6 +52,10 @@ __all__ = [
     "ParseError",
     "parse_trace",
     "format_trace",
+    "CompiledTrace",
+    "InternTable",
+    "compile_trace",
+    "load_compiled_trace",
     "TraceStats",
     "compute_stats",
     "WellFormednessError",

@@ -1,0 +1,349 @@
+"""Interned, columnar trace representation (the compiled event pipeline).
+
+A :class:`CompiledTrace` stores a trace as three parallel integer
+columns — op code, thread id, target id — plus string intern tables for
+threads, locks, and variables and a sparse location map.  Compared to a
+list of :class:`~repro.trace.events.Event` objects this:
+
+- interns every thread/lock/variable name to a dense int **once, at
+  parse time**, so detectors index lists instead of hashing strings;
+- dispatches on int op codes (:data:`~repro.trace.events.OP_ACQUIRE`
+  etc.) instead of string comparisons and property calls;
+- holds events in ``array`` columns (a few bytes per event) instead of
+  per-event Python objects, so hundred-million-event traces fit.
+
+Target ids are per-kind: reads/writes index the variable table,
+acquire/release/request the lock table, fork/join the thread table.
+
+:func:`load_compiled_trace` reads the RAPID "STD" text format through a
+chunked streaming reader (``.gz`` transparently inflated block by
+block) — the whole file is never resident as one string.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.trace.events import (
+    OP_ACQUIRE,
+    OP_FORK,
+    OP_JOIN,
+    OP_READ,
+    OP_RELEASE,
+    OP_REQUEST,
+    OP_WRITE,
+    Event,
+    Op,
+)
+from repro.trace.trace import Trace
+
+#: Op codes whose target is a lock.
+_LOCK_OPS = (OP_ACQUIRE, OP_RELEASE, OP_REQUEST)
+#: Op codes whose target is a thread.
+_THREAD_OPS = (OP_FORK, OP_JOIN)
+
+
+class InternTable:
+    """Bidirectional name <-> dense-int interning."""
+
+    __slots__ = ("_ids", "names")
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._ids: Dict[str, int] = {}
+        self.names: List[str] = []
+        for n in names:
+            self.intern(n)
+
+    def intern(self, name: str) -> int:
+        i = self._ids.get(name)
+        if i is None:
+            i = len(self.names)
+            self._ids[name] = i
+            self.names.append(name)
+        return i
+
+    def get(self, name: str) -> Optional[int]:
+        return self._ids.get(name)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+
+class CompiledTrace:
+    """A trace compiled to interned columnar form.
+
+    Iterating yields :class:`Event` objects (materialized on demand) so
+    the compiled form is a drop-in replacement anywhere a plain event
+    sequence is accepted; the streaming detectors bypass the
+    materialization entirely via :meth:`columns`.
+    """
+
+    __slots__ = ("name", "ops", "thread_ids", "target_ids", "locs",
+                 "threads_tab", "locks_tab", "vars_tab")
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.ops = array("b")
+        self.thread_ids = array("i")
+        self.target_ids = array("i")
+        #: sparse event-index -> source location
+        self.locs: Dict[int, str] = {}
+        self.threads_tab = InternTable()
+        self.locks_tab = InternTable()
+        self.vars_tab = InternTable()
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, thread: str, op: str, target: str,
+               loc: Optional[str] = None) -> int:
+        """Intern and append one event; returns its index."""
+        code = Op.CODE.get(op)
+        if code is None:
+            raise ValueError(f"unknown operation kind: {op!r}")
+        return self.append_coded(
+            code, self.threads_tab.intern(thread), self._intern_target(code, target),
+            loc,
+        )
+
+    def _intern_target(self, code: int, target: str) -> int:
+        if code in _LOCK_OPS:
+            return self.locks_tab.intern(target)
+        if code in _THREAD_OPS:
+            return self.threads_tab.intern(target)
+        return self.vars_tab.intern(target)
+
+    def append_coded(self, code: int, thread_id: int, target_id: int,
+                     loc: Optional[str] = None) -> int:
+        """Append one already-interned event; returns its index."""
+        idx = len(self.ops)
+        self.ops.append(code)
+        self.thread_ids.append(thread_id)
+        self.target_ids.append(target_id)
+        if loc is not None:
+            self.locs[idx] = loc
+        return idx
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event], name: str = "trace") -> "CompiledTrace":
+        out = cls(name)
+        for ev in events:
+            out.append(ev.thread, ev.op, ev.target, ev.loc)
+        return out
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "CompiledTrace":
+        return cls.from_events(trace, name=trace.name)
+
+    # -- columnar access ----------------------------------------------------
+
+    def columns(self) -> Tuple[array, array, array]:
+        """The (ops, thread_ids, target_ids) parallel columns."""
+        return self.ops, self.thread_ids, self.target_ids
+
+    def target_name(self, idx: int) -> str:
+        """The target string of the event at ``idx``."""
+        code = self.ops[idx]
+        tid = self.target_ids[idx]
+        if code in _LOCK_OPS:
+            return self.locks_tab.names[tid]
+        if code in _THREAD_OPS:
+            return self.threads_tab.names[tid]
+        return self.vars_tab.names[tid]
+
+    def location_of(self, idx: int) -> str:
+        """Source location for bug deduplication (falls back to index)."""
+        loc = self.locs.get(idx)
+        return loc if loc is not None else f"@{idx}"
+
+    # -- sequence protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def event(self, idx: int) -> Event:
+        """Materialize the event at ``idx``."""
+        return Event(
+            idx,
+            self.threads_tab.names[self.thread_ids[idx]],
+            Op.NAMES[self.ops[idx]],
+            self.target_name(idx),
+            self.locs.get(idx),
+        )
+
+    def __getitem__(self, idx: int) -> Event:
+        return self.event(idx)
+
+    def __iter__(self) -> Iterator[Event]:
+        thread_names = self.threads_tab.names
+        op_names = Op.NAMES
+        locs = self.locs
+        for idx in range(len(self.ops)):
+            yield Event(
+                idx,
+                thread_names[self.thread_ids[idx]],
+                op_names[self.ops[idx]],
+                self.target_name(idx),
+                locs.get(idx),
+            )
+
+    def to_trace(self) -> Trace:
+        """Materialize a full :class:`Trace` (for the offline analyses)."""
+        return Trace(self, name=self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledTrace({self.name!r}, {len(self.ops)} events, "
+            f"{len(self.threads_tab)} threads, {len(self.locks_tab)} locks, "
+            f"{len(self.vars_tab)} vars)"
+        )
+
+
+class InterningDetectorMixin:
+    """Shared string-event front end for int-keyed streaming detectors.
+
+    Keeps the op-kind → intern-table routing (reads/writes → variables,
+    fork/join → threads, lock ops → locks) in one place, next to
+    :meth:`CompiledTrace._intern_target` which encodes the same rule
+    for parse-time interning.  Subclasses provide the intern dicts
+    ``_tid`` / ``_vid`` / ``_lid``, the ``_add_thread`` / ``_add_var``
+    / ``_add_lock`` allocators, and ``_fresh()`` (whether a compiled
+    trace's tables may still be adopted wholesale).
+    """
+
+    def _intern_event(self, event: Event) -> Tuple[int, int, int]:
+        """Intern one string event; returns (op code, tid, target id)."""
+        op = Op.CODE[event.op]
+        tid = self._tid.get(event.thread)
+        if tid is None:
+            tid = self._add_thread(event.thread)
+        if op in _LOCK_OPS:
+            table, add = self._lid, self._add_lock
+        elif op in _THREAD_OPS:
+            table, add = self._tid, self._add_thread
+        else:
+            table, add = self._vid, self._add_var
+        target_id = table.get(event.target)
+        if target_id is None:
+            target_id = add(event.target)
+        return op, tid, target_id
+
+    def _adopt_tables(self, trace: "CompiledTrace") -> bool:
+        """Share a compiled trace's intern tables (fresh detector only)."""
+        if not self._fresh():
+            return False
+        for name in trace.threads_tab.names:
+            self._add_thread(name)
+        for name in trace.locks_tab.names:
+            self._add_lock(name)
+        for name in trace.vars_tab.names:
+            self._add_var(name)
+        return True
+
+    def _fresh(self) -> bool:
+        raise NotImplementedError
+
+
+def ensure_trace(trace) -> Trace:
+    """Adapt ``trace`` to a full :class:`Trace`.
+
+    The offline analyses need the derived relations (reads-from, match,
+    held locks); a compiled trace materializes them on demand through
+    this helper, so every detector entry point accepts either form.
+    """
+    if isinstance(trace, CompiledTrace):
+        return trace.to_trace()
+    return trace
+
+
+def compile_trace(trace_or_events, name: Optional[str] = None) -> CompiledTrace:
+    """Compile a :class:`Trace` (or any event iterable) to columnar form."""
+    if isinstance(trace_or_events, CompiledTrace):
+        return trace_or_events
+    inferred = name or getattr(trace_or_events, "name", None) or "trace"
+    return CompiledTrace.from_events(trace_or_events, name=inferred)
+
+
+# -- chunked streaming STD reader -------------------------------------------
+
+_CHUNK_SIZE = 1 << 20  # 1 MiB of decompressed text per read
+
+
+def _iter_std_lines(path: str, chunk_size: int = _CHUNK_SIZE) -> Iterator[str]:
+    """Yield lines of a ``.std`` / ``.std.gz`` file, reading in chunks.
+
+    Decompression and line splitting are incremental: memory stays
+    bounded by ``chunk_size`` regardless of trace length.
+    """
+    if path.endswith(".gz"):
+        import gzip
+
+        fh = gzip.open(path, "rt", encoding="utf-8", newline="")
+    else:
+        fh = open(path, "r", encoding="utf-8", newline="")
+    try:
+        tail = ""
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                break
+            chunk = tail + chunk
+            lines = chunk.split("\n")
+            tail = lines.pop()
+            for line in lines:
+                yield line
+        if tail:
+            yield tail
+    finally:
+        fh.close()
+
+
+def parse_compiled(lines: Iterable[str], name: str = "trace") -> CompiledTrace:
+    """Parse STD-format lines directly into a :class:`CompiledTrace`.
+
+    Accepts the same dialect as :func:`repro.trace.parser.parse_trace`
+    (comments, blank lines, optional location field) but interns names
+    and op codes as it goes, without building ``Event`` objects.
+    """
+    from repro.trace.parser import ParseError
+
+    out = CompiledTrace(name)
+    op_codes = Op.CODE
+    threads_tab = out.threads_tab
+    append_coded = out.append_coded
+    intern_target = out._intern_target
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        # thread | op ( target ) [| loc] — target may contain '|' but
+        # not ')' (mirrors the parse_trace regex exactly).
+        head, bar, rest0 = line.partition("|")
+        op, paren, rest = rest0.partition("(")
+        code = op_codes.get(op)
+        close = rest.find(")")
+        if code is None or not head or not bar or not paren or close < 0:
+            raise ParseError(lineno, line, "malformed event")
+        after = rest[close + 1:]
+        if after and not after.startswith("|"):
+            raise ParseError(lineno, line, "malformed event")
+        target = rest[:close].strip()
+        if not target:
+            raise ParseError(lineno, line, "empty target")
+        loc = after[1:].strip() if len(after) > 1 else None
+        append_coded(
+            code, threads_tab.intern(head.strip()), intern_target(code, target), loc
+        )
+    return out
+
+
+def load_compiled_trace(path: str, name: str = "") -> CompiledTrace:
+    """Stream-parse a trace file into compiled columnar form.
+
+    The fast path for big logged traces: one pass, chunked IO, interned
+    names, no intermediate ``Event`` objects or whole-file string.
+    """
+    return parse_compiled(_iter_std_lines(path), name=name or path)

@@ -18,6 +18,10 @@ class Op:
     ``READ``/``WRITE`` target a shared variable; ``ACQUIRE``/``RELEASE``
     (and ``REQUEST``, emitted by some loggers just before a blocking
     acquire) target a lock; ``FORK``/``JOIN`` target another thread.
+
+    Each kind also has a dense integer *code* (``Op.CODE`` /
+    ``Op.NAMES``): the compiled trace representation and the streaming
+    detectors dispatch on these ints instead of comparing strings.
     """
 
     READ = "r"
@@ -29,6 +33,21 @@ class Op:
     JOIN = "join"
 
     ALL = (READ, WRITE, ACQUIRE, RELEASE, REQUEST, FORK, JOIN)
+
+    #: op string -> dense int code (order matches ``ALL``).
+    CODE = {op: i for i, op in enumerate(ALL)}
+    #: int code -> op string (inverse of ``CODE``).
+    NAMES = ALL
+
+
+# Integer op codes, importable directly for hot loops.
+OP_READ = Op.CODE[Op.READ]
+OP_WRITE = Op.CODE[Op.WRITE]
+OP_ACQUIRE = Op.CODE[Op.ACQUIRE]
+OP_RELEASE = Op.CODE[Op.RELEASE]
+OP_REQUEST = Op.CODE[Op.REQUEST]
+OP_FORK = Op.CODE[Op.FORK]
+OP_JOIN = Op.CODE[Op.JOIN]
 
 
 READ = Op.READ
@@ -66,6 +85,11 @@ class Event:
             raise ValueError(f"unknown operation kind: {self.op!r}")
 
     # -- convenience predicates -------------------------------------------
+
+    @property
+    def op_code(self) -> int:
+        """The dense integer code of :attr:`op` (see :attr:`Op.CODE`)."""
+        return Op.CODE[self.op]
 
     @property
     def is_read(self) -> bool:

@@ -34,10 +34,15 @@ class ParseError(Exception):
         self.line = line
 
 
-def parse_trace(text: str, name: str = "trace") -> Trace:
-    """Parse the STD text format into a :class:`Trace`."""
+def parse_events(lines) -> List[Event]:
+    """Parse an iterable of STD-format lines into events.
+
+    Shared by :func:`parse_trace` (in-memory text) and
+    :func:`load_trace` (streaming file handles): only one line is ever
+    materialized beyond the accumulated events.
+    """
     events: List[Event] = []
-    for lineno, raw in enumerate(text.splitlines(), start=1):
+    for lineno, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -52,7 +57,12 @@ def parse_trace(text: str, name: str = "trace") -> Trace:
             Event(len(events), m.group("thread").strip(), m.group("op"), target,
                   loc.strip() if loc else None)
         )
-    return Trace(events, name=name)
+    return events
+
+
+def parse_trace(text: str, name: str = "trace") -> Trace:
+    """Parse the STD text format into a :class:`Trace`."""
+    return Trace(parse_events(text.splitlines()), name=name)
 
 
 def format_trace(trace: Trace) -> str:
@@ -70,15 +80,19 @@ def load_trace(path: str, name: str = "") -> Trace:
     """Read a trace file from ``path`` (``.gz`` transparently inflated).
 
     Logged traces run to hundreds of millions of events; shipping them
-    compressed is the norm, so the loader handles it natively.
+    compressed is the norm, so the loader handles it natively, streaming
+    line by line rather than inflating the whole file into one string.
+    For the analysis fast path prefer
+    :func:`repro.trace.compiled.load_compiled_trace`, which also interns
+    names and op codes while streaming.
     """
     if path.endswith(".gz"):
         import gzip
 
         with gzip.open(path, "rt", encoding="utf-8") as fh:
-            return parse_trace(fh.read(), name=name or path)
+            return Trace(parse_events(fh), name=name or path)
     with open(path, "r", encoding="utf-8") as fh:
-        return parse_trace(fh.read(), name=name or path)
+        return Trace(parse_events(fh), name=name or path)
 
 
 def save_trace(trace: Trace, path: str) -> None:

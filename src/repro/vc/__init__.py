@@ -1,6 +1,12 @@
 """Vector clocks and thread-reads-from (TRF) timestamps (paper §4.3)."""
 
-from repro.vc.clock import VectorClock
+from repro.vc.clock import Epoch, ThreadUniverse, VectorClock
 from repro.vc.timestamps import TRFTimestamps, compute_trf_timestamps
 
-__all__ = ["VectorClock", "TRFTimestamps", "compute_trf_timestamps"]
+__all__ = [
+    "Epoch",
+    "ThreadUniverse",
+    "VectorClock",
+    "TRFTimestamps",
+    "compute_trf_timestamps",
+]

@@ -8,10 +8,18 @@ the paper's artifact also tracks).  The timestamp of an event ``e`` is
     e <=TRF f   iff   TS(e) ⊑ TS(f).
 
 Computed for all events with a single O(N·T) vector-clock pass.
+
+Every stored timestamp is a *canonical snapshot* (taken right after the
+owning thread's tick), so membership of an event in a closure timestamp
+is the O(1) epoch test :meth:`TRFTimestamps.leq_clock` — the full
+clocks are kept only for joins.  Snapshots are copy-on-write, so the
+pass performs one list copy per event, amortized, rather than one per
+snapshot consumer.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional
 
 from repro.trace.trace import Trace
@@ -29,6 +37,10 @@ class TRFTimestamps:
         self.trace = trace
         self.universe = ThreadUniverse(trace.threads)
         self._ts: List[VectorClock] = []
+        # Per-event epoch of the timestamp: its thread slot and its own
+        # component value (== per-thread position + 1).
+        self._slots = array("i")
+        self._vals = array("i")
         self._compute()
 
     def _compute(self) -> None:
@@ -37,11 +49,14 @@ class TRFTimestamps:
             t: VectorClock.bottom(n_threads) for t in self.trace.threads
         }
         last_write_ts: Dict[str, VectorClock] = {}
-        joined_ts: Dict[str, VectorClock] = {}
+        slot_of = self.universe.slot
+        ts_append = self._ts.append
+        slots_append = self._slots.append
+        vals_append = self._vals.append
 
         for ev in self.trace:
             c = clocks[ev.thread]
-            slot = self.universe.slot(ev.thread)
+            slot = slot_of(ev.thread)
             if ev.is_read:
                 w = self.trace.rf(ev.idx)
                 if w is not None:
@@ -53,8 +68,10 @@ class TRFTimestamps:
             # Tick after incorporating predecessors so the timestamp is
             # inclusive of the event itself.
             c.tick(slot)
-            snapshot = c.copy()
-            self._ts.append(snapshot)
+            snapshot = c.snapshot()
+            ts_append(snapshot)
+            slots_append(slot)
+            vals_append(c[slot])
             if ev.is_write:
                 last_write_ts[ev.target] = snapshot
             elif ev.is_fork:
@@ -66,6 +83,19 @@ class TRFTimestamps:
     def of(self, event_idx: int) -> VectorClock:
         """The (inclusive) TRF timestamp of the event at ``event_idx``."""
         return self._ts[event_idx]
+
+    def epoch(self, event_idx: int):
+        """``(slot, value)`` epoch of the event's timestamp."""
+        return self._slots[event_idx], self._vals[event_idx]
+
+    def leq_clock(self, event_idx: int, t_clock: VectorClock) -> bool:
+        """``TS(e) ⊑ T`` as an O(1) epoch test.
+
+        Exact for closure clocks built by joining stored timestamps:
+        ``T`` knows thread ``t`` up to time ``v`` iff it absorbed
+        ``t``'s canonical snapshot at ``v``.
+        """
+        return self._vals[event_idx] <= t_clock.component(self._slots[event_idx])
 
     def pred_timestamp(self, event_idx: int) -> VectorClock:
         """Timestamp of the thread-local predecessor of ``event_idx``.
@@ -80,8 +110,8 @@ class TRFTimestamps:
         return self._ts[pred]
 
     def leq(self, a: int, b: int) -> bool:
-        """``a <=TRF b`` via timestamp comparison."""
-        return self._ts[a].leq(self._ts[b])
+        """``a <=TRF b`` via timestamp comparison (O(1) epoch test)."""
+        return self.leq_clock(a, self._ts[b])
 
 
 def compute_trf_timestamps(trace: Trace) -> TRFTimestamps:

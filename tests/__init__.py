@@ -1,0 +1,2 @@
+"""Tier-1 test package (unique module paths; avoids basename collisions
+with benchmarks/ when pytest collects from a dirty tree)."""

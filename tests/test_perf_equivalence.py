@@ -1,0 +1,242 @@
+"""Equivalence of the optimized hot paths with reference semantics.
+
+The PR-1 performance work (epoch fast-paths, copy-on-write snapshots,
+the interned columnar event pipeline, the dirty-lock closure worklist)
+must be invisible in results.  These property tests pit every fast path
+against a reference on random traces from :mod:`repro.synth`:
+
+- tightened ``VectorClock.leq`` / ``join_with`` vs naive pointwise
+  reference implementations on arbitrary vectors;
+- copy-on-write snapshots vs eager copies under interleaved mutation;
+- O(1) epoch closure-membership tests vs the full pointwise ``⊑`` on
+  protocol-generated (canonical) timestamps;
+- the string-event and compiled-columnar detector paths, which must
+  produce *identical* report streams;
+- SPDOnline vs the independent SPDOffline implementation (size 2).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import SPDOnline
+from repro.core.spd_online_k import spd_online_k
+from repro.hb.fasttrack import fasttrack_races
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.trace.compiled import compile_trace
+from repro.vc.clock import VectorClock
+from repro.vc.timestamps import TRFTimestamps
+
+
+def _random_trace(seed: int, fork_join: bool = False, num_events: int = 120):
+    return generate_random_trace(
+        RandomTraceConfig(seed=seed, num_events=num_events, num_threads=4,
+                          num_locks=4, num_vars=3, max_nesting=3,
+                          acquire_prob=0.35, release_prob=0.3,
+                          fork_join=fork_join)
+    )
+
+
+# -- VectorClock lattice ops vs naive reference ---------------------------
+
+def _ref_leq(a, b):
+    n = max(len(a), len(b))
+    pad = lambda v: list(v) + [0] * (n - len(v))
+    return all(x <= y for x, y in zip(pad(a), pad(b)))
+
+
+def _ref_join(a, b):
+    n = max(len(a), len(b))
+    pad = lambda v: list(v) + [0] * (n - len(v))
+    return [max(x, y) for x, y in zip(pad(a), pad(b))]
+
+
+vectors = st.lists(st.integers(0, 5), max_size=6)
+
+
+class TestClockOps:
+    @settings(max_examples=200, deadline=None)
+    @given(a=vectors, b=vectors)
+    def test_leq_matches_reference(self, a, b):
+        assert VectorClock(a).leq(VectorClock(b)) == _ref_leq(a, b)
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=vectors, b=vectors)
+    def test_join_matches_reference(self, a, b):
+        vc = VectorClock(a)
+        changed = vc.join_with(VectorClock(b))
+        expect = _ref_join(a, b)
+        assert list(vc.values()) == expect
+        assert changed == (expect != list(a) + [0] * (len(expect) - len(a)))
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=vectors, b=vectors)
+    def test_join_update_reports_grown_slots(self, a, b):
+        vc = VectorClock(a)
+        grown = vc.join_update(VectorClock(b))
+        expect = _ref_join(a, b)
+        assert list(vc.values()) == expect
+        padded = list(a) + [0] * (len(expect) - len(a))
+        assert list(grown) == [i for i, (x, y) in enumerate(zip(padded, expect))
+                               if x != y]
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=vectors, ticks=st.lists(st.integers(0, 5), max_size=8))
+    def test_snapshot_is_immutable_under_source_mutation(self, a, ticks):
+        vc = VectorClock(a)
+        snap = vc.snapshot()
+        frozen = list(snap.values())
+        for slot in ticks:
+            vc.tick(slot)
+        assert list(snap.values()) == frozen
+        # ...and mutating the snapshot leaves the source untouched.
+        before = list(vc.values())
+        snap.tick(0)
+        assert list(vc.values()) == before
+
+
+# -- epoch membership tests vs full pointwise ⊑ ---------------------------
+
+class TestEpochExactness:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 50_000), fork_join=st.booleans())
+    def test_trf_epoch_leq_matches_full_comparison(self, seed, fork_join):
+        """On canonical protocol timestamps the O(1) epoch test is exact."""
+        trace = _random_trace(seed, fork_join)
+        ts = TRFTimestamps(trace)
+        rng = random.Random(seed)
+        n = len(trace)
+        full_leq = VectorClock.leq
+        for _ in range(min(150, n * n)):
+            a, b = rng.randrange(n), rng.randrange(n)
+            assert ts.leq_clock(a, ts.of(b)) == full_leq(ts.of(a), ts.of(b))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_trf_epoch_leq_against_joined_clocks(self, seed):
+        """Epoch tests stay exact against arbitrary joins of timestamps
+        (the shape of every closure clock)."""
+        trace = _random_trace(seed)
+        ts = TRFTimestamps(trace)
+        rng = random.Random(seed ^ 0xBEEF)
+        n = len(trace)
+        for _ in range(40):
+            t_clock = VectorClock(0)
+            for idx in rng.sample(range(n), k=min(4, n)):
+                t_clock.join_with(ts.of(idx))
+            probe = rng.randrange(n)
+            assert ts.leq_clock(probe, t_clock) == ts.of(probe).leq(t_clock)
+
+
+# -- interned columnar pipeline vs string events --------------------------
+
+def _report_key(r):
+    return (r.first_event, r.second_event, r.context, r.locations)
+
+
+class TestCompiledPipelineEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 50_000), fork_join=st.booleans())
+    def test_spd_online_identical_on_both_paths(self, seed, fork_join):
+        trace = _random_trace(seed, fork_join, num_events=200)
+        compiled = compile_trace(trace)
+        via_strings = SPDOnline()
+        via_strings.run(trace)
+        via_columns = SPDOnline()
+        via_columns.run(compiled)
+        assert ([_report_key(r) for r in via_strings.reports]
+                == [_report_key(r) for r in via_columns.reports])
+        assert via_strings.stats() == via_columns.stats()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_spd_online_k_identical_on_both_paths(self, seed):
+        trace = _random_trace(seed, num_events=160)
+        a = spd_online_k(trace, max_size=3)
+        b = spd_online_k(compile_trace(trace), max_size=3)
+        assert ([(r.events, r.locations, r.signatures) for r in a.k_reports]
+                == [(r.events, r.locations, r.signatures) for r in b.k_reports])
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 50_000), fork_join=st.booleans())
+    def test_fasttrack_identical_on_both_paths(self, seed, fork_join):
+        trace = _random_trace(seed, fork_join, num_events=200)
+        a = fasttrack_races(trace)
+        b = fasttrack_races(compile_trace(trace))
+        assert a.races == b.races
+
+    def test_fasttrack_join_of_unseen_thread_does_not_mask_race(self):
+        """Interning must not fabricate HB edges: joining a thread that
+        never ran (epoch-1 initial clock) is a no-op, so the write/read
+        pair below still races — on both event paths."""
+        from repro.trace.builder import TraceBuilder
+
+        t = (TraceBuilder()
+             .join("t1", "t2").write("t2", "x").read("t1", "x").build())
+        for inp in (t, compile_trace(t)):
+            res = fasttrack_races(inp)
+            assert [(r.variable, r.kind) for r in res.races] == [("x", "wr")]
+
+    def test_fasttrack_post_join_release_does_not_mask_hb_edge(self):
+        """A thread that keeps syncing after being joined must not
+        re-export a release epoch at an already-observed component
+        value: the acquire fast-path would skip a join it needs and
+        fabricate a race."""
+        from repro.trace.builder import TraceBuilder
+
+        t = (TraceBuilder()
+             .write("tC", "x").acq("tC", "n").rel("tC", "n")
+             .acq("tA", "m").rel("tA", "m")
+             .join("tB", "tA")
+             .acq("tA", "n").rel("tA", "m")
+             .acq("tB", "m").write("tB", "x").build())
+        for inp in (t, compile_trace(t)):
+            assert fasttrack_races(inp).races == []
+
+    def test_compiled_parser_accepts_pipes_in_targets(self):
+        """parse_compiled must accept the exact parse_trace dialect,
+        including '|' inside a target."""
+        from repro.trace.compiled import parse_compiled
+        from repro.trace.parser import parse_trace
+
+        text = "t1|acq(a|b)\nt1|w(v)|Some.java:1\nt1|rel(a|b)|\n"
+        a = parse_trace(text)
+        b = parse_compiled(text.splitlines())
+        assert ([(e.thread, e.op, e.target, e.loc) for e in a]
+                == [(e.thread, e.op, e.target, e.loc) for e in b])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_spd_offline_accepts_compiled(self, seed):
+        trace = _random_trace(seed, num_events=120)
+        a = spd_offline(trace, max_size=2)
+        b = spd_offline(compile_trace(trace), max_size=2)
+        assert {r.bug_id for r in a.reports} == {r.bug_id for r in b.reports}
+        assert a.num_abstract_patterns == b.num_abstract_patterns
+
+
+# -- streaming vs offline reference detector ------------------------------
+
+class TestOnlineVsOffline:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 50_000), fork_join=st.booleans())
+    def test_deadlock_pairs_match_offline(self, seed, fork_join):
+        """The re-indexed SPDOnline still agrees with the independent
+        two-phase implementation on size-2 deadlock event pairs."""
+        trace = _random_trace(seed, fork_join, num_events=150)
+        online = SPDOnline()
+        online.run(compile_trace(trace))
+        # SPDOffline reports one instantiation per abstract pattern and
+        # SPDOnline first-hits per ⟨t1,l1,t2,l2⟩ context, so concrete
+        # event pairs legitimately differ; the deadlocked *lock pairs*
+        # must agree exactly.
+        online_lock_pairs = {
+            frozenset((r.context[1], r.context[3])) for r in online.reports
+        }
+        offline = spd_offline(trace, max_size=2)
+        offline_lock_pairs = {
+            frozenset(trace[e].target for e in r.pattern.events)
+            for r in offline.reports
+        }
+        assert online_lock_pairs == offline_lock_pairs
