@@ -1,8 +1,15 @@
 """CI-friendly throughput smoke benchmark (the repo's perf baseline).
 
-Runs the three flagship detectors over fixed synthetic workloads,
-asserts SPDOnline has not regressed below the PR-1 acceptance bar
-(3x the recorded pre-optimization seed throughput), and writes the
+Runs the three flagship detectors over fixed synthetic workloads *as a
+campaign* (:mod:`repro.exp`): the workloads are ``random`` trace
+sources, the detectors are registry cells, and the numbers come out of
+the same :class:`~repro.exp.runner.CellResult` records a ``repro bench
+run`` produces.  The serial :class:`~repro.exp.runner.InlineRunner`
+executes them in-process with timeout enforcement off, so the timings
+measure the detectors and nothing else.
+
+Asserts SPDOnline has not regressed below the PR-1 acceptance bar
+(3x the recorded pre-optimization seed throughput) and writes the
 measured events/sec to ``BENCH_spd.json`` at the repo root so future
 PRs have a comparable record.
 
@@ -12,6 +19,15 @@ benchmark runs; they are recorded constants, not re-measured (the old
 code is gone).  Thresholds are set loose enough to absorb machine
 variance while still catching order-of-magnitude regressions.
 
+**Machine-relative floors**: the baselines came from the PR-1
+container, so on sufficiently different hardware the 3x floor can
+misfire in either direction.  Set ``REPRO_BENCH_SKIP_PERF=1`` (CI
+does, via ``scripts/ci.sh``) to keep the bit-stability checks but skip
+the throughput assertion and the ``BENCH_spd.json`` rewrite.  To
+re-baseline after a hardware change: run this benchmark once on the
+new machine *at the v0 code* to obtain new ``SEED_BASELINE`` numbers,
+update them here, and commit the refreshed ``BENCH_spd.json``.
+
 Run with ``pytest benchmarks/test_perf_regression.py`` (the tier-1
 ``testpaths`` setting excludes benchmarks by default).
 """
@@ -20,13 +36,12 @@ from __future__ import annotations
 
 import json
 import os
-import time
 
-from repro.core.spd_offline import spd_offline
-from repro.core.spd_online import SPDOnline
-from repro.hb.fasttrack import fasttrack_races
-from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
-from repro.trace.compiled import compile_trace
+import pytest
+
+from repro.exp.campaign import Campaign, DetectorSpec, TraceSource
+from repro.exp.runner import InlineRunner
+from repro.synth.random_traces import RandomTraceConfig
 
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_spd.json")
 
@@ -54,32 +69,47 @@ EXPECTED = {"spd_online_reports": 622, "spd_offline_deadlocks": 112,
 MIN_ONLINE_SPEEDUP = 3.0
 
 
+def _campaign() -> Campaign:
+    return Campaign(
+        name="perf-regression",
+        traces=[
+            TraceSource(kind="random", name="online",
+                        params=dict(ONLINE_CFG.__dict__)),
+            TraceSource(kind="random", name="offline",
+                        params=dict(OFFLINE_CFG.__dict__)),
+        ],
+        detectors=[
+            DetectorSpec(name="spd_online", only=["online"]),
+            DetectorSpec(name="fasttrack", only=["online"]),
+            DetectorSpec(name="spd_offline", config={"max_size": 2},
+                         only=["offline"]),
+        ],
+        default_timeout=None,       # perf cells must never be clipped
+        include_stats=False,
+    )
+
+
 def _measure():
-    online_trace = compile_trace(generate_random_trace(ONLINE_CFG))
-    offline_trace = compile_trace(generate_random_trace(OFFLINE_CFG))
+    # No cache (cached timings would be stale) and no SIGALRM (an
+    # interval timer would perturb the measurement).
+    run = InlineRunner(enforce_timeouts=False).run(_campaign())
+    cells = {(r.trace_name, r.detector_name): r for r in run.results}
+    for cell in cells.values():
+        assert cell.status == "ok", (cell.detector_name, cell.error)
 
-    t0 = time.perf_counter()
-    det = SPDOnline()
-    det.run(online_trace)
-    online_eps = len(online_trace) / (time.perf_counter() - t0)
+    online_spd = cells[("online", "spd_online")]
+    online_ft = cells[("online", "fasttrack")]
+    offline_spd = cells[("offline", "spd_offline")]
 
-    t0 = time.perf_counter()
-    off = spd_offline(offline_trace, max_size=2)
-    offline_eps = len(offline_trace) / (time.perf_counter() - t0)
-
-    t0 = time.perf_counter()
-    ft = fasttrack_races(online_trace)
-    fasttrack_eps = len(online_trace) / (time.perf_counter() - t0)
-
-    outputs = {
-        "spd_online_reports": len(det.reports),
-        "spd_offline_deadlocks": off.num_deadlocks,
-        "fasttrack_races": ft.num_races,
-    }
     eps = {
-        "spd_online": round(online_eps, 1),
-        "spd_offline": round(offline_eps, 1),
-        "fasttrack": round(fasttrack_eps, 1),
+        "spd_online": round(online_spd.num_events / online_spd.elapsed, 1),
+        "spd_offline": round(offline_spd.num_events / offline_spd.elapsed, 1),
+        "fasttrack": round(online_ft.num_events / online_ft.elapsed, 1),
+    }
+    outputs = {
+        "spd_online_reports": online_spd.output["reports"],
+        "spd_offline_deadlocks": offline_spd.output["deadlocks"],
+        "fasttrack_races": online_ft.output["races"],
     }
     return eps, outputs
 
@@ -89,6 +119,10 @@ def test_throughput_and_record():
 
     # Detector outputs must stay bit-stable on the fixed workloads.
     assert outputs == EXPECTED, outputs
+
+    if os.environ.get("REPRO_BENCH_SKIP_PERF") == "1":
+        pytest.skip("REPRO_BENCH_SKIP_PERF=1: outputs verified, "
+                    "machine-relative perf floors skipped")
 
     payload = {
         "description": "events/sec of the flagship detectors on fixed "

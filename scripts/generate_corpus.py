@@ -33,6 +33,7 @@ from repro.synth.templates import (
     guarded_cycle_trace,
     non_well_nested_trace,
     picklock_trace,
+    post_join_trace,
     simple_deadlock_trace,
     stringbuffer_trace,
     transfer_trace,
@@ -58,6 +59,7 @@ TRACES = {
     "stringbuffer": stringbuffer_trace,
     "transfer": transfer_trace,
     "non_well_nested": non_well_nested_trace,
+    "post_join": post_join_trace,
 }
 
 MANIFEST_HEADER = """\
@@ -90,6 +92,7 @@ GOLDEN = {
     "stringbuffer": (2, 2, 2),
     "transfer": (0, 1, 0),
     "non_well_nested": (0, 0, None),
+    "post_join": (0, 0, 0),
 }
 
 

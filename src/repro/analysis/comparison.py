@@ -20,6 +20,29 @@ from repro.trace.trace import Trace
 BugId = Tuple[str, ...]
 
 
+def exclusive_bugs(
+    bug_sets: Dict[str, Optional[Set[BugId]]],
+) -> Dict[str, Set[BugId]]:
+    """Per tool, the bugs no *other* tool reports.
+
+    ``None`` marks a tool that failed outright (Table 1's ``F``): it
+    contributes no bugs and claims none.  Used by the campaign report
+    emitter for its disagreement section and mirrored by the
+    ``only_*`` accessors of :class:`ComparisonResult`.
+    """
+    out: Dict[str, Set[BugId]] = {}
+    for tool, bugs in bug_sets.items():
+        if bugs is None:
+            out[tool] = set()
+            continue
+        others: Set[BugId] = set()
+        for other, other_bugs in bug_sets.items():
+            if other != tool and other_bugs is not None:
+                others |= other_bugs
+        out[tool] = bugs - others
+    return out
+
+
 @dataclass
 class ComparisonResult:
     """Per-tool unique bug sets and timings for one trace."""

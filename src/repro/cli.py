@@ -12,11 +12,15 @@ Subcommands:
 - ``compare TRACE``   — run every detector and diff the verdicts.
 - ``audit TRACE``     — the Section 6.1 false-negative classification.
 - ``graph TRACE``     — abstract-lock-graph (or lock-order) DOT dump.
+- ``bench run|report|diff`` — whole evaluation campaigns over
+  detector×trace matrices (:mod:`repro.exp`), sharded across worker
+  processes with ``-j N`` and cached between runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -32,6 +36,35 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     import json
 
     trace = load_trace(args.trace)
+    if args.window is not None:
+        from repro.core.windowed import spd_offline_windowed
+
+        result = spd_offline_windowed(
+            trace, window=args.window, overlap=args.overlap,
+            max_size=args.max_size,
+        )
+        if args.json:
+            print(json.dumps({
+                "trace": trace.name,
+                "mode": "windowed",
+                "window": args.window,
+                "overlap": args.overlap,
+                "windows": result.windows,
+                "deadlocks": [
+                    {"events": list(r.pattern.events),
+                     "locations": list(r.locations)}
+                    for r in result.reports
+                ],
+                "elapsed_s": result.elapsed,
+            }, indent=2))
+        else:
+            print(f"{trace.name}: {result.num_deadlocks} sync-preserving "
+                  f"deadlock(s) [windowed, {result.windows} window(s) of "
+                  f"{args.window}] in {result.elapsed:.3f}s")
+            for r in result.reports:
+                evs = ", ".join(f"e{i}" for i in r.pattern.events)
+                print(f"  deadlock pattern <{evs}> at {' / '.join(r.locations)}")
+        return 0 if result.num_deadlocks == 0 else 1
     if args.online:
         result = spd_online(trace)
         if args.json:
@@ -202,6 +235,93 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exp.campaign import CampaignError, load_campaign
+    from repro.exp.cache import ResultCache
+    from repro.exp.report import render_markdown, run_to_json
+    from repro.exp.runner import InlineRunner, ProcessPoolRunner
+
+    try:
+        campaign = load_campaign(args.campaign)
+    except (CampaignError, OSError, ValueError) as exc:
+        print(f"bad campaign: {exc}", file=sys.stderr)
+        return 2
+
+    out_dir = args.out or os.path.join("bench_runs", campaign.name)
+    os.makedirs(out_dir, exist_ok=True)
+    cache = None if args.no_cache else ResultCache(os.path.join(out_dir, "cache"))
+    if args.jobs <= 1 or args.runner == "inline":
+        runner = InlineRunner()
+    else:
+        runner = ProcessPoolRunner(jobs=args.jobs)
+
+    def progress(res) -> None:
+        if not args.quiet:
+            mark = "cached" if res.cached else res.status
+            print(f"  [{mark:>7s}] {res.trace_name} × {res.detector_id}",
+                  file=sys.stderr)
+
+    run = runner.run(campaign, cache=cache, progress=progress)
+    record = run_to_json(run)
+    markdown = render_markdown(record)
+
+    run_path = os.path.join(out_dir, "run.json")
+    with open(run_path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    md_path = os.path.join(out_dir, "report.md")
+    with open(md_path, "w", encoding="utf-8") as fh:
+        fh.write(markdown)
+
+    print(markdown)
+    counts = run.counts()
+    print(f"{run.num_cells} cell(s) in {run.elapsed:.2f}s "
+          f"({run.cache_hits} cached, {counts['timeout']} timeout, "
+          f"{counts['error']} error) -> {run_path}")
+    return 0 if counts["error"] == 0 else 1
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exp.report import render_markdown
+
+    with open(args.run, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    print(render_markdown(record))
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exp.report import diff_runs
+
+    with open(args.old, "r", encoding="utf-8") as fh:
+        old = json.load(fh)
+    with open(args.new, "r", encoding="utf-8") as fh:
+        new = json.load(fh)
+    diff = diff_runs(old, new)
+    print(diff.markdown())
+    return 0 if diff.clean else 1
+
+
+def _window_size(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("window must be >= 1")
+    return value
+
+
+def _overlap_fraction(text: str) -> float:
+    value = float(text)
+    if not 0 <= value < 1:
+        raise argparse.ArgumentTypeError("overlap must be in [0, 1)")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for doc generation)."""
     parser = argparse.ArgumentParser(
@@ -212,8 +332,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_an = sub.add_parser("analyze", help="predict deadlocks in a trace file")
     p_an.add_argument("trace", help="trace file (STD text format)")
-    p_an.add_argument("--online", action="store_true", help="use SPDOnline (streaming, size 2)")
+    mode = p_an.add_mutually_exclusive_group()
+    mode.add_argument("--online", action="store_true", help="use SPDOnline (streaming, size 2)")
+    mode.add_argument("--window", type=_window_size, default=None, metavar="N",
+                      help="bounded-memory mode: overlapping windows of N events")
     p_an.add_argument("--max-size", type=int, default=None, help="cap deadlock size")
+    p_an.add_argument("--overlap", type=_overlap_fraction, default=0.5,
+                      help="window overlap fraction in [0, 1) "
+                           "(with --window; default 0.5)")
     p_an.add_argument("--json", action="store_true", help="machine-readable output")
     p_an.set_defaults(func=_cmd_analyze)
 
@@ -262,6 +388,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_gr.add_argument("--lock-order", action="store_true",
                       help="emit the classic lock-order graph instead")
     p_gr.set_defaults(func=_cmd_graph)
+
+    p_bench = sub.add_parser(
+        "bench", help="run/report/diff evaluation campaigns (repro.exp)"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    p_brun = bench_sub.add_parser("run", help="execute a campaign file")
+    p_brun.add_argument("--campaign", required=True,
+                        help="campaign spec (.toml or .json)")
+    p_brun.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes (1 = serial in-process)")
+    p_brun.add_argument("--runner", choices=["process", "inline"],
+                        default="process",
+                        help="force the serial runner even with -j > 1")
+    p_brun.add_argument("--out", default=None,
+                        help="output directory (default bench_runs/<name>)")
+    p_brun.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the result cache")
+    p_brun.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress on stderr")
+    p_brun.set_defaults(func=_cmd_bench_run)
+
+    p_brep = bench_sub.add_parser("report", help="re-render a run.json")
+    p_brep.add_argument("run", help="run.json from 'bench run'")
+    p_brep.set_defaults(func=_cmd_bench_report)
+
+    p_bdiff = bench_sub.add_parser(
+        "diff", help="compare two runs cell-by-cell (exit 1 on changes)"
+    )
+    p_bdiff.add_argument("old", help="baseline run.json")
+    p_bdiff.add_argument("new", help="candidate run.json")
+    p_bdiff.set_defaults(func=_cmd_bench_diff)
     return parser
 
 

@@ -75,6 +75,8 @@ def spd_offline_windowed(
             straddle a boundary by less than ``overlap · window``.
         max_size: deadlock-size cap forwarded to each window.
     """
+    if window < 1:
+        raise ValueError("window must be >= 1")
     if not 0 <= overlap < 1:
         raise ValueError("overlap must be in [0, 1)")
     from repro.trace.compiled import ensure_trace

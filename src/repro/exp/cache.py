@@ -1,0 +1,104 @@
+"""Content-addressed result cache for campaign cells.
+
+A cell's key digests everything that can change its output:
+
+- the *trace digest* (file bytes, or generator identity + knobs);
+- the detector registry name and its canonical-JSON config;
+- the cell policy that shapes results (timeout, repetition count);
+- the *code version* — a digest over every ``repro`` source file, so
+  editing any detector (or the trace pipeline under it) invalidates
+  the whole cache rather than serving stale verdicts.
+
+Records are JSON files under ``<root>/<key[:2]>/<key>.json``, written
+atomically (tmp + rename) so a crashed run never leaves a torn record
+for the next run to trust.  Only ``ok`` and ``timeout`` cells are
+cached; ``error`` cells (crashed workers) always re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the installed ``repro`` package sources (memoized)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        h = hashlib.sha256()
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()             # fixes the traversal order
+            for fn in sorted(filenames):
+                if not fn.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fn)
+                h.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    h.update(fh.read())
+        _CODE_VERSION = h.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def cell_key(trace_digest: str, detector_name: str, config: dict,
+             timeout: Optional[float], repeats: int,
+             version: Optional[str] = None) -> str:
+    """The cache key of one (trace, detector, config) cell."""
+    payload = json.dumps(
+        {
+            "trace": trace_digest,
+            "detector": detector_name,
+            "config": config,
+            "timeout": timeout,
+            "repeats": repeats,
+            "code": version if version is not None else code_version(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed cell-result store."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[dict]:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, record: dict) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        count = 0
+        for _, _, files in os.walk(self.root):
+            count += sum(1 for f in files if f.endswith(".json"))
+        return count

@@ -1,0 +1,246 @@
+"""Campaign reports: paper-style tables, JSON records, run diffs.
+
+- **Table 1** (trace characteristics): one row per trace from the
+  implicit ``stats`` cells, columns shared with the CLI via
+  :data:`repro.trace.stats.TABLE1_COLUMNS`.
+- **Table 2** (per-detector outcomes): one row per trace, one column
+  per detector showing the headline count and best time —
+  ``F`` for a tool's own failure, ``TO``/``ERR`` for cells the runner
+  timed out or that crashed.
+- **JSON record**: the full run (campaign spec + every cell) with
+  stable key order; :func:`diff_runs` compares two of these cell by
+  cell, ignoring timing, which makes it the regression tracker —
+  "same code, same traces, did any verdict move?".
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.comparison import exclusive_bugs
+from repro.exp.cache import code_version
+from repro.exp.runner import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    RunResult,
+)
+from repro.trace.stats import TABLE1_COLUMNS
+
+RUN_SCHEMA = 1
+
+
+# -- JSON record --------------------------------------------------------
+
+
+def run_to_json(run: RunResult) -> dict:
+    """The persistent record of one campaign execution."""
+    return {
+        "schema": RUN_SCHEMA,
+        "campaign": run.campaign.to_json(),
+        "code_version": code_version(),
+        "created": _time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "elapsed": round(run.elapsed, 3),
+        "cache_hits": run.cache_hits,
+        "num_cells": run.num_cells,
+        "status_counts": run.counts(),
+        "cells": [r.to_json() for r in run.results],
+    }
+
+
+def _cells_by_trace(cells: List[dict]) -> "Dict[str, Dict[str, dict]]":
+    """trace name -> detector id -> cell, preserving first-seen order."""
+    out: Dict[str, Dict[str, dict]] = {}
+    for cell in cells:
+        out.setdefault(cell["trace"], {})[cell["detector"]] = cell
+    return out
+
+
+# -- Markdown tables ----------------------------------------------------
+
+
+def _md_table(header: List[str], rows: List[List[str]]) -> str:
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def table1_markdown(cells: List[dict]) -> str:
+    """Trace characteristics (needs the ``stats`` cells)."""
+    rows = []
+    for trace, by_det in _cells_by_trace(cells).items():
+        stats = by_det.get("stats")
+        if stats is None or stats["status"] != STATUS_OK:
+            rows.append([trace] + ["?"] * len(TABLE1_COLUMNS))
+            continue
+        out = stats["output"]
+        rows.append([trace] + [str(out.get(key, "?")) for _, key in TABLE1_COLUMNS])
+    return _md_table(["Trace"] + [h for h, _ in TABLE1_COLUMNS], rows)
+
+
+def _format_cell(cell: Optional[dict]) -> str:
+    if cell is None:
+        return "-"
+    if cell["status"] == STATUS_TIMEOUT:
+        return "TO"
+    if cell["status"] == STATUS_ERROR:
+        return "ERR"
+    out = cell["output"] or {}
+    if out.get("failed"):
+        return "F"
+    primary = out.get("primary")
+    shown = "?" if primary is None else str(primary)
+    if out.get("timed_out"):                     # Dirk's internal budget
+        shown += " (TO)"
+    elapsed = cell.get("elapsed")
+    if elapsed is not None:
+        shown += f" / {elapsed:.3f}s"
+    return shown
+
+
+def table2_markdown(cells: List[dict]) -> str:
+    """Per-detector outcomes (count / best time), Table 2 style."""
+    detector_ids: List[str] = []
+    for cell in cells:
+        d = cell["detector"]
+        if d != "stats" and d not in detector_ids:
+            detector_ids.append(d)
+    rows = []
+    for trace, by_det in _cells_by_trace(cells).items():
+        rows.append([trace] + [_format_cell(by_det.get(d)) for d in detector_ids])
+    return _md_table(["Trace"] + detector_ids, rows)
+
+
+def disagreements_markdown(cells: List[dict]) -> str:
+    """Traces where deadlock-reporting detectors disagree on bug sets."""
+    lines: List[str] = []
+    for trace, by_det in _cells_by_trace(cells).items():
+        bug_sets = {}
+        for det_id, cell in by_det.items():
+            if det_id == "stats" or cell["status"] != STATUS_OK:
+                continue
+            out = cell["output"] or {}
+            if out.get("failed"):
+                bug_sets[det_id] = None
+            elif "bugs" in out:
+                bug_sets[det_id] = {tuple(b) for b in out["bugs"]}
+        if len(bug_sets) < 2:
+            continue
+        for det_id, only in sorted(exclusive_bugs(bug_sets).items()):
+            for bug in sorted(only):
+                lines.append(f"- `{trace}`: only **{det_id}** reports "
+                             f"{' / '.join(bug)}")
+    if not lines:
+        return "All deadlock detectors agree on every trace."
+    return "\n".join(lines)
+
+
+def render_markdown(record: dict) -> str:
+    """Full Markdown report for one run record."""
+    campaign = record["campaign"]
+    cells = record["cells"]
+    counts = record.get("status_counts", {})
+    fresh = record["num_cells"] - record.get("cache_hits", 0)
+    head = [
+        f"# Campaign `{campaign['name']}`",
+        "",
+        f"- cells: {record['num_cells']} "
+        f"({record.get('cache_hits', 0)} cached, {fresh} executed)",
+        f"- status: {counts.get(STATUS_OK, 0)} ok, "
+        f"{counts.get(STATUS_TIMEOUT, 0)} timeout, "
+        f"{counts.get(STATUS_ERROR, 0)} error",
+        f"- code version: `{record.get('code_version', '?')}`, "
+        f"wall clock {record.get('elapsed', 0.0):.3f}s",
+        "",
+        "## Table 1 — trace characteristics",
+        "",
+        table1_markdown(cells),
+        "",
+        "## Table 2 — detector outcomes (count / best time)",
+        "",
+        "`F` = tool failure (by design), `TO` = timeout, `ERR` = crashed cell.",
+        "",
+        table2_markdown(cells),
+        "",
+        "## Detector disagreements",
+        "",
+        disagreements_markdown(cells),
+        "",
+    ]
+    return "\n".join(head)
+
+
+# -- run-to-run diff ----------------------------------------------------
+
+
+@dataclass
+class CellDiff:
+    trace: str
+    detector: str
+    kind: str                 # "added" | "removed" | "changed"
+    before: Optional[dict] = None
+    after: Optional[dict] = None
+
+    def describe(self) -> str:
+        if self.kind == "added":
+            return f"{self.trace} × {self.detector}: new cell"
+        if self.kind == "removed":
+            return f"{self.trace} × {self.detector}: cell gone"
+        b, a = self.before or {}, self.after or {}
+        return (f"{self.trace} × {self.detector}: "
+                f"{_format_cell(b)} -> {_format_cell(a)}")
+
+
+@dataclass
+class RunDiff:
+    """Cell-level differences between two run records (timing ignored)."""
+
+    changes: List[CellDiff] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.changes
+
+    def markdown(self) -> str:
+        if self.clean:
+            return (f"No verdict changes across {self.compared} "
+                    f"compared cell(s).")
+        lines = [f"{len(self.changes)} change(s) across "
+                 f"{self.compared} compared cell(s):", ""]
+        for c in self.changes:
+            lines.append(f"- {c.describe()}")
+        return "\n".join(lines)
+
+
+def _comparable(cell: dict) -> Tuple:
+    return (cell["status"], cell.get("output"), cell.get("num_events"))
+
+
+def diff_runs(old: dict, new: dict) -> RunDiff:
+    """Compare two run records cell by cell.
+
+    Matching is by (trace name, detector id); timing fields and cache
+    provenance never participate, so an identical re-run — cached or
+    not, serial or parallel — always diffs clean.
+    """
+    diff = RunDiff()
+    a = {(c["trace"], c["detector"]): c for c in old["cells"]}
+    b = {(c["trace"], c["detector"]): c for c in new["cells"]}
+    for key in sorted(a.keys() | b.keys()):
+        trace, det = key
+        if key not in b:
+            diff.changes.append(CellDiff(trace, det, "removed", before=a[key]))
+        elif key not in a:
+            diff.changes.append(CellDiff(trace, det, "added", after=b[key]))
+        else:
+            diff.compared += 1
+            if _comparable(a[key]) != _comparable(b[key]):
+                diff.changes.append(
+                    CellDiff(trace, det, "changed", before=a[key], after=b[key])
+                )
+    return diff

@@ -1,0 +1,413 @@
+"""Campaign execution: a serial runner and a sharded process-pool runner.
+
+Both runners share cell semantics — load the trace, run the detector
+adapter ``repeats`` times, normalize into a :class:`CellResult` — and
+differ only in *where* the cell runs:
+
+- :class:`InlineRunner` executes cells in-process (debuggable with a
+  plain ``pdb``/profiler; timeouts enforced via ``SIGALRM`` when
+  running on the main thread of a Unix process, best-effort otherwise);
+- :class:`ProcessPoolRunner` fans cells across ``jobs`` forked worker
+  processes.  Each cell gets its own process, so a segfaulting or
+  OOM-killed detector records ``status="error"`` for its cell and
+  never takes down the campaign, and a wall-clock ``timeout`` is
+  enforced by terminating the worker (``status="timeout"``).
+
+Workers hand results back through per-cell JSON files written
+atomically into a private temp directory — no pipe buffering limits,
+and a worker that dies mid-cell simply leaves no file, which the
+parent records as the crash it was.  Results always come back in
+campaign cell order regardless of completion order, so parallel and
+serial runs are cell-for-cell comparable (modulo timing fields, which
+:meth:`CellResult.comparable` strips).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import signal
+import tempfile
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.exp.cache import ResultCache, cell_key
+from repro.exp.campaign import Campaign, DetectorSpec, TraceSource
+from repro.exp.detectors import get_adapter
+
+STATUS_OK = "ok"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+
+#: statuses worth caching (errors always re-run).
+_CACHEABLE = (STATUS_OK, STATUS_TIMEOUT)
+
+
+@dataclass
+class CellTask:
+    """One (trace, detector) cell, fully resolved and picklable."""
+
+    index: int
+    trace: TraceSource
+    trace_digest: str
+    detector: DetectorSpec
+    timeout: Optional[float]
+    repeats: int
+
+    def key(self) -> str:
+        return cell_key(self.trace_digest, self.detector.name,
+                        self.detector.config, self.timeout, self.repeats)
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell.
+
+    ``status`` is about the *runner*: ``ok`` means the adapter returned
+    (even if the tool reported its own failure as data, e.g. SeqCheck's
+    ``F``), ``timeout`` means the wall-clock budget expired, ``error``
+    means the cell crashed (exception, signal, or dead worker).
+    """
+
+    index: int
+    trace_name: str
+    trace_digest: str
+    detector_name: str
+    detector_id: str
+    config: Dict
+    status: str
+    output: Optional[Dict] = None
+    error: Optional[str] = None
+    num_events: Optional[int] = None
+    times: List[float] = field(default_factory=list)
+    cached: bool = False
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        """Best (minimum) per-repetition wall-clock seconds."""
+        return min(self.times) if self.times else None
+
+    def comparable(self) -> dict:
+        """Everything except timing/caching — the determinism contract
+        between :class:`InlineRunner` and :class:`ProcessPoolRunner`
+        (``error`` text is process-specific, so only the status and the
+        output participate)."""
+        return {
+            "trace": self.trace_name,
+            "trace_digest": self.trace_digest,
+            "detector": self.detector_id,
+            "config": self.config,
+            "status": self.status,
+            "output": self.output,
+            "num_events": self.num_events,
+        }
+
+    def to_json(self) -> dict:
+        out = dict(self.comparable())
+        out["detector_name"] = self.detector_name
+        out["error"] = self.error
+        out["times"] = [round(t, 6) for t in self.times]
+        out["elapsed"] = round(self.elapsed, 6) if self.times else None
+        out["cached"] = self.cached
+        return out
+
+    @classmethod
+    def from_json(cls, index: int, rec: dict, cached: bool = False) -> "CellResult":
+        return cls(
+            index=index,
+            trace_name=rec["trace"],
+            trace_digest=rec["trace_digest"],
+            detector_name=rec.get("detector_name", rec["detector"]),
+            detector_id=rec["detector"],
+            config=rec.get("config", {}),
+            status=rec["status"],
+            output=rec.get("output"),
+            error=rec.get("error"),
+            num_events=rec.get("num_events"),
+            times=list(rec.get("times", [])),
+            cached=cached,
+        )
+
+
+@dataclass
+class RunResult:
+    """One campaign execution: ordered cell results + bookkeeping."""
+
+    campaign: Campaign
+    results: List[CellResult] = field(default_factory=list)
+    elapsed: float = 0.0
+    cache_hits: int = 0
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.results)
+
+    def counts(self) -> Dict[str, int]:
+        out = {STATUS_OK: 0, STATUS_TIMEOUT: 0, STATUS_ERROR: 0}
+        for r in self.results:
+            out[r.status] = out.get(r.status, 0) + 1
+        return out
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.num_cells if self.results else 0.0
+
+    def cell(self, trace_name: str, detector_id: str) -> Optional[CellResult]:
+        for r in self.results:
+            if r.trace_name == trace_name and r.detector_id == detector_id:
+                return r
+        return None
+
+
+class _CellTimeout(Exception):
+    pass
+
+
+def run_cell(task: CellTask) -> CellResult:
+    """Execute one cell in the current process (no timeout handling)."""
+    base = dict(
+        index=task.index,
+        trace_name=task.trace.name,
+        trace_digest=task.trace_digest,
+        detector_name=task.detector.name,
+        detector_id=task.detector.id,
+        config=task.detector.config,
+    )
+    try:
+        adapter = get_adapter(task.detector.name)
+        trace = task.trace.load()
+        num_events = len(trace)
+        times: List[float] = []
+        output: Optional[dict] = None
+        for _ in range(max(1, task.repeats)):
+            t0 = time.perf_counter()
+            output = adapter(trace, task.detector.config)
+            times.append(time.perf_counter() - t0)
+        return CellResult(status=STATUS_OK, output=output,
+                          num_events=num_events, times=times, **base)
+    except _CellTimeout:
+        return CellResult(status=STATUS_TIMEOUT,
+                          error=f"timed out after {task.timeout}s", **base)
+    except Exception:
+        return CellResult(status=STATUS_ERROR,
+                          error=traceback.format_exc(limit=20), **base)
+
+
+def _timeout_result(task: CellTask) -> CellResult:
+    return CellResult(
+        index=task.index,
+        trace_name=task.trace.name,
+        trace_digest=task.trace_digest,
+        detector_name=task.detector.name,
+        detector_id=task.detector.id,
+        config=task.detector.config,
+        status=STATUS_TIMEOUT,
+        error=f"timed out after {task.timeout}s",
+    )
+
+
+def _crash_result(task: CellTask, exitcode: Optional[int]) -> CellResult:
+    return CellResult(
+        index=task.index,
+        trace_name=task.trace.name,
+        trace_digest=task.trace_digest,
+        detector_name=task.detector.name,
+        detector_id=task.detector.id,
+        config=task.detector.config,
+        status=STATUS_ERROR,
+        error=f"worker died with exit code {exitcode} before reporting a result",
+    )
+
+
+class _BaseRunner:
+    """Shared cache-aware orchestration; subclasses run the misses."""
+
+    def run(self, campaign: Campaign, cache: Optional[ResultCache] = None,
+            progress: Optional[Callable[[CellResult], None]] = None) -> RunResult:
+        start = time.perf_counter()
+        tasks = campaign.cells()
+        results: Dict[int, CellResult] = {}
+        misses: List[CellTask] = []
+        keys: Dict[int, str] = {}
+        for task in tasks:
+            key = keys[task.index] = task.key()
+            rec = cache.get(key) if cache is not None else None
+            if rec is not None:
+                hit = CellResult.from_json(task.index, rec, cached=True)
+                # The key hashes content (digest/config), not display
+                # identity — restamp the current task's names so a
+                # renamed trace or re-id'd detector never resurrects
+                # the labels it was first cached under.
+                hit.trace_name = task.trace.name
+                hit.detector_name = task.detector.name
+                hit.detector_id = task.detector.id
+                results[task.index] = hit
+                if progress is not None:
+                    progress(hit)
+            else:
+                misses.append(task)
+        hits = len(results)
+
+        for res in self._run_tasks(misses, progress):
+            results[res.index] = res
+            if cache is not None and res.status in _CACHEABLE:
+                cache.put(keys[res.index], res.to_json())
+
+        ordered = [results[t.index] for t in tasks]
+        return RunResult(campaign=campaign, results=ordered,
+                         elapsed=time.perf_counter() - start, cache_hits=hits)
+
+    def _run_tasks(self, tasks: List[CellTask],
+                   progress: Optional[Callable[[CellResult], None]]):
+        raise NotImplementedError
+
+
+class InlineRunner(_BaseRunner):
+    """Serial in-process execution with identical result semantics.
+
+    Timeouts use ``SIGALRM`` and therefore require the main thread of a
+    Unix process; anywhere else the cell simply runs to completion
+    (pass ``enforce_timeouts=False`` to make that explicit, e.g. for
+    perf measurements where an alarm would perturb timings).
+    """
+
+    def __init__(self, enforce_timeouts: bool = True) -> None:
+        self.enforce_timeouts = enforce_timeouts
+
+    def _can_alarm(self) -> bool:
+        return (self.enforce_timeouts
+                and hasattr(signal, "SIGALRM")
+                and threading.current_thread() is threading.main_thread())
+
+    def _run_tasks(self, tasks, progress):
+        out = []
+        for task in tasks:
+            # non-positive timeouts mean "no timeout" in BOTH runners
+            # (campaign validation rejects them; this guards hand-built
+            # CellTasks, where setitimer(0) would silently disarm here
+            # while the pool runner would kill the worker immediately)
+            if task.timeout is not None and task.timeout > 0 and self._can_alarm():
+                def _on_alarm(signum, frame):
+                    raise _CellTimeout()
+
+                old = signal.signal(signal.SIGALRM, _on_alarm)
+                signal.setitimer(signal.ITIMER_REAL, task.timeout)
+                # The outer except catches an alarm that fires outside
+                # run_cell's own handler — after it returned but before
+                # the timer is disarmed, or while it was building an
+                # error result.  The budget elapsed either way, so
+                # "timeout" is the honest verdict.
+                try:
+                    try:
+                        res = run_cell(task)
+                    finally:
+                        signal.setitimer(signal.ITIMER_REAL, 0.0)
+                        signal.signal(signal.SIGALRM, old)
+                except _CellTimeout:
+                    res = _timeout_result(task)
+            else:
+                res = run_cell(task)
+            if progress is not None:
+                progress(res)
+            out.append(res)
+        return out
+
+
+def _worker_main(task: CellTask, out_path: str) -> None:
+    res = run_cell(task)
+    tmp = out_path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(res.to_json(), fh)
+    os.replace(tmp, out_path)
+
+
+class ProcessPoolRunner(_BaseRunner):
+    """Fan cells across ``jobs`` worker processes (one process per
+    cell: full crash isolation, enforceable wall-clock timeouts)."""
+
+    #: scheduler poll cadence; cells are detector runs measured in
+    #: (fractions of) seconds, so 20ms of slack is noise.
+    poll_interval = 0.02
+
+    def __init__(self, jobs: int = 2, start_method: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+
+    def _run_tasks(self, tasks, progress):
+        results: Dict[int, CellResult] = {}
+        pending = list(tasks)
+        running: Dict = {}   # proc -> (task, deadline, out_path)
+        tmpdir = tempfile.mkdtemp(prefix="repro-exp-")
+        try:
+            while pending or running:
+                while pending and len(running) < self.jobs:
+                    task = pending.pop(0)
+                    out_path = os.path.join(tmpdir, f"cell-{task.index}.json")
+                    proc = self._ctx.Process(
+                        target=_worker_main, args=(task, out_path), daemon=True
+                    )
+                    proc.start()
+                    # mirror InlineRunner: non-positive = no timeout
+                    deadline = (time.monotonic() + task.timeout
+                                if task.timeout is not None and task.timeout > 0
+                                else None)
+                    running[proc] = (task, deadline, out_path)
+
+                time.sleep(self.poll_interval)
+                now = time.monotonic()
+                finished = []
+                for proc, (task, deadline, out_path) in list(running.items()):
+                    if not proc.is_alive():
+                        finished.append(proc)
+                    elif deadline is not None and now >= deadline:
+                        proc.terminate()
+                        proc.join(1.0)
+                        if proc.is_alive():
+                            proc.kill()
+                            proc.join()
+                        running.pop(proc)
+                        res = _timeout_result(task)
+                        results[task.index] = res
+                        if progress is not None:
+                            progress(res)
+                for proc in finished:
+                    task, _, out_path = running.pop(proc)
+                    proc.join()
+                    res = self._collect(task, out_path, proc.exitcode)
+                    results[task.index] = res
+                    if progress is not None:
+                        progress(res)
+        finally:
+            for proc in running:
+                proc.kill()
+                proc.join()
+            shutil.rmtree(tmpdir, ignore_errors=True)
+        return [results[t.index] for t in tasks]
+
+    @staticmethod
+    def _collect(task: CellTask, out_path: str,
+                 exitcode: Optional[int]) -> CellResult:
+        try:
+            with open(out_path, "r", encoding="utf-8") as fh:
+                rec = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return _crash_result(task, exitcode)
+        if exitcode != 0:
+            # result file exists but the worker still died (e.g. crash
+            # during interpreter teardown) — trust the recorded result
+            # only if it is complete.
+            try:
+                return CellResult.from_json(task.index, rec)
+            except KeyError:
+                return _crash_result(task, exitcode)
+        return CellResult.from_json(task.index, rec)

@@ -380,3 +380,17 @@ SUITE_BY_NAME = {s.name: s for s in TABLE1_SUITE}
 def small_suite() -> List[BenchmarkSpec]:
     """Rows with paper traces under 5K events (fast CI subset)."""
     return [s for s in TABLE1_SUITE if s.paper_events <= 5 * K]
+
+
+def resolve_suite(tag: str) -> List[str]:
+    """Expand a campaign-file suite tag into benchmark names.
+
+    ``"small"`` is the fast CI subset (:func:`small_suite`), ``"all"``
+    the full 48 rows; anything else raises ``KeyError`` listing the
+    options.
+    """
+    if tag == "small":
+        return [s.name for s in small_suite()]
+    if tag == "all":
+        return [s.name for s in TABLE1_SUITE]
+    raise KeyError(f"unknown suite tag {tag!r}; options: 'small', 'all'")

@@ -184,3 +184,31 @@ def non_well_nested_trace() -> Trace:
     b.write("t1", "x")
     b.acq("t2", "n2").read("t2", "x").rel("t2", "n2")
     return b.build("non_well_nested")
+
+
+def post_join_trace() -> Trace:
+    """A worker that stays active *after* being joined.
+
+    Real logged traces never contain this (join follows every event of
+    the joined thread), but lossy loggers can drop the late events'
+    reordering and produce it — and it is the exact shape the FastTrack
+    epoch-skip caveat in :mod:`repro.hb.fasttrack` is about: ``join``
+    absorbs the worker's clock *at the join*, so the worker's post-join
+    write at ``Worker.java:19`` races with main's write at
+    ``Main.java:33`` under both FastTrack and the vector-clock HB
+    reference, even though a join that truly covered the whole thread
+    would order them.  ``tests/test_fasttrack.py`` pins this behavior.
+
+    No deadlock structure at all: every lock-graph column is 0.
+    """
+    b = TraceBuilder()
+    b.fork("main", "worker")
+    b.acq("worker", "l", loc="Worker.java:11")
+    b.write("worker", "y", loc="Worker.java:12")
+    b.rel("worker", "l")
+    b.join("main", "worker")
+    b.acq("worker", "l", loc="Worker.java:18")   # post-join activity
+    b.write("worker", "y", loc="Worker.java:19")
+    b.rel("worker", "l")
+    b.write("main", "y", loc="Main.java:33")
+    return b.build("post_join")

@@ -41,6 +41,32 @@ class TraceStats:
             self.acquires_and_requests,
         )
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (used by campaign cells and reports)."""
+        return {
+            "events": self.num_events,
+            "threads": self.num_threads,
+            "variables": self.num_variables,
+            "locks": self.num_locks,
+            "acquires": self.num_acquires,
+            "requests": self.num_requests,
+            "acquires_and_requests": self.acquires_and_requests,
+            "nesting": self.lock_nesting_depth,
+        }
+
+
+#: Table 1 column order for the characteristics half, as (header, key)
+#: pairs over :meth:`TraceStats.as_dict` — shared by the CLI and the
+#: campaign report emitter so the two stay in sync.
+TABLE1_COLUMNS = (
+    ("N", "events"),
+    ("T", "threads"),
+    ("V", "variables"),
+    ("L", "locks"),
+    ("A/R", "acquires_and_requests"),
+    ("Nest", "nesting"),
+)
+
 
 def compute_stats(trace: Trace) -> TraceStats:
     """Compute :class:`TraceStats` for ``trace``."""

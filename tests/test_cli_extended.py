@@ -99,6 +99,42 @@ class TestJsonOutput:
         assert sorted(payload["deadlocks"][0]["events"]) == [3, 17]
 
 
+class TestAnalyzeWindowed:
+    """The bounded-memory mode behind ``analyze --window N``."""
+
+    def test_window_finds_local_deadlock(self, sigma2_file, capsys):
+        assert main(["analyze", "--window", "1000", sigma2_file]) == 1
+        out = capsys.readouterr().out
+        assert "windowed" in out
+        assert "1 sync-preserving deadlock(s)" in out
+
+    def test_window_json(self, sigma2_file, capsys):
+        import json
+
+        assert main(["analyze", "--window", "1000", "--json", sigma2_file]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "windowed"
+        assert payload["windows"] == 1
+        assert payload["deadlocks"][0]["events"] == [3, 17]
+
+    def test_small_window_documented_miss(self, sigma2_file, capsys):
+        """A window smaller than the pattern span loses the deadlock —
+        the documented windowing imprecision, visible from the CLI."""
+        assert main(["analyze", "--window", "4", "--overlap", "0.0",
+                     sigma2_file]) == 0
+        assert "0 sync-preserving deadlock(s)" in capsys.readouterr().out
+
+    def test_nonpositive_window_rejected(self, sigma2_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--window", "0", sigma2_file])
+        assert "window must be >= 1" in capsys.readouterr().err
+
+    def test_window_excludes_online(self, sigma2_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--window", "1000", "--online", sigma2_file])
+        assert "not allowed with" in capsys.readouterr().err
+
+
 class TestProfileCommand:
     def test_profile_output(self, sigma2_file, capsys):
         assert main(["profile", sigma2_file]) == 0

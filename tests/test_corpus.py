@@ -32,6 +32,7 @@ GOLDEN = {
     "stringbuffer": (2, 2, 2),
     "transfer": (0, 1, 0),
     "non_well_nested": (0, 0, None),
+    "post_join": (0, 0, 0),  # FastTrack post-join caveat exerciser
 }
 
 

@@ -104,3 +104,65 @@ class TestAgainstFullVC:
             assert not hb.ordered(race.first_event, race.second_event), (
                 trace.name, race,
             )
+
+
+class TestPostJoinCaveat:
+    """The epoch-skip caveat noted in ROADMAP and ``hb/fasttrack.py``:
+    ``join`` absorbs the child's clock *at the join event*, so a thread
+    that stays active after being joined (lossy loggers can emit this;
+    ``corpus/post_join.std`` is the committed exerciser) races with the
+    parent even though a join that covered the whole thread would order
+    them.  These tests pin the current behavior — FastTrack and the
+    full-VC HB reference agree with each other, and the canonicality
+    tick in the join handler keeps the epoch fast-path exact — and mark
+    the whole-thread-join semantics as the known, expected failure."""
+
+    @staticmethod
+    def _load():
+        import os
+
+        from repro.trace.parser import load_trace
+
+        path = os.path.join(os.path.dirname(__file__), "..", "corpus",
+                            "post_join.std")
+        return load_trace(path, name="post_join")
+
+    def test_corpus_trace_has_post_join_activity(self):
+        trace = self._load()
+        joins = [ev for ev in trace if ev.is_join]
+        assert len(joins) == 1
+        join = joins[0]
+        late = [ev.idx for ev in trace
+                if ev.idx > join.idx and ev.thread == join.target]
+        assert late, "worker must stay active after the join"
+
+    def test_pinned_post_join_false_race(self):
+        """Documented limitation: the post-join write races with main."""
+        trace = self._load()
+        res = fasttrack_races(trace)
+        assert res.racy_variables() == {"y"}
+        (race,) = res.races
+        assert race.kind == "ww"
+        # event 6 is the worker's post-join write, event 8 main's write
+        assert (race.first_event, race.second_event) == (6, 8)
+
+    def test_fasttrack_agrees_with_full_vc_reference(self):
+        """The epoch fast-path stays exact even on post-join traces:
+        the canonicality tick in the join handler (see the acquire
+        handler's comment) covers the joined-then-active case."""
+        trace = self._load()
+        ft = {(r.first_event, r.second_event) for r in fasttrack_races(trace).races}
+        hb = hb_races(trace, first_only_per_site=False).race_pairs()
+        assert ft == hb == {(6, 8)}
+
+    @pytest.mark.xfail(
+        reason="join only absorbs the clock at the join event; under "
+               "whole-thread join semantics the post-join write would be "
+               "ordered before main's write and y would not be racy "
+               "(revisit if a logger with true join coverage feeds the "
+               "corpus — see ROADMAP)",
+        strict=True,
+    )
+    def test_whole_thread_join_semantics(self):
+        trace = self._load()
+        assert fasttrack_races(trace).num_races == 0
