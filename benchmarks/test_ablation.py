@@ -16,7 +16,7 @@ import time
 import pytest
 
 from repro.baselines.naive import naive_sp_detector
-from repro.core.closure import SPClosureEngine, sp_closure_events
+from repro.core.closure import sp_closure_events
 from repro.core.spd_offline import spd_offline
 from repro.synth.suite import SUITE_BY_NAME, build_benchmark
 from repro.synth.templates import dining_philosophers_trace

@@ -61,12 +61,26 @@ SEED_BASELINE = {
     "spd_offline": 1324.7,
     "fasttrack": 494926.1,
 }
+#: events/sec recorded at the PR-1 container (the epoch/interning
+#: streaming-pipeline tentpole) — the reference the PR-3 columnar
+#: TraceIndex refactor re-baselines against.  Like SEED_BASELINE these
+#: are recorded constants from the same machine lineage; re-measure
+#: both at their tagged commits if the reference hardware changes.
+PR1_BASELINE = {
+    "spd_online": 6209.4,
+    "spd_offline": 2476.2,
+    "fasttrack": 525883.9,
+}
 #: expected detector outputs on these workloads (bit-stability guard)
 EXPECTED = {"spd_online_reports": 622, "spd_offline_deadlocks": 112,
             "fasttrack_races": 48}
 
 #: PR-1 acceptance bar: SPDOnline must stay >= 3x the seed throughput.
 MIN_ONLINE_SPEEDUP = 3.0
+#: PR-3 acceptance bar: SPDOffline (phase 1 on the interned lock graph
+#: with the bounded-length cycle fast path, phase 2 on TraceIndex
+#: columns) must stay >= 2x its PR-1 throughput.
+MIN_OFFLINE_SPEEDUP_VS_PR1 = 2.0
 
 
 def _campaign() -> Campaign:
@@ -132,9 +146,13 @@ def test_throughput_and_record():
             "offline": OFFLINE_CFG.__dict__,
         },
         "seed_baseline_events_per_sec": SEED_BASELINE,
+        "pr1_events_per_sec": PR1_BASELINE,
         "current_events_per_sec": eps,
         "speedup_vs_seed": {
             k: round(eps[k] / SEED_BASELINE[k], 2) for k in eps
+        },
+        "speedup_vs_pr1": {
+            k: round(eps[k] / PR1_BASELINE[k], 2) for k in eps
         },
         "outputs": outputs,
     }
@@ -142,10 +160,17 @@ def test_throughput_and_record():
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
-    # The tentpole acceptance bar, with headroom for slow CI machines.
+    # The tentpole acceptance bars, with headroom for slow CI machines.
     speedup = eps["spd_online"] / SEED_BASELINE["spd_online"]
     assert speedup >= MIN_ONLINE_SPEEDUP, (
         f"SPDOnline regressed: {eps['spd_online']:.0f} ev/s is only "
         f"{speedup:.1f}x the recorded seed baseline "
         f"({SEED_BASELINE['spd_online']} ev/s); need >= {MIN_ONLINE_SPEEDUP}x"
+    )
+    offline_speedup = eps["spd_offline"] / PR1_BASELINE["spd_offline"]
+    assert offline_speedup >= MIN_OFFLINE_SPEEDUP_VS_PR1, (
+        f"SPDOffline regressed: {eps['spd_offline']:.0f} ev/s is only "
+        f"{offline_speedup:.1f}x the recorded PR-1 throughput "
+        f"({PR1_BASELINE['spd_offline']} ev/s); "
+        f"need >= {MIN_OFFLINE_SPEEDUP_VS_PR1}x"
     )

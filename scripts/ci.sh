@@ -12,7 +12,17 @@ export REPRO_BENCH_SKIP_PERF=1
 echo "== byte-compile =="
 python -m compileall -q src
 
-echo "== tier-1 tests =="
+echo "== lint (ruff) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks
+elif python -m ruff --version >/dev/null 2>&1; then
+    python -m ruff check src tests benchmarks
+else
+    echo "ruff not installed; skipping lint (CI installs it)"
+fi
+
+echo "== tier-1 tests (includes the property-equivalence suite:"
+echo "   tests/test_perf_equivalence.py + tests/test_trace_index.py) =="
 python -m pytest -x -q
 
 echo "== perf smoke (floors skipped) =="

@@ -35,7 +35,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.patterns import DeadlockPattern, DeadlockReport
-from repro.trace.trace import Trace
+from repro.core.windowed import window_slice
+from repro.trace.events import (
+    OP_ACQUIRE,
+    OP_JOIN,
+    OP_READ,
+    OP_RELEASE,
+    OP_WRITE,
+)
+from repro.trace.trace import Trace, as_trace
 
 
 @dataclass
@@ -69,9 +77,7 @@ def dirk(
             condition (Appendix D, FalseDeadlock1).
         search_budget: per-pattern state budget of the witness search.
     """
-    from repro.trace.compiled import ensure_trace
-
-    trace = ensure_trace(trace)
+    trace = as_trace(trace)
     start = time.perf_counter()
     result = DirkResult()
     seen: Set[Tuple[int, ...]] = set()
@@ -81,7 +87,7 @@ def dirk(
             break
         result.windows += 1
         hi = min(lo + window, len(trace))
-        sub, back = _window_slice(trace, lo, hi)
+        sub, back = window_slice(trace, lo, hi)
         deadline = None if timeout is None else start + timeout
         for pattern in _window_patterns(sub, faithful_unsound):
             if timeout is not None and time.perf_counter() - start > timeout:
@@ -110,27 +116,6 @@ def dirk(
     return result
 
 
-def _window_slice(trace: Trace, lo: int, hi: int):
-    """Window events, minus releases whose acquire precedes the window.
-
-    Slicing mid-critical-section would otherwise produce ill-formed
-    windows.  Returns the sub-trace and the local→global index map.
-    Reads whose writer falls outside the window silently rebind to an
-    in-window writer (or the initial value) — part of the windowing
-    imprecision the paper notes for Dirk.
-    """
-    keep = []
-    for idx in range(lo, hi):
-        ev = trace[idx]
-        if ev.is_release:
-            acq = trace.match(idx)
-            if acq is None or acq < lo:
-                continue
-        keep.append(idx)
-    sub = trace.project(keep, name=f"{trace.name}[{lo}:{hi}]")
-    return sub, keep
-
-
 def _window_patterns(sub: Trace, faithful_unsound: bool) -> List[Tuple[int, ...]]:
     """Candidate patterns within a window, any size (Dirk's SMT encoding
     is not size-limited — it finds DiningPhil's size-5 deadlock).
@@ -145,17 +130,22 @@ def _window_patterns(sub: Trace, faithful_unsound: bool) -> List[Tuple[int, ...]
         tuple(w.events) for w in goodlock(sub, max_size=6, max_cycles=5_000).warnings
     ]
     if faithful_unsound:
+        index = sub.index
+        ops, tids, targs = sub.compiled.columns()
+        held_id = index.held_id
+        held_lengths = index.held_lengths
+        held_frozen = index.held_frozen
         seen = {frozenset(p) for p in out}
-        acquires = [ev.idx for ev in sub if ev.is_acquire and sub.held_locks(ev.idx)]
+        acquires = [
+            i for i in range(len(ops))
+            if ops[i] == OP_ACQUIRE and held_lengths[held_id[i]]
+        ]
         for i, a in enumerate(acquires):
-            ea = sub[a]
-            held_a = set(sub.held_locks(a))
+            held_a = held_frozen(a)
             for b in acquires[i + 1:]:
-                eb = sub[b]
-                if ea.thread == eb.thread or ea.target == eb.target:
+                if tids[a] == tids[b] or targs[a] == targs[b]:
                     continue
-                held_b = set(sub.held_locks(b))
-                if ea.target not in held_b or eb.target not in held_a:
+                if targs[a] not in held_frozen(b) or targs[b] not in held_a:
                     continue
                 if frozenset((a, b)) not in seen:
                     seen.add(frozenset((a, b)))
@@ -173,35 +163,40 @@ def _quick_refute(trace: Trace, pattern: Tuple[int, ...], check_rf: bool) -> boo
     or its thread-order successor region, no witness can exist and the
     interleaving search is skipped.
     """
-    stall = {}
+    index = trace.index
+    ops, tids, targs = trace.compiled.columns()
+    locs = trace.compiled.locs
+    rf = index.rf
+    thread_pos = index.thread_pos
+    thread_pred = index.thread_pred
+    fork_of = index.fork_of
+
+    stall: Dict[int, int] = {}
     for e in pattern:
-        t, pos = trace.thread_position(e)
+        t = tids[e]
         if t in stall:
             return True
-        stall[t] = pos
+        stall[t] = thread_pos[e]
 
-    fork_of: Dict[str, int] = {}
-    for ev in trace:
-        if ev.is_fork and ev.target not in fork_of:
-            fork_of[ev.target] = ev.idx
-
-    work = [p for p in (trace.thread_predecessor(e) for e in pattern) if p is not None]
+    work = [p for p in (thread_pred[e] for e in pattern) if p >= 0]
     seen: Set[int] = set(work)
     while work:
         idx = work.pop()
-        t, pos = trace.thread_position(idx)
+        t = tids[idx]
+        pos = thread_pos[idx]
         if t in stall and pos >= stall[t]:
             return True  # closure swallows a stall point
-        preds = [trace.thread_predecessor(idx)]
-        ev = trace[idx]
+        preds = [thread_pred[idx] if thread_pred[idx] >= 0 else None]
+        op = ops[idx]
         if pos == 0:
             preds.append(fork_of.get(t))
-        if ev.is_read and (
-            check_rf or (ev.loc is not None and ev.loc.startswith("ctrl:"))
-        ):
-            preds.append(trace.rf(idx))
-        if ev.is_join:
-            child = trace.events_of_thread(ev.target)
+        if op == OP_READ:
+            loc = locs.get(idx)
+            if check_rf or (loc is not None and loc.startswith("ctrl:")):
+                w = rf[idx]
+                preds.append(w if w >= 0 else None)
+        elif op == OP_JOIN:
+            child = index.events_by_thread[targs[idx]]
             if child:
                 preds.append(child[-1])
         for p in preds:
@@ -225,33 +220,41 @@ def _witness_search(
     under program order, fork/join causality, and — depending on the
     flags — reads-from preservation and lock mutual exclusion.
     """
-    threads = list(trace.threads)
+    index = trace.index
+    ops, tids, targs = trace.compiled.columns()
+    locs = trace.compiled.locs
+    rf = index.rf
+    thread_pos = index.thread_pos
+    threads = list(index.thread_order)              # tids, appearance order
     slot_of = {t: i for i, t in enumerate(threads)}
-    per_thread = [trace.events_of_thread(t) for t in threads]
-    fork_of: Dict[str, int] = {}
-    for ev in trace:
-        if ev.is_fork and ev.target not in fork_of:
-            fork_of[ev.target] = ev.idx
+    per_thread = [index.events_by_thread[t] for t in threads]
+    fork_of = index.fork_of
 
     target: Dict[int, int] = {}
     for e in pattern:
-        t, pos = trace.thread_position(e)
-        if slot_of[t] in target:
+        slot = slot_of[tids[e]]
+        if slot in target:
             return False
-        target[slot_of[t]] = pos
+        target[slot] = thread_pos[e]
 
     n = len(threads)
     positions = [0] * n
-    owner: Dict[str, int] = {}
-    last_write: Dict[str, Optional[int]] = {}
+    owner: Dict[int, int] = {}                      # lock id -> slot
+    last_write: Dict[int, Optional[int]] = {}       # var id -> event
     visited: Set[Tuple] = set()
     states = 0
+
+    def _is_ctrl_read(idx: int) -> bool:
+        loc = locs.get(idx)
+        return loc is not None and loc.startswith("ctrl:")
+
     # Writers must be tracked whenever any read's value can constrain
     # the schedule — always under check_rf, and for ctrl: reads even
-    # under relaxation.
+    # under relaxation.  Locations are sparse, so scan the loc map, not
+    # the trace.
     track_rf = check_rf or any(
-        ev.is_read and ev.loc is not None and ev.loc.startswith("ctrl:")
-        for ev in trace
+        ops[idx] == OP_READ and loc.startswith("ctrl:")
+        for idx, loc in locs.items()
     )
 
     def goal() -> bool:
@@ -265,37 +268,35 @@ def _witness_search(
         if s in target and pos >= target[s]:
             return None
         idx = per_thread[s][pos]
-        ev = trace[idx]
+        op = ops[idx]
+        tgt = targs[idx]
         if pos == 0:
-            f = fork_of.get(ev.thread)
+            f = fork_of.get(tids[idx])
             if f is not None:
-                ft, fpos = trace.thread_position(f)
-                if positions[slot_of[ft]] <= fpos:
+                if positions[slot_of[tids[f]]] <= thread_pos[f]:
                     return None
-        if check_locks and ev.is_acquire and ev.target in owner:
+        if check_locks and op == OP_ACQUIRE and tgt in owner:
             return None
-        if check_locks and ev.is_release and owner.get(ev.target) != s:
+        if check_locks and op == OP_RELEASE and owner.get(tgt) != s:
             return None
-        rf_matters = check_rf or (
-            ev.is_read and ev.loc is not None and ev.loc.startswith("ctrl:")
-        )
-        if rf_matters and ev.is_read and last_write.get(ev.target) != trace.rf(idx):
-            return None
-        if ev.is_join:
-            cslot = slot_of.get(ev.target)
+        if op == OP_READ and (check_rf or _is_ctrl_read(idx)):
+            if last_write.get(tgt) != (rf[idx] if rf[idx] >= 0 else None):
+                return None
+        if op == OP_JOIN:
+            cslot = slot_of.get(tgt)
             if cslot is not None and positions[cslot] < len(per_thread[cslot]):
                 return None
         positions[s] += 1
         saved = ("none", None)
-        if check_locks and ev.is_acquire:
-            owner[ev.target] = s
-            saved = ("acq", ev.target)
-        elif check_locks and ev.is_release:
-            del owner[ev.target]
-            saved = ("rel", ev.target)
-        elif track_rf and ev.is_write:
-            saved = ("write", (ev.target, last_write.get(ev.target, "absent")))
-            last_write[ev.target] = idx
+        if check_locks and op == OP_ACQUIRE:
+            owner[tgt] = s
+            saved = ("acq", tgt)
+        elif check_locks and op == OP_RELEASE:
+            del owner[tgt]
+            saved = ("rel", tgt)
+        elif track_rf and op == OP_WRITE:
+            saved = ("write", (tgt, last_write.get(tgt, "absent")))
+            last_write[tgt] = idx
         return (s, saved)
 
     def undo(applied) -> None:

@@ -18,8 +18,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.patterns import DeadlockPattern, is_deadlock_pattern
 from repro.graph.digraph import DiGraph
 from repro.graph.johnson import simple_cycles
-from repro.trace.compiled import ensure_trace
-from repro.trace.trace import Trace
+from repro.trace.events import OP_ACQUIRE
+from repro.trace.trace import Trace, as_trace
 
 
 @dataclass
@@ -47,19 +47,29 @@ def goodlock(
     acquire events forming a deadlock pattern, reporting up to
     ``max_warnings_per_cycle`` instantiations.
     """
-    trace = ensure_trace(trace)
+    trace = as_trace(trace)
     start = time.perf_counter()
+    index = trace.index
+    ops, _, targs = trace.compiled.columns()
+    held_id = index.held_id
+    held_offsets = index.held_offsets
+    held_lengths = index.held_lengths
+    held_pool = index.held_pool
+    # Lock-order graph over interned lock ids;
     # edge (l1, l2) -> acquire events of l2 performed while holding l1
-    edge_events: Dict[Tuple[str, str], List[int]] = {}
+    edge_events: Dict[Tuple[int, int], List[int]] = {}
     graph: DiGraph = DiGraph()
-    for ev in trace:
-        if not ev.is_acquire:
+    for idx in range(len(ops)):
+        if ops[idx] != OP_ACQUIRE:
             continue
-        for held in trace.held_locks(ev.idx):
-            if held == ev.target:
+        target = targs[idx]
+        hid = held_id[idx]
+        off = held_offsets[hid]
+        for held in held_pool[off:off + held_lengths[hid]]:
+            if held == target:
                 continue
-            graph.add_edge(held, ev.target)
-            edge_events.setdefault((held, ev.target), []).append(ev.idx)
+            graph.add_edge(held, target)
+            edge_events.setdefault((held, target), []).append(idx)
 
     result = GoodlockResult()
     for cycle in simple_cycles(graph, max_length=max_size, max_cycles=max_cycles):

@@ -18,8 +18,7 @@ from typing import List, Optional
 from repro.core.alg import abstract_deadlock_patterns
 from repro.core.closure import SPClosureEngine
 from repro.core.patterns import DeadlockReport
-from repro.trace.compiled import ensure_trace
-from repro.trace.trace import Trace
+from repro.trace.trace import Trace, as_trace
 from repro.vc.timestamps import TRFTimestamps
 
 
@@ -54,7 +53,7 @@ def naive_sp_detector(
             instantiations after the first confirmed deadlock, matching
             SPDOffline's per-abstract-pattern reporting.
     """
-    trace = ensure_trace(trace)
+    trace = as_trace(trace)
     start = time.perf_counter()
     result = NaiveResult()
     timestamps = TRFTimestamps(trace)

@@ -21,17 +21,29 @@ polynomial ordering is replaced by search; on benchmark-shaped inputs
 the first greedy schedule almost always works).  Checking every
 concrete pattern is what makes it polynomially slower than SPDOffline
 on pattern-rich traces — the 21×/200× gaps of Table 1.
+
+All the internals operate on :class:`~repro.trace.index.TraceIndex`
+int columns: threads, locks, and variables are interned ids, the
+closures and schedulability search walk flat arrays, and no ``Event``
+object is ever materialized.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.patterns import DeadlockPattern, DeadlockReport
 from repro.core.alg import abstract_deadlock_patterns
-from repro.trace.trace import Trace
+from repro.trace.events import (
+    OP_ACQUIRE,
+    OP_JOIN,
+    OP_READ,
+    OP_RELEASE,
+    OP_WRITE,
+)
+from repro.trace.trace import Trace, as_trace
 from repro.trace.wellformed import has_well_nested_locks
 
 
@@ -52,7 +64,7 @@ class SeqCheckResult:
 
 
 def _closed_cs_closure(
-    trace: Trace, seeds: Sequence[int], allowed_open: Set[int]
+    trace: Trace, seeds, allowed_open: Set[int], fork_of: Dict[int, int]
 ) -> Set[int]:
     """Fix-point: TO/rf/fork/join downward closure + close every
     critical section not in ``allowed_open``.
@@ -64,10 +76,12 @@ def _closed_cs_closure(
     joined child's events from the closure and produced an unsound
     report — caught by the corpus golden tests.)
     """
-    fork_of: Dict[str, int] = {}
-    for ev in trace:
-        if ev.is_fork and ev.target not in fork_of:
-            fork_of[ev.target] = ev.idx
+    index = trace.index
+    ops, tids, targs = trace.compiled.columns()
+    rf = index.rf
+    match = index.match
+    thread_pred = index.thread_pred
+    events_by_thread = index.events_by_thread
 
     out: Set[int] = set()
     work: List[int] = list(seeds)
@@ -76,55 +90,57 @@ def _closed_cs_closure(
         if idx in out:
             continue
         out.add(idx)
-        ev = trace[idx]
-        pred = trace.thread_predecessor(idx)
-        if pred is not None:
+        op = ops[idx]
+        pred = thread_pred[idx]
+        if pred >= 0:
             if pred not in out:
                 work.append(pred)
         else:
-            f = fork_of.get(ev.thread)
+            f = fork_of.get(tids[idx])
             if f is not None and f not in out:
                 work.append(f)
-        if ev.is_read:
-            w = trace.rf(idx)
-            if w is not None and w not in out:
+        if op == OP_READ:
+            w = rf[idx]
+            if w >= 0 and w not in out:
                 work.append(w)
-        if ev.is_join:
-            child = trace.events_of_thread(ev.target)
+        elif op == OP_JOIN:
+            child = events_by_thread[targs[idx]]
             if child and child[-1] not in out:
                 work.append(child[-1])
-        if ev.is_acquire and idx not in allowed_open:
-            rel = trace.match(idx)
-            if rel is not None and rel not in out:
+        elif op == OP_ACQUIRE and idx not in allowed_open:
+            rel = match[idx]
+            if rel >= 0 and rel not in out:
                 work.append(rel)
     return out
 
 
 def _schedulable(
-    trace: Trace, events: Set[int], stall: Dict[str, int], budget: int = 200_000
+    trace: Trace, events: Set[int], stall: Dict[int, int],
+    fork_of: Dict[int, int], budget: int = 200_000
 ) -> bool:
     """Can ``events`` be interleaved into a correct reordering?
 
-    ``stall`` maps pattern threads to the per-thread position they must
-    stop at.  DFS over per-thread progress with memoization; critical
-    sections may be scheduled in any (lock-exclusive, rf-respecting)
-    order — this is where SeqCheck out-reaches sync-preservation.
+    ``stall`` maps pattern thread ids to the per-thread position they
+    must stop at.  DFS over per-thread progress with memoization;
+    critical sections may be scheduled in any (lock-exclusive,
+    rf-respecting) order — this is where SeqCheck out-reaches
+    sync-preservation.
     """
-    threads = [t for t in trace.threads]
+    index = trace.index
+    ops, tids, targs = trace.compiled.columns()
+    rf = index.rf
+    thread_pos = index.thread_pos
+    threads = list(index.thread_order)          # tids, appearance order
     slot_of = {t: i for i, t in enumerate(threads)}
     per_thread: List[List[int]] = []
     for t in threads:
-        evs = [i for i in trace.events_of_thread(t) if i in events]
+        evs = [i for i in index.events_by_thread[t] if i in events]
         # The closure is TO-downward closed, so evs is a prefix.
         per_thread.append(evs)
-    fork_of: Dict[str, int] = {}
-    for ev in trace:
-        if ev.is_fork and ev.target not in fork_of:
-            fork_of[ev.target] = ev.idx
     n = len(threads)
     positions = [0] * n
-    owner: Dict[str, int] = {}
-    last_write: Dict[str, Optional[int]] = {}
+    owner: Dict[int, int] = {}                  # lock id -> slot
+    last_write: Dict[int, Optional[int]] = {}   # var id -> event
     visited: Set[Tuple] = set()
     states = 0
 
@@ -146,45 +162,47 @@ def _schedulable(
             if positions[s] >= len(per_thread[s]):
                 continue
             idx = per_thread[s][positions[s]]
-            ev = trace[idx]
+            op = ops[idx]
+            target = targs[idx]
             if positions[s] == 0:
-                f = fork_of.get(ev.thread)
+                f = fork_of.get(tids[idx])
                 if f is not None:
-                    ft, fpos = trace.thread_position(f)
-                    fslot = slot_of[ft]
+                    fslot = slot_of[tids[f]]
                     scheduled = per_thread[fslot][: positions[fslot]]
                     if f not in scheduled:
                         continue
-            if ev.is_acquire and ev.target in owner:
+            if op == OP_ACQUIRE and target in owner:
                 continue
-            if ev.is_release and owner.get(ev.target) != s:
+            if op == OP_RELEASE and owner.get(target) != s:
                 continue
-            if ev.is_read and last_write.get(ev.target) != trace.rf(idx):
+            if op == OP_READ and last_write.get(target) != (
+                rf[idx] if rf[idx] >= 0 else None
+            ):
                 continue
-            if ev.is_join:
-                cslot = threads.index(ev.target) if ev.target in threads else None
+            if op == OP_JOIN:
+                cslot = slot_of.get(target)
                 if cslot is not None and positions[cslot] < len(per_thread[cslot]):
                     continue
             positions[s] += 1
             saved = None
-            if ev.is_acquire:
-                owner[ev.target] = s
-            elif ev.is_release:
-                del owner[ev.target]
-            elif ev.is_write:
-                saved = last_write.get(ev.target, "absent")
-                last_write[ev.target] = idx
+            if op == OP_ACQUIRE:
+                owner[target] = s
+            elif op == OP_RELEASE:
+                del owner[target]
+            elif op == OP_WRITE:
+                saved = last_write.get(target, "absent")
+                last_write[target] = idx
             ok = dfs()
             positions[s] -= 1
-            if ev.is_acquire:
-                del owner[ev.target]
-            elif ev.is_release:
-                owner[ev.target] = s
-            elif ev.is_write:
+            if op == OP_ACQUIRE:
+                del owner[target]
+            elif op == OP_RELEASE:
+                owner[target] = s
+            elif op == OP_WRITE:
                 if saved == "absent":
-                    last_write.pop(ev.target, None)
+                    last_write.pop(target, None)
                 else:
-                    last_write[ev.target] = saved
+                    last_write[target] = saved
             if ok:
                 return True
         return False
@@ -207,22 +225,21 @@ def seqcheck(
     Raises :class:`SeqCheckFailure` on non-well-nested locks (matching
     the tool's documented failure on hsqldb).
     """
-    from repro.trace.compiled import ensure_trace
-
-    trace = ensure_trace(trace)
+    trace = as_trace(trace)
     start = time.perf_counter()
     if not has_well_nested_locks(trace):
         raise SeqCheckFailure(f"{trace.name}: critical sections not well nested")
 
     result = SeqCheckResult()
     _, abstracts = abstract_deadlock_patterns(trace, max_size=2)
+    fork_of = trace.index.fork_of
     for abstract in abstracts:
         for pattern in abstract.instantiations():
             if max_patterns is not None and result.patterns_checked >= max_patterns:
                 result.elapsed = time.perf_counter() - start
                 return result
             result.patterns_checked += 1
-            if _check_pattern(trace, pattern, schedule_budget):
+            if _check_pattern(trace, pattern, schedule_budget, fork_of):
                 result.reports.append(
                     DeadlockReport.from_pattern(trace, pattern, abstract)
                 )
@@ -233,29 +250,31 @@ def seqcheck(
 
 
 def _check_pattern(
-    trace: Trace, pattern: DeadlockPattern, schedule_budget: int
+    trace: Trace, pattern: DeadlockPattern, schedule_budget: int,
+    fork_of: Dict[int, int]
 ) -> bool:
+    index = trace.index
+    tids = trace.compiled.thread_ids
+    thread_pos = index.thread_pos
+    thread_pred = index.thread_pred
     a, b = pattern.events
     # The critical sections held at the stall points may stay open.
     allowed_open: Set[int] = set()
-    stall: Dict[str, int] = {}
+    stall: Dict[int, int] = {}
     for e in (a, b):
-        t, pos = trace.thread_position(e)
-        stall[t] = pos
-        open_acqs = _open_acquires_before(trace, e)
-        allowed_open.update(open_acqs)
-    preds = [
-        p for p in (trace.thread_predecessor(e) for e in (a, b)) if p is not None
-    ]
-    closure = _closed_cs_closure(trace, preds, allowed_open)
+        stall[tids[e]] = thread_pos[e]
+        allowed_open.update(_open_acquires_before(trace, e))
+    preds = [p for p in (thread_pred[a], thread_pred[b]) if p >= 0]
+    closure = _closed_cs_closure(trace, preds, allowed_open, fork_of)
     # A pattern event (or anything at/after the stall point) inside the
     # closure makes the deadlock unrealizable under this strategy.
     for idx in closure:
-        t, pos = trace.thread_position(idx)
-        if t in stall and pos >= stall[t]:
+        t = tids[idx]
+        if t in stall and thread_pos[idx] >= stall[t]:
             return False
     try:
-        return _schedulable(trace, closure, stall, budget=schedule_budget)
+        return _schedulable(trace, closure, stall, fork_of,
+                            budget=schedule_budget)
     except SeqCheckBudget:
         # Out of budget: the closure test already passed; report
         # optimistically (documented deviation; exercised only by
@@ -265,14 +284,15 @@ def _check_pattern(
 
 def _open_acquires_before(trace: Trace, e: int) -> List[int]:
     """Acquire events of the critical sections open at ``e``."""
-    t, _ = trace.thread_position(e)
+    index = trace.index
+    ops = trace.compiled.ops
+    match = index.match
     out = []
-    for idx in trace.events_of_thread(t):
+    for idx in index.events_by_thread[trace.compiled.thread_ids[e]]:
         if idx >= e:
             break
-        ev = trace[idx]
-        if ev.is_acquire:
-            rel = trace.match(idx)
-            if rel is None or rel > e:
+        if ops[idx] == OP_ACQUIRE:
+            rel = match[idx]
+            if rel < 0 or rel > e:
                 out.append(idx)
     return out

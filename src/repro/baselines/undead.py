@@ -23,8 +23,7 @@ from typing import List, Optional
 
 from repro.core.alg import abstract_deadlock_patterns
 from repro.core.patterns import AbstractDeadlockPattern
-from repro.trace.compiled import ensure_trace
-from repro.trace.trace import Trace
+from repro.trace.trace import Trace, as_trace
 
 
 @dataclass
@@ -46,11 +45,11 @@ def undead(
     max_cycles: Optional[int] = None,
 ) -> UndeadResult:
     """Report every abstract deadlock pattern as a warning."""
-    trace = ensure_trace(trace)
+    trace = as_trace(trace)
     start = time.perf_counter()
-    from repro.locks.abstract import collect_abstract_acquires
+    from repro.locks.abstract import collect_abstract_acquire_ids
 
-    deps = collect_abstract_acquires(trace)
+    deps = collect_abstract_acquire_ids(trace)
     _, patterns = abstract_deadlock_patterns(
         trace, max_size=max_size, max_cycles=max_cycles
     )

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Iterable, Set
 
 from repro.locks.history import CSHistories
-from repro.trace.trace import Trace
+from repro.trace.trace import Trace, as_trace
 from repro.vc.clock import VectorClock
 from repro.vc.timestamps import TRFTimestamps
 
@@ -33,7 +33,7 @@ class SPClosureEngine:
     """
 
     def __init__(self, trace: Trace, timestamps: TRFTimestamps | None = None) -> None:
-        self.trace = trace
+        self.trace = trace = as_trace(trace)
         self.timestamps = timestamps or TRFTimestamps(trace)
         self.histories = CSHistories(trace, self.timestamps)
 

@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Sequence, Tuple
 
 from repro.locks.abstract import AbstractAcquire
-from repro.trace.trace import Trace
+from repro.trace.events import OP_ACQUIRE
+from repro.trace.trace import Trace, as_trace
 
 
 @dataclass(frozen=True)
@@ -104,29 +105,38 @@ class DeadlockReport:
         pattern: DeadlockPattern,
         abstract: "AbstractDeadlockPattern | None" = None,
     ) -> "DeadlockReport":
-        locs = tuple(trace[i].location for i in pattern.events)
+        location_of = as_trace(trace).compiled.location_of
+        locs = tuple(location_of(i) for i in pattern.events)
         return cls(pattern=pattern, locations=locs, abstract=abstract)
 
 
 def is_deadlock_pattern(trace: Trace, events: Sequence[int]) -> bool:
-    """Check the Section 2 deadlock-pattern conditions on ``events``."""
+    """Check the Section 2 deadlock-pattern conditions on ``events``.
+
+    Runs on the interned index columns: acquire codes, thread/lock ids,
+    and held sets as frozensets of lock ids from the shared pool.
+    """
     k = len(events)
     if k < 2:
         return False
-    evs = [trace[i] for i in events]
-    if any(not e.is_acquire for e in evs):
+    trace = as_trace(trace)
+    index = trace.index
+    ops, tids, targs = trace.compiled.columns()
+    if any(ops[i] != OP_ACQUIRE for i in events):
         return False
-    threads = [e.thread for e in evs]
-    locks = [e.target for e in evs]
-    if len(set(threads)) != k or len(set(locks)) != k:
+    if len({tids[i] for i in events}) != k:
         return False
-    held = [set(trace.held_locks(i)) for i in events]
+    locks = [targs[i] for i in events]
+    if len(set(locks)) != k:
+        return False
+    held = [index.held_frozen(i) for i in events]
     for i in range(k):
         if locks[i] not in held[(i + 1) % k]:
             return False
     for i in range(k):
+        held_i = held[i]
         for j in range(i + 1, k):
-            if held[i] & held[j]:
+            if not held_i.isdisjoint(held[j]):
                 return False
     return True
 
@@ -140,7 +150,15 @@ def find_concrete_patterns(trace: Trace, size: int = 2) -> List[DeadlockPattern]
     tests and as the quadratic baseline in the hardness benchmark.
     Patterns are returned in canonical rotation, deduplicated.
     """
-    acquires = [ev.idx for ev in trace if ev.is_acquire and trace.held_locks(ev.idx)]
+    trace = as_trace(trace)
+    index = trace.index
+    ops = trace.compiled.ops
+    held_id = index.held_id
+    held_lengths = index.held_lengths
+    acquires = [
+        i for i in range(len(ops))
+        if ops[i] == OP_ACQUIRE and held_lengths[held_id[i]]
+    ]
     seen = set()
     out: List[DeadlockPattern] = []
     for combo in itertools.permutations(acquires, size):

@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 
 from repro.core.closure import SPClosureEngine
-from repro.trace.trace import Trace
+from repro.trace.events import OP_READ, OP_WRITE
+from repro.trace.trace import Trace, as_trace
 from repro.vc.clock import VectorClock
 
 
@@ -78,22 +79,31 @@ class _AccessGroup:
 
 
 def _access_groups(trace: Trace) -> Dict[str, List[_AccessGroup]]:
-    by_sig: Dict[Tuple[str, str, bool], List[int]] = {}
-    order: List[Tuple[str, str, bool]] = []
-    for ev in trace:
-        if not ev.is_access:
+    """Group accesses by (thread, variable, kind) over the int columns.
+
+    String names are resolved once per *group*, not per event."""
+    compiled = trace.compiled
+    ops, tids, targs = compiled.columns()
+    by_sig: Dict[Tuple[int, int, int], List[int]] = {}
+    order: List[Tuple[int, int, int]] = []
+    for i in range(len(ops)):
+        op = ops[i]
+        if op != OP_READ and op != OP_WRITE:
             continue
-        key = (ev.thread, ev.target, ev.is_write)
-        if key not in by_sig:
-            by_sig[key] = []
+        key = (tids[i], targs[i], op)
+        bucket = by_sig.get(key)
+        if bucket is None:
+            by_sig[key] = bucket = []
             order.append(key)
-        by_sig[key].append(ev.idx)
+        bucket.append(i)
+    thread_names = compiled.threads_tab.names
+    var_names = compiled.vars_tab.names
     out: Dict[str, List[_AccessGroup]] = {}
     for key in order:
-        t, var, w = key
-        out.setdefault(var, []).append(
-            _AccessGroup(thread=t, variable=var, is_write=w,
-                         events=tuple(by_sig[key]))
+        t, var, op = key
+        out.setdefault(var_names[var], []).append(
+            _AccessGroup(thread=thread_names[t], variable=var_names[var],
+                         is_write=op == OP_WRITE, events=tuple(by_sig[key]))
         )
     return out
 
@@ -175,9 +185,11 @@ def sp_races(
             race pattern (the SPDOffline reporting convention);
             ``False`` enumerates further concrete races.
     """
+    trace = as_trace(trace)
     start = time.perf_counter()
     result = SPRaceResult()
     engine = SPClosureEngine(trace)
+    location_of = trace.compiled.location_of
     for g1, g2 in _abstract_race_patterns(trace):
         result.pairs_considered += 1
         for e1, e2 in _check_group_pair(engine, g1, g2, first_hit_per_pair):
@@ -186,7 +198,7 @@ def sp_races(
                     first_event=e1,
                     second_event=e2,
                     variable=g1.variable,
-                    locations=(trace[e1].location, trace[e2].location),
+                    locations=(location_of(e1), location_of(e2)),
                 )
             )
     result.elapsed = time.perf_counter() - start

@@ -121,9 +121,9 @@ def spd_offline(
             Lemma 4.1 witness schedule to every report
             (:attr:`SPDOfflineResult.witnesses`).
     """
-    from repro.trace.compiled import ensure_trace
+    from repro.trace.trace import as_trace
 
-    trace = ensure_trace(trace)
+    trace = as_trace(trace)
     start = time.perf_counter()
     num_cycles, abstracts = abstract_deadlock_patterns(
         trace, max_size=max_size, max_cycles=max_cycles

@@ -26,7 +26,8 @@ from typing import List, Optional, Set, Tuple
 
 from repro.core.patterns import DeadlockReport
 from repro.core.spd_offline import spd_offline
-from repro.trace.trace import Trace
+from repro.trace.events import OP_RELEASE
+from repro.trace.trace import Trace, as_trace
 
 
 @dataclass
@@ -43,18 +44,22 @@ class WindowedResult:
         return {r.bug_id for r in self.reports}
 
 
-def _window_slice(trace: Trace, lo: int, hi: int) -> Tuple[Trace, List[int]]:
-    """Well-formed window: drop releases whose acquire precedes it and
-    reads whose writer precedes it (their constraints cannot be
-    validated inside the window; dropping them only *adds* behaviors,
-    which is the documented windowing imprecision)."""
+def window_slice(trace: Trace, lo: int, hi: int) -> Tuple[Trace, List[int]]:
+    """Well-formed window ``[lo, hi)``: drop releases whose acquire
+    precedes the window (slicing mid-critical-section would produce an
+    ill-formed sub-trace).  Reads whose writer falls outside silently
+    rebind to an in-window writer or the initial value — their
+    constraints cannot be validated inside the window, and dropping
+    them only *adds* behaviors, which is the documented windowing
+    imprecision shared by every windowed mode (this module and the
+    Dirk stand-in).  Returns the sub-trace (projected on the compiled
+    columns, no Event objects) and the local→global index map."""
+    ops = trace.compiled.ops
+    match = trace.index.match
     keep: List[int] = []
     for idx in range(lo, hi):
-        ev = trace[idx]
-        if ev.is_release:
-            acq = trace.match(idx)
-            if acq is None or acq < lo:
-                continue
+        if ops[idx] == OP_RELEASE and match[idx] < lo:
+            continue
         keep.append(idx)
     return trace.project(keep, name=f"{trace.name}[{lo}:{hi}]"), keep
 
@@ -79,22 +84,21 @@ def spd_offline_windowed(
         raise ValueError("window must be >= 1")
     if not 0 <= overlap < 1:
         raise ValueError("overlap must be in [0, 1)")
-    from repro.trace.compiled import ensure_trace
-
-    trace = ensure_trace(trace)
+    trace = as_trace(trace)
     start = time.perf_counter()
     result = WindowedResult()
     step = max(1, int(window * (1 - overlap)))
     seen: Set[Tuple[str, ...]] = set()
+    location_of = trace.compiled.location_of
     lo = 0
     while lo < len(trace):
         hi = min(lo + window, len(trace))
-        sub, back = _window_slice(trace, lo, hi)
+        sub, back = window_slice(trace, lo, hi)
         result.windows += 1
         inner = spd_offline(sub, max_size=max_size)
         for report in inner.reports:
             original = tuple(sorted(back[e] for e in report.pattern.events))
-            bug = tuple(sorted(trace[i].location for i in original))
+            bug = tuple(sorted(location_of(i) for i in original))
             if bug in seen:
                 continue
             seen.add(bug)

@@ -22,7 +22,7 @@ excluded from :func:`detector_names`.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 Adapter = Callable[[object, dict], dict]
 
@@ -63,10 +63,9 @@ def _bug_list(bug_ids) -> List[List[str]]:
 
 @register("stats")
 def _stats(trace, config: dict) -> dict:
-    from repro.trace.compiled import ensure_trace
     from repro.trace.stats import compute_stats
 
-    s = compute_stats(ensure_trace(trace))
+    s = compute_stats(trace)
     out = s.as_dict()
     out["primary"] = s.num_events
     return out
@@ -146,9 +145,8 @@ def _windowed(trace, config: dict) -> dict:
 @register("goodlock")
 def _goodlock(trace, config: dict) -> dict:
     from repro.baselines.goodlock import goodlock
-    from repro.trace.compiled import ensure_trace
 
-    res = goodlock(ensure_trace(trace))
+    res = goodlock(trace)
     return {
         "primary": res.num_warnings,
         "warnings": res.num_warnings,
@@ -159,9 +157,8 @@ def _goodlock(trace, config: dict) -> dict:
 @register("undead")
 def _undead(trace, config: dict) -> dict:
     from repro.baselines.undead import undead
-    from repro.trace.compiled import ensure_trace
 
-    res = undead(ensure_trace(trace))
+    res = undead(trace)
     return {
         "primary": res.num_warnings,
         "warnings": res.num_warnings,
@@ -172,9 +169,8 @@ def _undead(trace, config: dict) -> dict:
 @register("naive")
 def _naive(trace, config: dict) -> dict:
     from repro.baselines.naive import naive_sp_detector
-    from repro.trace.compiled import ensure_trace
 
-    res = naive_sp_detector(ensure_trace(trace))
+    res = naive_sp_detector(trace)
     return {
         "primary": len(res.reports),
         "deadlocks": len(res.reports),
@@ -186,11 +182,10 @@ def _naive(trace, config: dict) -> dict:
 @register("seqcheck")
 def _seqcheck(trace, config: dict) -> dict:
     from repro.baselines.seqcheck import SeqCheckFailure, seqcheck
-    from repro.trace.compiled import ensure_trace
 
     try:
         res = seqcheck(
-            ensure_trace(trace),
+            trace,
             first_hit_per_abstract=not config.get("all_instantiations", True),
         )
     except SeqCheckFailure as exc:
@@ -208,10 +203,9 @@ def _seqcheck(trace, config: dict) -> dict:
 @register("dirk")
 def _dirk(trace, config: dict) -> dict:
     from repro.baselines.dirk import dirk
-    from repro.trace.compiled import ensure_trace
 
     res = dirk(
-        ensure_trace(trace),
+        trace,
         window=config.get("window", 10_000),
         timeout=config.get("timeout", 30.0),
     )
@@ -243,10 +237,9 @@ def _fasttrack(trace, config: dict) -> dict:
 @register("sp_races")
 def _sp_races(trace, config: dict) -> dict:
     from repro.core.races import sp_races
-    from repro.trace.compiled import ensure_trace
 
     res = sp_races(
-        ensure_trace(trace),
+        trace,
         first_hit_per_pair=config.get("first_hit_per_pair", True),
     )
     return {

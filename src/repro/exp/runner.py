@@ -36,7 +36,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.exp.cache import ResultCache, cell_key
+from repro.exp.cache import ResultCache, cell_key, detector_code_version
 from repro.exp.campaign import Campaign, DetectorSpec, TraceSource
 from repro.exp.detectors import get_adapter
 
@@ -60,8 +60,13 @@ class CellTask:
     repeats: int
 
     def key(self) -> str:
+        # Version the key by the detector's module dependency closure,
+        # not the whole package: commits that don't touch this
+        # detector's code (or the shared trace pipeline) keep its
+        # cached cells warm.
         return cell_key(self.trace_digest, self.detector.name,
-                        self.detector.config, self.timeout, self.repeats)
+                        self.detector.config, self.timeout, self.repeats,
+                        version=detector_code_version(self.detector.name))
 
 
 @dataclass

@@ -39,6 +39,16 @@ def simple_cycles(
     emitted = 0
     if max_cycles is not None and max_cycles <= 0:
         return
+    if max_length is not None and max_length <= 2:
+        # Bounded-length fast path: cycles of length <= 2 are exactly
+        # the self-loops and mutual edge pairs, so the repeated SCC
+        # computations of the general search are pure overhead.  Yields
+        # in the identical canonical order (min-node first, successors
+        # in sorted order) — this is the SPDOffline ``max_size=2`` hot
+        # path, where phase-1 enumeration used to dominate end-to-end
+        # runtime.
+        yield from _short_cycles(adjacency, n, max_length, max_cycles)
+        return
     remaining: Set[int] = set(range(n))
 
     while remaining:
@@ -64,6 +74,38 @@ def simple_cycles(
             if max_cycles is not None and emitted >= max_cycles:
                 return
         remaining.discard(start)
+
+
+def _short_cycles(
+    adjacency: Sequence[Set[int]],
+    n: int,
+    max_length: int,
+    max_cycles: Optional[int],
+) -> Iterator[List[int]]:
+    """All elementary cycles of length <= ``max_length`` (<= 2).
+
+    Matches the general search's output order exactly: starts ascend,
+    and within a start the successors are visited in sorted order, the
+    self-loop (if any) falling at the start node's own sorted position.
+    A 2-cycle ``[s, v]`` is emitted at its minimum node ``s``, so only
+    partners ``v > s`` qualify — mirroring Johnson's removal of earlier
+    start nodes from the remaining graph.
+    """
+    if max_length < 1:
+        return
+    emitted = 0
+    pairs = max_length >= 2
+    for s in range(n):
+        for v in sorted(adjacency[s]):
+            if v == s:
+                yield [s]
+            elif pairs and v > s and s in adjacency[v]:
+                yield [s, v]
+            else:
+                continue
+            emitted += 1
+            if max_cycles is not None and emitted >= max_cycles:
+                return
 
 
 def _cycles_from(

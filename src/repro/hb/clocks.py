@@ -15,9 +15,18 @@ skeleton); ``of(e)`` is inclusive, so ``a ≤HB b  ⟺  of(a) ⊑ of(b)``.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional
 
-from repro.trace.trace import Trace
+from repro.trace.events import (
+    OP_ACQUIRE,
+    OP_FORK,
+    OP_JOIN,
+    OP_READ,
+    OP_RELEASE,
+    OP_WRITE,
+)
+from repro.trace.trace import Trace, as_trace
 from repro.vc.clock import ThreadUniverse, VectorClock
 
 
@@ -25,44 +34,55 @@ class HBClocks:
     """All-event Happens-Before timestamps for one trace."""
 
     def __init__(self, trace: Trace, include_rf: bool = False) -> None:
-        self.trace = trace
+        self.trace = trace = as_trace(trace)
         self.include_rf = include_rf
         self.universe = ThreadUniverse(trace.threads)
         self._ts: List[VectorClock] = []
         self._compute()
 
     def _compute(self) -> None:
+        """One pass over the compiled int columns — no Event objects."""
+        trace = self.trace
+        compiled = trace.compiled
+        index = trace.index
+        ops, tids, targs = compiled.columns()
+        rf = index.rf
         n = len(self.universe)
-        clocks: Dict[str, VectorClock] = {
-            t: VectorClock.bottom(n) for t in self.trace.threads
-        }
-        last_release: Dict[str, VectorClock] = {}
-        last_write: Dict[str, VectorClock] = {}
+        n_tids = len(compiled.threads_tab)
+        tid_slot = array("i", [-1]) * n_tids
+        clocks: List[Optional[VectorClock]] = [None] * n_tids
+        thread_names = compiled.threads_tab.names
+        for tid in index.thread_order:
+            tid_slot[tid] = self.universe.slot(thread_names[tid])
+            clocks[tid] = VectorClock.bottom(n)
+        last_release: List[Optional[VectorClock]] = [None] * len(compiled.locks_tab)
+        last_write: List[Optional[VectorClock]] = [None] * len(compiled.vars_tab)
+        include_rf = self.include_rf
 
-        for ev in self.trace:
-            c = clocks[ev.thread]
-            slot = self.universe.slot(ev.thread)
-            if ev.is_acquire:
-                rel = last_release.get(ev.target)
+        for i in range(len(ops)):
+            op = ops[i]
+            c = clocks[tids[i]]
+            slot = tid_slot[tids[i]]
+            if op == OP_ACQUIRE:
+                rel = last_release[targs[i]]
                 if rel is not None:
                     c.join_with(rel)
-            elif ev.is_join:
-                child = clocks.get(ev.target)
+            elif op == OP_JOIN:
+                child = clocks[targs[i]]
                 if child is not None:
                     c.join_with(child)
-            elif ev.is_read and self.include_rf:
-                w = self.trace.rf(ev.idx)
-                if w is not None:
-                    c.join_with(last_write[ev.target])
+            elif op == OP_READ and include_rf:
+                if rf[i] >= 0:
+                    c.join_with(last_write[targs[i]])
             c.tick(slot)
             snapshot = c.copy()
             self._ts.append(snapshot)
-            if ev.is_release:
-                last_release[ev.target] = snapshot
-            elif ev.is_write:
-                last_write[ev.target] = snapshot
-            elif ev.is_fork:
-                child = clocks.get(ev.target)
+            if op == OP_RELEASE:
+                last_release[targs[i]] = snapshot
+            elif op == OP_WRITE:
+                last_write[targs[i]] = snapshot
+            elif op == OP_FORK:
+                child = clocks[targs[i]]
                 if child is not None:
                     child.join_with(snapshot)
 

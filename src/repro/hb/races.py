@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.hb.clocks import HBClocks
-from repro.trace.trace import Trace
+from repro.trace.events import OP_READ, OP_WRITE
+from repro.trace.trace import Trace, as_trace
 from repro.vc.clock import VectorClock
 
 
@@ -52,12 +53,17 @@ class HBRaceResult:
 @dataclass
 class _VarState:
     last_write: Optional[int] = None
+    last_write_tid: int = -1
     last_write_ts: Optional[VectorClock] = None
-    reads: Dict[str, Tuple[int, VectorClock]] = field(default_factory=dict)
+    reads: Dict[int, Tuple[int, VectorClock]] = field(default_factory=dict)
 
 
 def hb_races(trace: Trace, first_only_per_site: bool = True) -> HBRaceResult:
     """All (or first-per-site) HB races of ``trace``.
+
+    Streams the compiled int columns once: variable state is keyed by
+    interned variable id, race sites by interned thread-id pairs; the
+    variable name is looked up only when a race is actually reported.
 
     Args:
         trace: input trace.
@@ -66,49 +72,58 @@ def hb_races(trace: Trace, first_only_per_site: bool = True) -> HBRaceResult:
             enumerates every unordered conflicting pair involving the
             tracked last accesses.
     """
+    trace = as_trace(trace)
     start = time.perf_counter()
     clocks = HBClocks(trace)
-    state: Dict[str, _VarState] = {}
+    compiled = trace.compiled
+    ops, tids, targs = compiled.columns()
+    var_names = compiled.vars_tab.names
+    state: Dict[int, _VarState] = {}
     seen_sites: Set[Tuple] = set()
     result = HBRaceResult()
 
-    def report(a: int, b: int, var: str, site: Tuple) -> None:
+    def report(a: int, b: int, var: int, site: Tuple) -> None:
         if first_only_per_site:
             if site in seen_sites:
                 return
             seen_sites.add(site)
-        result.races.append(HBRace(min(a, b), max(a, b), var))
+        result.races.append(HBRace(min(a, b), max(a, b), var_names[var]))
 
-    for ev in trace:
-        if not ev.is_access:
+    for i in range(len(ops)):
+        op = ops[i]
+        if op != OP_READ and op != OP_WRITE:
             continue
-        vs = state.setdefault(ev.target, _VarState())
-        ts = clocks.of(ev.idx)
-        if ev.is_write:
+        var = targs[i]
+        tid = tids[i]
+        vs = state.get(var)
+        if vs is None:
+            vs = state[var] = _VarState()
+        ts = clocks.of(i)
+        if op == OP_WRITE:
             # write-write race with the previous write
             if (
                 vs.last_write is not None
-                and trace[vs.last_write].thread != ev.thread
+                and vs.last_write_tid != tid
                 and not vs.last_write_ts.leq(ts)
             ):
-                report(vs.last_write, ev.idx, ev.target,
-                       ("ww", ev.target, trace[vs.last_write].thread, ev.thread))
+                report(vs.last_write, i, var,
+                       ("ww", var, vs.last_write_tid, tid))
             # write-read races with every thread's last read
-            for r_thread, (r_idx, r_ts) in vs.reads.items():
-                if r_thread != ev.thread and not r_ts.leq(ts):
-                    report(r_idx, ev.idx, ev.target,
-                           ("rw", ev.target, r_thread, ev.thread))
-            vs.last_write = ev.idx
+            for r_tid, (r_idx, r_ts) in vs.reads.items():
+                if r_tid != tid and not r_ts.leq(ts):
+                    report(r_idx, i, var, ("rw", var, r_tid, tid))
+            vs.last_write = i
+            vs.last_write_tid = tid
             vs.last_write_ts = ts
         else:
             if (
                 vs.last_write is not None
-                and trace[vs.last_write].thread != ev.thread
+                and vs.last_write_tid != tid
                 and not vs.last_write_ts.leq(ts)
             ):
-                report(vs.last_write, ev.idx, ev.target,
-                       ("wr", ev.target, trace[vs.last_write].thread, ev.thread))
-            vs.reads[ev.thread] = (ev.idx, ts)
+                report(vs.last_write, i, var,
+                       ("wr", var, vs.last_write_tid, tid))
+            vs.reads[tid] = (i, ts)
     result.elapsed = time.perf_counter() - start
     return result
 

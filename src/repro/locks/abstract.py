@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Tuple
 
-from repro.trace.trace import Trace
+from repro.trace.events import OP_ACQUIRE
+from repro.trace.trace import Trace, as_trace
 
 
 @dataclass(frozen=True)
@@ -48,27 +49,78 @@ class AbstractAcquire:
         return f"⟨{self.thread}, {self.lock}, {held}, |F|={len(self.events)}⟩"
 
 
-def collect_abstract_acquires(trace: Trace) -> List[AbstractAcquire]:
-    """All abstract acquires of ``trace`` with non-empty held sets.
+@dataclass(frozen=True)
+class AbstractAcquireIds:
+    """The interned-id form of an abstract acquire.
 
-    Acquires holding no lock cannot appear in any deadlock pattern
-    (the pattern needs ``l_i ∈ L_{(i+1)%k}`` with non-empty ``L``), so
-    they are skipped, keeping the abstract lock graph small.
+    ``thread``/``lock`` are intern-table ids, ``held`` a frozenset of
+    lock ids.  This is what the abstract-lock-graph edge construction
+    and cycle filtering operate on — string :class:`AbstractAcquire`
+    objects are materialized only for the surviving patterns.
     """
-    groups: Dict[Tuple[str, str, FrozenSet[str]], List[int]] = {}
-    order: List[Tuple[str, str, FrozenSet[str]]] = []
-    for ev in trace:
-        if not ev.is_acquire:
+
+    thread: int
+    lock: int
+    held: FrozenSet[int]
+    events: Tuple[int, ...] = field(compare=False)
+
+    def to_named(self, compiled) -> AbstractAcquire:
+        lock_names = compiled.locks_tab.names
+        return AbstractAcquire(
+            thread=compiled.threads_tab.names[self.thread],
+            lock=lock_names[self.lock],
+            held=frozenset(lock_names[lk] for lk in self.held),
+            events=self.events,
+        )
+
+
+def collect_abstract_acquire_ids(trace: Trace) -> List[AbstractAcquireIds]:
+    """All abstract acquires with non-empty held sets, as interned ids.
+
+    One pass over the compiled columns: acquires are grouped by
+    ``(thread id, lock id, held-set)`` using the shared held-set pool
+    ids — no Event objects, no string hashing.  Acquires holding no
+    lock cannot appear in any deadlock pattern (the pattern needs
+    ``l_i ∈ L_{(i+1)%k}`` with non-empty ``L``), so they are skipped,
+    keeping the abstract lock graph small.
+    """
+    trace = as_trace(trace)
+    index = trace.index
+    ops, tids, targs = trace.compiled.columns()
+    held_id = index.held_id
+    held_lengths = index.held_lengths
+    held_set = index.held_set
+    # Two held stacks with the same *set* must group together, so key
+    # on a canonical pool id per distinct frozenset.
+    canon: Dict[FrozenSet[int], int] = {}
+    groups: Dict[Tuple[int, int, int], List[int]] = {}
+    order: List[Tuple[int, int, int]] = []
+    sets: Dict[int, FrozenSet[int]] = {}
+    for i in range(len(ops)):
+        if ops[i] != OP_ACQUIRE:
             continue
-        held = trace.held_locks(ev.idx)
-        if not held:
+        hid = held_id[i]
+        if not held_lengths[hid]:
             continue
-        key = (ev.thread, ev.target, frozenset(held))
-        if key not in groups:
-            groups[key] = []
+        fs = held_set(hid)
+        rep = canon.setdefault(fs, hid)
+        key = (tids[i], targs[i], rep)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = bucket = []
             order.append(key)
-        groups[key].append(ev.idx)
+            sets[rep] = fs
+        bucket.append(i)
     return [
-        AbstractAcquire(thread=k[0], lock=k[1], held=k[2], events=tuple(groups[k]))
+        AbstractAcquireIds(thread=k[0], lock=k[1], held=sets[k[2]],
+                           events=tuple(groups[k]))
         for k in order
     ]
+
+
+def collect_abstract_acquires(trace: Trace) -> List[AbstractAcquire]:
+    """All abstract acquires of ``trace`` with non-empty held sets
+    (string form; see :func:`collect_abstract_acquire_ids`)."""
+    trace = as_trace(trace)
+    compiled = trace.compiled
+    return [a.to_named(compiled) for a in collect_abstract_acquire_ids(trace)]

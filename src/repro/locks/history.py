@@ -25,7 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.trace.trace import Trace
+from repro.trace.events import OP_ACQUIRE
+from repro.trace.trace import Trace, as_trace
 from repro.vc.clock import VectorClock
 from repro.vc.timestamps import TRFTimestamps
 
@@ -58,31 +59,39 @@ class CSHistories:
     """
 
     def __init__(self, trace: Trace, timestamps: TRFTimestamps) -> None:
-        self.trace = trace
+        self.trace = trace = as_trace(trace)
         self.timestamps = timestamps
-        self._queues: Dict[Tuple[str, str], List[CSEntry]] = {}
-        self._threads_with_lock: Dict[str, List[str]] = {}
+        # Keys are interned (tid, lock id) pairs / lock ids: the queues
+        # are built straight off the compiled columns, one pass, no
+        # Event objects or string hashing.
+        self._queues: Dict[Tuple[int, int], List[CSEntry]] = {}
+        self._threads_with_lock: Dict[int, List[int]] = {}
         # Per-lock rows aligned with _threads_with_lock[lock]:
         # [cursor, last-entry, queue] — rebuilt by reset().
-        self._rows: Dict[str, List[list]] = {}
-        slot_of = timestamps.universe.slot
-        for ev in trace:
-            if not ev.is_acquire:
+        self._rows: Dict[int, List[list]] = {}
+        compiled = trace.compiled
+        index = trace.index
+        ops, tids, targs = compiled.columns()
+        match = index.match
+        slots = timestamps._slots
+        vals = timestamps._vals
+        ts = timestamps._ts
+        for i in range(len(ops)):
+            if ops[i] != OP_ACQUIRE:
                 continue
-            rel = trace.match(ev.idx)
-            slot = slot_of(ev.thread)
+            rel = match[i]
             entry = CSEntry(
-                acq_idx=ev.idx,
-                slot=slot,
-                acq_val=timestamps.epoch(ev.idx)[1],
-                acq_ts=timestamps.of(ev.idx),
-                rel_val=timestamps.epoch(rel)[1] if rel is not None else None,
-                rel_ts=timestamps.of(rel) if rel is not None else None,
+                acq_idx=i,
+                slot=slots[i],
+                acq_val=vals[i],
+                acq_ts=ts[i],
+                rel_val=vals[rel] if rel >= 0 else None,
+                rel_ts=ts[rel] if rel >= 0 else None,
             )
-            key = (ev.thread, ev.target)
+            key = (tids[i], targs[i])
             if key not in self._queues:
                 self._queues[key] = []
-                self._threads_with_lock.setdefault(ev.target, []).append(ev.thread)
+                self._threads_with_lock.setdefault(targs[i], []).append(tids[i])
             self._queues[key].append(entry)
         self.reset()
 
@@ -94,10 +103,12 @@ class CSHistories:
         }
 
     @property
-    def locks(self) -> List[str]:
+    def locks(self) -> List[int]:
+        """Interned lock ids with at least one acquire (opaque tokens
+        for :meth:`advance_lock`), in first-acquire order."""
         return list(self._threads_with_lock)
 
-    def advance_lock(self, lock: str, t_clock: VectorClock) -> Optional[VectorClock]:
+    def advance_lock(self, lock: int, t_clock: VectorClock) -> Optional[VectorClock]:
         """One Algorithm 1 inner-loop pass for ``lock`` against ``t_clock``.
 
         Returns the join of release timestamps that must enter the

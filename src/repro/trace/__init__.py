@@ -24,7 +24,7 @@ from repro.trace.events import (
     Event,
     Op,
 )
-from repro.trace.trace import Trace, TraceError
+from repro.trace.trace import Trace, TraceError, as_trace
 from repro.trace.parser import ParseError, format_trace, parse_trace
 from repro.trace.compiled import (
     CompiledTrace,
@@ -32,6 +32,7 @@ from repro.trace.compiled import (
     compile_trace,
     load_compiled_trace,
 )
+from repro.trace.index import TraceIndex
 from repro.trace.stats import TraceStats, compute_stats
 from repro.trace.wellformed import WellFormednessError, check_well_formed
 from repro.trace.builder import TraceBuilder
@@ -48,6 +49,8 @@ __all__ = [
     "Op",
     "Trace",
     "TraceError",
+    "TraceIndex",
+    "as_trace",
     "TraceBuilder",
     "ParseError",
     "parse_trace",

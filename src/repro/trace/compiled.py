@@ -23,20 +23,20 @@ block) — the whole file is never resident as one string.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.trace.events import (
     OP_ACQUIRE,
     OP_FORK,
     OP_JOIN,
-    OP_READ,
     OP_RELEASE,
     OP_REQUEST,
-    OP_WRITE,
     Event,
     Op,
 )
-from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # import cycle: trace.py wraps CompiledTrace
+    from repro.trace.trace import Trace
 
 #: Op codes whose target is a lock.
 _LOCK_OPS = (OP_ACQUIRE, OP_RELEASE, OP_REQUEST)
@@ -135,7 +135,10 @@ class CompiledTrace:
         return out
 
     @classmethod
-    def from_trace(cls, trace: Trace) -> "CompiledTrace":
+    def from_trace(cls, trace: "Trace") -> "CompiledTrace":
+        compiled = getattr(trace, "compiled", None)
+        if isinstance(compiled, CompiledTrace):
+            return compiled
         return cls.from_events(trace, name=trace.name)
 
     # -- columnar access ----------------------------------------------------
@@ -190,8 +193,39 @@ class CompiledTrace:
                 locs.get(idx),
             )
 
-    def to_trace(self) -> Trace:
-        """Materialize a full :class:`Trace` (for the offline analyses)."""
+    def project(self, event_indices: Iterable[int],
+                name: Optional[str] = None) -> "CompiledTrace":
+        """The subsequence restricted to ``event_indices``, columnar.
+
+        Events keep their relative order; indices are renumbered.  The
+        intern tables are shared by reference (a projection never
+        introduces new names), so the copy is just the three filtered
+        int columns plus the remapped sparse location map — no
+        ``Event`` objects.  Used by closure-set reorder/witness checks
+        and windowed detectors on large closures.
+        """
+        wanted = sorted(set(event_indices))
+        out = CompiledTrace.__new__(CompiledTrace)
+        out.name = name or f"{self.name}|proj"
+        out.ops = array("b", (self.ops[i] for i in wanted))
+        out.thread_ids = array("i", (self.thread_ids[i] for i in wanted))
+        out.target_ids = array("i", (self.target_ids[i] for i in wanted))
+        out.threads_tab = self.threads_tab
+        out.locks_tab = self.locks_tab
+        out.vars_tab = self.vars_tab
+        locs = self.locs
+        if locs:
+            out.locs = {
+                new: locs[old] for new, old in enumerate(wanted) if old in locs
+            }
+        else:
+            out.locs = {}
+        return out
+
+    def to_trace(self) -> "Trace":
+        """Wrap in a :class:`Trace` view (O(1); nothing materializes)."""
+        from repro.trace.trace import Trace
+
         return Trace(self, name=self.name)
 
     def __repr__(self) -> str:
@@ -247,22 +281,26 @@ class InterningDetectorMixin:
         raise NotImplementedError
 
 
-def ensure_trace(trace) -> Trace:
-    """Adapt ``trace`` to a full :class:`Trace`.
+def ensure_trace(trace) -> "Trace":
+    """Adapt ``trace`` to a :class:`Trace` view (alias of
+    :func:`repro.trace.trace.as_trace`, kept for compatibility).
 
-    The offline analyses need the derived relations (reads-from, match,
-    held locks); a compiled trace materializes them on demand through
-    this helper, so every detector entry point accepts either form.
+    Since ``Trace`` became a thin view over ``CompiledTrace +
+    TraceIndex`` this is O(1): no events are materialized and the
+    derived relations are computed lazily, once, as int columns.
     """
-    if isinstance(trace, CompiledTrace):
-        return trace.to_trace()
-    return trace
+    from repro.trace.trace import as_trace
+
+    return as_trace(trace)
 
 
 def compile_trace(trace_or_events, name: Optional[str] = None) -> CompiledTrace:
     """Compile a :class:`Trace` (or any event iterable) to columnar form."""
     if isinstance(trace_or_events, CompiledTrace):
         return trace_or_events
+    compiled = getattr(trace_or_events, "compiled", None)
+    if isinstance(compiled, CompiledTrace):
+        return compiled
     inferred = name or getattr(trace_or_events, "name", None) or "trace"
     return CompiledTrace.from_events(trace_or_events, name=inferred)
 

@@ -1,0 +1,272 @@
+"""Columnar derived relations: the canonical analysis substrate.
+
+A :class:`TraceIndex` computes every derived relation of paper
+Section 2 — reads-from, matching acquire/release, per-thread position,
+and held-lock sets — in one O(N) pass **directly over the int columns**
+of a :class:`~repro.trace.compiled.CompiledTrace`.  No ``Event``
+objects are materialized and no string is hashed: relations come out as
+flat integer arrays keyed by event index and interned thread/lock/
+variable ids.
+
+Held-lock sets are stored as offsets into one shared pool rather than
+per-event tuples: each distinct held *stack* (a short tuple of interned
+lock ids) is appended to :attr:`TraceIndex.held_pool` exactly once, and
+every event stores just the id of its stack.  Traces hold few distinct
+lock combinations, so the pool stays tiny even for huge traces — the
+same flat-columns-over-pointer-structures move PaC-trees use to make
+collection analyses cache-friendly.
+
+Layering (see README "Architecture"):
+
+- :class:`CompiledTrace` — the raw interned event columns (parse-time);
+- :class:`TraceIndex` — derived relations as int arrays (this module);
+- :class:`~repro.trace.trace.Trace` — a thin string-keyed *view* over a
+  ``CompiledTrace + TraceIndex`` pair, preserving the classic API.
+
+Detectors consume the index columns directly; user-facing code and
+tests keep the friendly string API of ``Trace``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.trace.compiled import CompiledTrace
+from repro.trace.events import (
+    OP_ACQUIRE,
+    OP_FORK,
+    OP_READ,
+    OP_RELEASE,
+    OP_REQUEST,
+    OP_WRITE,
+)
+
+
+class TraceError(Exception):
+    """Raised when a trace violates shared-memory semantics."""
+
+
+class TraceIndex:
+    """All derived relations of one compiled trace, as int columns.
+
+    Event-indexed columns (length N, ``-1`` = absent):
+
+    - :attr:`rf` — for reads, the index of the write observed
+      (``-1`` = initial value); meaningless for non-reads.
+    - :attr:`match` — matching release of an acquire and vice versa.
+    - :attr:`thread_pos` — per-thread position of the event.
+    - :attr:`thread_pred` — previous event of the same thread.
+    - :attr:`held_id` — id of the event's held-lock stack; resolve
+      through :attr:`held_offsets` / :attr:`held_lengths` into
+      :attr:`held_pool` (or use :meth:`held_ids` /
+      :meth:`held_frozen`).
+
+    Entity tables (interned ids, order of first appearance — matching
+    the classic ``Trace.threads`` / ``locks`` / ``variables`` order):
+
+    - :attr:`thread_order` — thread ids in order of first *acting*
+      appearance (fork/join targets that never act are excluded);
+    - :attr:`lock_order` / :attr:`var_order` — likewise for locks
+      (first lock op) and variables (first access);
+    - :attr:`events_by_thread` / :attr:`acquires_by_lock` — per-id
+      event lists, indexed by interned id;
+    - :attr:`fork_of` — thread id -> index of the first fork event
+      targeting it (the causality seed for a thread's first event).
+    """
+
+    __slots__ = (
+        "compiled", "rf", "match", "thread_pos", "thread_pred",
+        "held_id", "held_offsets", "held_lengths", "held_pool",
+        "thread_order", "lock_order", "var_order",
+        "events_by_thread", "acquires_by_lock", "fork_of",
+        "num_acquires", "num_requests", "lock_nesting_depth",
+        "_held_frozen",
+    )
+
+    def __init__(self, compiled: CompiledTrace) -> None:
+        self.compiled = compiled
+        ops, tids, targs = compiled.columns()
+        n = len(ops)
+
+        minus_one = array("i", [-1])
+        rf = minus_one * n
+        match = minus_one * n
+        thread_pos = minus_one * n
+        thread_pred = minus_one * n
+        held_id = minus_one * n
+
+        held_pool = array("i")
+        held_offsets = array("i", [0])
+        held_lengths = array("i", [0])
+        pool_ids: Dict[Tuple[int, ...], int] = {(): 0}
+
+        n_threads = len(compiled.threads_tab)
+        n_locks = len(compiled.locks_tab)
+        n_vars = len(compiled.vars_tab)
+        events_by_thread: List[List[int]] = [[] for _ in range(n_threads)]
+        acquires_by_lock: List[List[int]] = [[] for _ in range(n_locks)]
+        thread_order: List[int] = []
+        lock_order: List[int] = []
+        var_order: List[int] = []
+        seen_thread = bytearray(n_threads)
+        seen_lock = bytearray(n_locks)
+        seen_var = bytearray(n_vars)
+
+        fork_of: Dict[int, int] = {}
+        last_write = minus_one * n_vars
+        open_acq: Dict[int, List[int]] = {}      # (tid * n_locks + lid) -> stack
+        held_stack: List[List[int]] = [[] for _ in range(n_threads)]
+        cur_held: List[int] = [0] * n_threads    # tid -> current held-set id
+        num_acquires = 0
+        num_requests = 0
+        nesting = 0
+
+        for i in range(n):
+            op = ops[i]
+            t = tids[i]
+            if not seen_thread[t]:
+                seen_thread[t] = 1
+                thread_order.append(t)
+            row = events_by_thread[t]
+            pos = len(row)
+            thread_pos[i] = pos
+            if pos:
+                thread_pred[i] = row[-1]
+            row.append(i)
+            held_id[i] = cur_held[t]
+
+            if op == OP_READ:
+                v = targs[i]
+                if not seen_var[v]:
+                    seen_var[v] = 1
+                    var_order.append(v)
+                rf[i] = last_write[v]
+            elif op == OP_WRITE:
+                v = targs[i]
+                if not seen_var[v]:
+                    seen_var[v] = 1
+                    var_order.append(v)
+                last_write[v] = i
+            elif op == OP_ACQUIRE:
+                lk = targs[i]
+                if not seen_lock[lk]:
+                    seen_lock[lk] = 1
+                    lock_order.append(lk)
+                num_acquires += 1
+                open_acq.setdefault(t * n_locks + lk, []).append(i)
+                acquires_by_lock[lk].append(i)
+                hs = held_stack[t]
+                if len(hs) >= nesting:
+                    nesting = len(hs) + 1
+                hs.append(lk)
+                cur_held[t] = self._pool_id(
+                    hs, pool_ids, held_pool, held_offsets, held_lengths
+                )
+            elif op == OP_RELEASE:
+                lk = targs[i]
+                if not seen_lock[lk]:
+                    seen_lock[lk] = 1
+                    lock_order.append(lk)
+                stack = open_acq.get(t * n_locks + lk)
+                if not stack:
+                    raise TraceError(
+                        f"release without matching acquire: {compiled.event(i)}"
+                    )
+                acq_idx = stack.pop()
+                match[acq_idx] = i
+                match[i] = acq_idx
+                # Locks need not be released in LIFO order (hsqldb has
+                # non-well-nested critical sections), so remove the last
+                # occurrence rather than popping the top of the stack.
+                hs = held_stack[t]
+                for j in range(len(hs) - 1, -1, -1):
+                    if hs[j] == lk:
+                        del hs[j]
+                        break
+                else:
+                    raise TraceError(
+                        f"release of unheld lock: {compiled.event(i)}"
+                    )
+                cur_held[t] = self._pool_id(
+                    hs, pool_ids, held_pool, held_offsets, held_lengths
+                )
+            elif op == OP_REQUEST:
+                lk = targs[i]
+                if not seen_lock[lk]:
+                    seen_lock[lk] = 1
+                    lock_order.append(lk)
+                num_requests += 1
+            elif op == OP_FORK:
+                if targs[i] not in fork_of:
+                    fork_of[targs[i]] = i
+
+        self.rf = rf
+        self.match = match
+        self.thread_pos = thread_pos
+        self.thread_pred = thread_pred
+        self.held_id = held_id
+        self.held_pool = held_pool
+        self.held_offsets = held_offsets
+        self.held_lengths = held_lengths
+        self.thread_order = thread_order
+        self.lock_order = lock_order
+        self.var_order = var_order
+        self.events_by_thread = events_by_thread
+        self.acquires_by_lock = acquires_by_lock
+        self.fork_of = fork_of
+        self.num_acquires = num_acquires
+        self.num_requests = num_requests
+        self.lock_nesting_depth = nesting
+        self._held_frozen: Dict[int, FrozenSet[int]] = {}
+
+    @staticmethod
+    def _pool_id(stack: List[int], pool_ids: Dict[Tuple[int, ...], int],
+                 pool: array, offsets: array, lengths: array) -> int:
+        key = tuple(stack)
+        hid = pool_ids.get(key)
+        if hid is None:
+            hid = len(offsets)
+            pool_ids[key] = hid
+            offsets.append(len(pool))
+            lengths.append(len(key))
+            pool.extend(key)
+        return hid
+
+    # -- held-set accessors -------------------------------------------------
+
+    def held_ids(self, idx: int) -> Tuple[int, ...]:
+        """Lock ids held right before the event at ``idx``, stack order."""
+        hid = self.held_id[idx]
+        off = self.held_offsets[hid]
+        return tuple(self.held_pool[off:off + self.held_lengths[hid]])
+
+    def held_frozen(self, idx: int) -> FrozenSet[int]:
+        """Held-lock set of the event at ``idx`` (cached per pool id)."""
+        return self.held_set(self.held_id[idx])
+
+    def held_set(self, hid: int) -> FrozenSet[int]:
+        """The lock-id set of pool entry ``hid`` (cached)."""
+        fs = self._held_frozen.get(hid)
+        if fs is None:
+            off = self.held_offsets[hid]
+            fs = frozenset(self.held_pool[off:off + self.held_lengths[hid]])
+            self._held_frozen[hid] = fs
+        return fs
+
+    def __len__(self) -> int:
+        return len(self.rf)
+
+
+def index_of(trace) -> TraceIndex:
+    """The :class:`TraceIndex` of any trace form.
+
+    ``Trace`` views carry a cached index; a raw :class:`CompiledTrace`
+    gets a fresh one.
+    """
+    idx = getattr(trace, "index", None)
+    if isinstance(idx, TraceIndex):
+        return idx
+    if isinstance(trace, CompiledTrace):
+        return TraceIndex(trace)
+    raise TypeError(f"cannot index {type(trace).__name__}")

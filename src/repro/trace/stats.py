@@ -69,15 +69,21 @@ TABLE1_COLUMNS = (
 
 
 def compute_stats(trace: Trace) -> TraceStats:
-    """Compute :class:`TraceStats` for ``trace``."""
-    num_requests = sum(1 for ev in trace if ev.is_request)
+    """Compute :class:`TraceStats` for ``trace``.
+
+    Every number is already in the :class:`~repro.trace.index.TraceIndex`
+    columns, so this is O(1) beyond the (shared, cached) index pass."""
+    from repro.trace.trace import as_trace
+
+    trace = as_trace(trace)
+    index = trace.index
     return TraceStats(
         name=trace.name,
         num_events=len(trace),
-        num_threads=len(trace.threads),
-        num_variables=len(trace.variables),
-        num_locks=len(trace.locks),
-        num_acquires=trace.num_acquires(),
-        num_requests=num_requests,
-        lock_nesting_depth=trace.lock_nesting_depth,
+        num_threads=len(index.thread_order),
+        num_variables=len(index.var_order),
+        num_locks=len(index.lock_order),
+        num_acquires=index.num_acquires,
+        num_requests=index.num_requests,
+        lock_nesting_depth=index.lock_nesting_depth,
     )

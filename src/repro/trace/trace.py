@@ -1,7 +1,9 @@
-"""The :class:`Trace` container and its derived relations.
+"""The :class:`Trace` container: a string-keyed view over columnar data.
 
-A trace owns its event list and lazily computes the standard relations
-of Section 2 of the paper:
+A trace is canonically a :class:`~repro.trace.compiled.CompiledTrace`
+(interned int columns) plus a :class:`~repro.trace.index.TraceIndex`
+(derived relations as int arrays).  ``Trace`` wraps the pair behind the
+classic string-keyed API of Section 2 of the paper:
 
 - thread order ``<=TO`` (via per-thread positions),
 - the reads-from function ``rf`` (last writer per variable),
@@ -9,163 +11,122 @@ of Section 2 of the paper:
 - held-lock sets ``HeldLks(e)`` for every event,
 - lock nesting depth.
 
-All derived maps are computed once, in a single O(N) pass, on first
-access, and cached.
+The view is thin: constructing a ``Trace`` from a compiled trace is
+O(1), derived relations are answered from the index's int columns, and
+``Event`` objects are materialized lazily — only when somebody actually
+iterates or subscripts.  Detector hot paths read the index columns
+directly and never pay for either.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.trace.compiled import CompiledTrace
 from repro.trace.events import Event, Op
+from repro.trace.index import TraceError, TraceIndex
 
-
-class TraceError(Exception):
-    """Raised when a trace violates shared-memory semantics."""
+__all__ = ["Trace", "TraceError", "as_trace"]
 
 
 class Trace:
     """An immutable, analyzed execution trace.
 
     Args:
-        events: the event sequence.  Indices are re-assigned to match
-            list positions so that ``trace[i].idx == i`` always holds.
+        events: the event sequence — a :class:`CompiledTrace` is
+            adopted as-is (O(1)); any other event iterable is compiled.
+            Indices always match positions: ``trace[i].idx == i``.
         name: optional label used in reports and benchmarks.
     """
 
+    __slots__ = ("_compiled", "_index", "_events", "name",
+                 "_threads", "_locks", "_vars", "_held_names")
+
     def __init__(self, events: Iterable[Event], name: str = "trace") -> None:
-        self._events: List[Event] = [
-            ev if ev.idx == i else Event(i, ev.thread, ev.op, ev.target, ev.loc)
-            for i, ev in enumerate(events)
-        ]
+        if isinstance(events, CompiledTrace):
+            self._compiled = events
+        else:
+            compiled = CompiledTrace(name)
+            for ev in events:
+                compiled.append(ev.thread, ev.op, ev.target, ev.loc)
+            self._compiled = compiled
         self.name = name
-        self._analyzed = False
-        # Derived maps, filled by _analyze().
-        self._threads: List[str] = []
-        self._locks: List[str] = []
-        self._vars: List[str] = []
-        self._rf: Dict[int, Optional[int]] = {}
-        self._match: Dict[int, int] = {}
-        self._held: List[Tuple[str, ...]] = []
-        self._to_pos: Dict[int, Tuple[str, int]] = {}
-        self._by_thread: Dict[str, List[int]] = {}
-        self._acquires_of: Dict[str, List[int]] = {}
+        self._index: Optional[TraceIndex] = None
+        self._events: Optional[List[Event]] = None
+        self._threads: Optional[List[str]] = None
+        self._locks: Optional[List[str]] = None
+        self._vars: Optional[List[str]] = None
+        self._held_names: dict = {}
+
+    # -- columnar access ----------------------------------------------------
+
+    @property
+    def compiled(self) -> CompiledTrace:
+        """The underlying interned columnar representation."""
+        return self._compiled
+
+    @property
+    def index(self) -> TraceIndex:
+        """Derived relations as int columns (computed once, cached)."""
+        if self._index is None:
+            self._index = TraceIndex(self._compiled)
+        return self._index
 
     # -- basic sequence protocol ------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._compiled)
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._events)
+        return iter(self.events)
 
     def __getitem__(self, idx: int) -> Event:
-        return self._events[idx]
+        return self.events[idx]
 
     @property
     def events(self) -> Sequence[Event]:
+        """The materialized event list (built lazily, cached)."""
+        if self._events is None:
+            self._events = list(self._compiled)
         return self._events
-
-    # -- analysis -----------------------------------------------------------
-
-    def _analyze(self) -> None:
-        """Single forward pass computing all derived relations."""
-        if self._analyzed:
-            return
-        threads: List[str] = []
-        locks: List[str] = []
-        variables: List[str] = []
-        seen_threads: Set[str] = set()
-        seen_locks: Set[str] = set()
-        seen_vars: Set[str] = set()
-
-        last_write: Dict[str, int] = {}
-        open_acq: Dict[Tuple[str, str], List[int]] = {}
-        held_stack: Dict[str, List[str]] = {}
-        thread_len: Dict[str, int] = {}
-
-        for ev in self._events:
-            t = ev.thread
-            if t not in seen_threads:
-                seen_threads.add(t)
-                threads.append(t)
-                held_stack[t] = []
-                thread_len[t] = 0
-                self._by_thread[t] = []
-            self._to_pos[ev.idx] = (t, thread_len[t])
-            thread_len[t] += 1
-            self._by_thread[t].append(ev.idx)
-            self._held.append(tuple(held_stack[t]))
-
-            if ev.is_access:
-                if ev.target not in seen_vars:
-                    seen_vars.add(ev.target)
-                    variables.append(ev.target)
-                if ev.is_read:
-                    self._rf[ev.idx] = last_write.get(ev.target)
-                else:
-                    last_write[ev.target] = ev.idx
-            elif ev.op in (Op.ACQUIRE, Op.RELEASE, Op.REQUEST):
-                lk = ev.target
-                if lk not in seen_locks:
-                    seen_locks.add(lk)
-                    locks.append(lk)
-                if ev.is_acquire:
-                    open_acq.setdefault((t, lk), []).append(ev.idx)
-                    held_stack[t].append(lk)
-                    self._acquires_of.setdefault(lk, []).append(ev.idx)
-                elif ev.is_release:
-                    stack = open_acq.get((t, lk))
-                    if not stack:
-                        raise TraceError(
-                            f"release without matching acquire: {ev}"
-                        )
-                    acq_idx = stack.pop()
-                    self._match[acq_idx] = ev.idx
-                    self._match[ev.idx] = acq_idx
-                    # Locks need not be released in LIFO order (hsqldb has
-                    # non-well-nested critical sections), so remove the last
-                    # occurrence rather than popping the top of the stack.
-                    hs = held_stack[t]
-                    for j in range(len(hs) - 1, -1, -1):
-                        if hs[j] == lk:
-                            del hs[j]
-                            break
-                    else:
-                        raise TraceError(f"release of unheld lock: {ev}")
-
-        self._threads = threads
-        self._locks = locks
-        self._vars = variables
-        self._analyzed = True
 
     # -- derived relations ----------------------------------------------------
 
     @property
     def threads(self) -> List[str]:
         """Thread identifiers in order of first appearance."""
-        self._analyze()
+        if self._threads is None:
+            names = self._compiled.threads_tab.names
+            self._threads = [names[t] for t in self.index.thread_order]
         return self._threads
 
     @property
     def locks(self) -> List[str]:
-        self._analyze()
+        if self._locks is None:
+            names = self._compiled.locks_tab.names
+            self._locks = [names[lk] for lk in self.index.lock_order]
         return self._locks
 
     @property
     def variables(self) -> List[str]:
-        self._analyze()
+        if self._vars is None:
+            names = self._compiled.vars_tab.names
+            self._vars = [names[v] for v in self.index.var_order]
         return self._vars
 
     def events_of_thread(self, thread: str) -> List[int]:
         """Indices of the events of ``thread``, in trace order."""
-        self._analyze()
-        return self._by_thread.get(thread, [])
+        tid = self._compiled.threads_tab.get(thread)
+        if tid is None or tid >= len(self.index.events_by_thread):
+            return []
+        return self.index.events_by_thread[tid]
 
     def acquires_of_lock(self, lock: str) -> List[int]:
         """Indices of all acquire events on ``lock``, in trace order."""
-        self._analyze()
-        return self._acquires_of.get(lock, [])
+        lid = self._compiled.locks_tab.get(lock)
+        if lid is None or lid >= len(self.index.acquires_by_lock):
+            return []
+        return self.index.acquires_by_lock[lid]
 
     def rf(self, read_idx: int) -> Optional[int]:
         """Index of the write the read at ``read_idx`` reads from.
@@ -174,55 +135,55 @@ class Trace:
         assumes every read has a preceding write; we tolerate initial
         reads, which then constrain nothing.)
         """
-        self._analyze()
-        ev = self._events[read_idx]
-        if not ev.is_read:
-            raise ValueError(f"rf of non-read event {ev}")
-        return self._rf[read_idx]
+        index = self.index
+        if self._compiled.ops[read_idx] != Op.CODE[Op.READ]:
+            raise ValueError(f"rf of non-read event {self._compiled.event(read_idx)}")
+        w = index.rf[read_idx]
+        return w if w >= 0 else None
 
     def match(self, idx: int) -> Optional[int]:
         """Matching release of an acquire (or vice versa), if present."""
-        self._analyze()
-        return self._match.get(idx)
+        m = self.index.match[idx]
+        return m if m >= 0 else None
 
     def held_locks(self, idx: int) -> Tuple[str, ...]:
         """``HeldLks(e)``: locks held by ``thread(e)`` right before ``e``."""
-        self._analyze()
-        return self._held[idx]
+        index = self.index
+        hid = index.held_id[idx]
+        names = self._held_names.get(hid)
+        if names is None:
+            lock_names = self._compiled.locks_tab.names
+            off = index.held_offsets[hid]
+            names = tuple(
+                lock_names[lk]
+                for lk in index.held_pool[off:off + index.held_lengths[hid]]
+            )
+            self._held_names[hid] = names
+        return names
 
     def thread_order_leq(self, a: int, b: int) -> bool:
         """``a <=TO b``: same thread and ``a`` not after ``b``."""
-        self._analyze()
-        ta, pa = self._to_pos[a]
-        tb, pb = self._to_pos[b]
-        return ta == tb and pa <= pb
+        index = self.index
+        tids = self._compiled.thread_ids
+        return tids[a] == tids[b] and index.thread_pos[a] <= index.thread_pos[b]
 
     def thread_position(self, idx: int) -> Tuple[str, int]:
         """(thread, per-thread position) of the event at ``idx``."""
-        self._analyze()
-        return self._to_pos[idx]
+        pos = self.index.thread_pos[idx]
+        return self._compiled.threads_tab.names[self._compiled.thread_ids[idx]], pos
 
     def thread_predecessor(self, idx: int) -> Optional[int]:
         """Index of the immediately preceding event in the same thread."""
-        self._analyze()
-        t, pos = self._to_pos[idx]
-        if pos == 0:
-            return None
-        return self._by_thread[t][pos - 1]
+        p = self.index.thread_pred[idx]
+        return p if p >= 0 else None
 
     @property
     def lock_nesting_depth(self) -> int:
         """Max ``|HeldLks(e)| + 1`` over acquire events (paper Section 2)."""
-        self._analyze()
-        depth = 0
-        for ev in self._events:
-            if ev.is_acquire:
-                depth = max(depth, len(self._held[ev.idx]) + 1)
-        return depth
+        return self.index.lock_nesting_depth
 
     def num_acquires(self) -> int:
-        self._analyze()
-        return sum(len(v) for v in self._acquires_of.values())
+        return self.index.num_acquires
 
     # -- slicing / projection ---------------------------------------------
 
@@ -231,11 +192,27 @@ class Trace:
 
         Events keep their relative order; indices are renumbered.  This
         is how closure sets are turned into candidate reorderings
-        (Lemma 4.1 in the paper).
+        (Lemma 4.1 in the paper).  The projection happens on the
+        compiled columns — no ``Event`` objects are materialized.
         """
-        wanted = sorted(set(event_indices))
-        evs = [self._events[i] for i in wanted]
-        return Trace(evs, name=name or f"{self.name}|proj")
+        out_name = name or f"{self.name}|proj"
+        return Trace(self._compiled.project(event_indices, name=out_name),
+                     name=out_name)
 
     def __repr__(self) -> str:
-        return f"Trace({self.name!r}, {len(self._events)} events)"
+        return f"Trace({self.name!r}, {len(self._compiled)} events)"
+
+
+def as_trace(trace, name: Optional[str] = None) -> Trace:
+    """Adapt any trace form to a :class:`Trace` view, cheaply.
+
+    A ``Trace`` passes through; a :class:`CompiledTrace` is wrapped in
+    O(1) (no event materialization, unlike the old
+    ``CompiledTrace.to_trace`` round-trip); any other event iterable is
+    compiled.  Every detector entry point funnels through here.
+    """
+    if isinstance(trace, Trace):
+        return trace
+    if isinstance(trace, CompiledTrace):
+        return Trace(trace, name=name or trace.name)
+    return Trace(trace, name=name or getattr(trace, "name", None) or "trace")

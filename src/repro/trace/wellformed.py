@@ -114,15 +114,21 @@ def has_well_nested_locks(trace: Trace) -> bool:
 
     SeqCheck requires well-nested critical sections and fails on
     hsqldb, which is not well-nested (Table 1, "F"); our algorithms do
-    not need this property, but the baseline checks it.
+    not need this property, but the baseline checks it.  Runs over the
+    compiled int columns (one pass, no Event objects).
     """
-    stacks: Dict[str, List[str]] = {}
-    for ev in trace:
-        if ev.is_acquire:
-            stacks.setdefault(ev.thread, []).append(ev.target)
-        elif ev.is_release:
-            stack = stacks.setdefault(ev.thread, [])
-            if not stack or stack[-1] != ev.target:
+    from repro.trace.events import OP_ACQUIRE, OP_RELEASE
+    from repro.trace.trace import as_trace
+
+    ops, tids, targs = as_trace(trace).compiled.columns()
+    stacks: Dict[int, List[int]] = {}
+    for i in range(len(ops)):
+        op = ops[i]
+        if op == OP_ACQUIRE:
+            stacks.setdefault(tids[i], []).append(targs[i])
+        elif op == OP_RELEASE:
+            stack = stacks.setdefault(tids[i], [])
+            if not stack or stack[-1] != targs[i]:
                 return False
             stack.pop()
     return True

@@ -22,7 +22,8 @@ from __future__ import annotations
 from array import array
 from typing import Dict, List, Optional
 
-from repro.trace.trace import Trace
+from repro.trace.events import OP_FORK, OP_JOIN, OP_READ, OP_WRITE
+from repro.trace.trace import Trace, as_trace
 from repro.vc.clock import ThreadUniverse, VectorClock
 
 
@@ -34,7 +35,7 @@ class TRFTimestamps:
     """
 
     def __init__(self, trace: Trace) -> None:
-        self.trace = trace
+        self.trace = trace = as_trace(trace)
         self.universe = ThreadUniverse(trace.threads)
         self._ts: List[VectorClock] = []
         # Per-event epoch of the timestamp: its thread slot and its own
@@ -44,25 +45,40 @@ class TRFTimestamps:
         self._compute()
 
     def _compute(self) -> None:
+        """One pass over the compiled int columns — no Event objects."""
+        trace = self.trace
+        compiled = trace.compiled
+        index = trace.index
+        ops, tids, targs = compiled.columns()
+        rf = index.rf
         n_threads = len(self.universe)
-        clocks: Dict[str, VectorClock] = {
-            t: VectorClock.bottom(n_threads) for t in self.trace.threads
-        }
-        last_write_ts: Dict[str, VectorClock] = {}
         slot_of = self.universe.slot
+        # tid -> slot / clock; only acting threads have clocks (a fork
+        # or join naming a thread that never runs is a no-op).
+        n_tids = len(compiled.threads_tab)
+        tid_slot = array("i", [-1]) * n_tids
+        clocks: List[Optional[VectorClock]] = [None] * n_tids
+        thread_names = compiled.threads_tab.names
+        for tid in index.thread_order:
+            tid_slot[tid] = slot_of(thread_names[tid])
+            clocks[tid] = VectorClock.bottom(n_threads)
+        last_write_ts: List[Optional[VectorClock]] = [None] * len(compiled.vars_tab)
         ts_append = self._ts.append
         slots_append = self._slots.append
         vals_append = self._vals.append
 
-        for ev in self.trace:
-            c = clocks[ev.thread]
-            slot = slot_of(ev.thread)
-            if ev.is_read:
-                w = self.trace.rf(ev.idx)
-                if w is not None:
-                    c.join_with(last_write_ts[ev.target])
-            elif ev.is_join:
-                child_clock = clocks.get(ev.target)
+        for i in range(len(ops)):
+            op = ops[i]
+            tid = tids[i]
+            c = clocks[tid]
+            slot = tid_slot[tid]
+            if op == OP_READ:
+                if rf[i] >= 0:
+                    c.join_with(last_write_ts[targs[i]])
+            elif op == OP_JOIN:
+                # fork/join targets are always interned in threads_tab;
+                # clocks[tid] is None only for never-acting threads.
+                child_clock = clocks[targs[i]]
                 if child_clock is not None:
                     c.join_with(child_clock)
             # Tick after incorporating predecessors so the timestamp is
@@ -72,11 +88,10 @@ class TRFTimestamps:
             ts_append(snapshot)
             slots_append(slot)
             vals_append(c[slot])
-            if ev.is_write:
-                last_write_ts[ev.target] = snapshot
-            elif ev.is_fork:
-                child = ev.target
-                child_clock = clocks.get(child)
+            if op == OP_WRITE:
+                last_write_ts[targs[i]] = snapshot
+            elif op == OP_FORK:
+                child_clock = clocks[targs[i]]
                 if child_clock is not None:
                     child_clock.join_with(snapshot)
 
@@ -104,8 +119,8 @@ class TRFTimestamps:
         the ``C_pred`` value used by the online algorithm (Algorithm 4)
         and by ``pred(S)`` in Lemma 4.2.
         """
-        pred = self.trace.thread_predecessor(event_idx)
-        if pred is None:
+        pred = self.trace.index.thread_pred[event_idx]
+        if pred < 0:
             return VectorClock.bottom(len(self.universe))
         return self._ts[pred]
 

@@ -1,6 +1,5 @@
 """False-negative classification (Section 6.1) and detector comparison."""
 
-import pytest
 
 from repro.analysis.comparison import compare_detectors
 from repro.analysis.false_negatives import (

@@ -1,7 +1,6 @@
 """Baseline algorithms: Goodlock, naive, SeqCheck, Dirk."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.baselines.dirk import dirk
 from repro.baselines.goodlock import goodlock

@@ -1,6 +1,5 @@
 """Sync-preserving closure: Definition 3 laws and Algorithm 1 behavior."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.closure import SPClosureEngine, sp_closure_events

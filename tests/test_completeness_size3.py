@@ -1,6 +1,5 @@
 """Completeness beyond size 2: SPDOffline vs the oracle at size 3."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.patterns import find_concrete_patterns

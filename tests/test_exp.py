@@ -82,6 +82,100 @@ class TestCacheKeying:
         int(v, 16)
 
 
+class TestDetectorScopedVersions:
+    """Cache keys hash each detector's module dependency closure, so a
+    commit touching one detector leaves the others' cells warm."""
+
+    def test_versions_differ_between_detectors(self):
+        from repro.exp.cache import detector_code_version
+        from repro.exp.detectors import detector_names
+
+        versions = {d: detector_code_version(d) for d in detector_names()}
+        # Detectors with disjoint implementations must not share keys
+        # (they may legitimately collide only if identical, which none
+        # of these are).
+        assert versions["fasttrack"] != versions["spd_offline"]
+        assert versions["goodlock"] != versions["undead"]
+        for v in versions.values():
+            int(v, 16)
+
+    def test_closure_tracks_detector_modules_only(self):
+        from repro.exp.cache import dependency_closure
+
+        spd = set(dependency_closure({"repro.core.spd_offline"}))
+        ft = set(dependency_closure({"repro.hb.fasttrack"}))
+        # SPDOffline needs its phase-1/phase-2 machinery...
+        assert {"repro.core.alg", "repro.core.closure",
+                "repro.locks.history", "repro.vc.timestamps"} <= spd
+        # ...but not the race detector, and vice versa.
+        assert "repro.hb.fasttrack" not in spd
+        assert "repro.core.spd_offline" not in ft
+
+    def test_cell_key_uses_detector_scope(self):
+        from repro.exp.cache import detector_code_version
+        from repro.exp.runner import CellTask
+
+        task = CellTask(index=0, trace=corpus_source("sigma2"),
+                        trace_digest="d" * 64,
+                        detector=DetectorSpec(name="fasttrack"),
+                        timeout=None, repeats=1)
+        expected = cell_key("d" * 64, "fasttrack", {}, None, 1,
+                            version=detector_code_version("fasttrack"))
+        assert task.key() == expected
+        # Whole-package fallback would produce a different key.
+        assert task.key() != cell_key("d" * 64, "fasttrack", {}, None, 1)
+
+    def test_unknown_detector_falls_back_to_package_digest(self):
+        from repro.exp.cache import detector_code_version
+
+        assert detector_code_version("no-such-detector") == code_version()
+
+    def test_scaffold_digest_covers_helpers_not_sibling_adapters(self, tmp_path, monkeypatch):
+        """Editing a shared module-level helper (e.g. ``_bug_list``)
+        must change the scaffold digest; editing another adapter's body
+        must not — that is exactly the granularity the cache promises."""
+        import sys
+
+        from repro.exp.cache import _registry_scaffold_digest
+
+        template = '''\
+def register(name):
+    def deco(fn):
+        return fn
+    return deco
+
+
+def _helper(x):
+    return {helper_body!r}
+
+
+@register("a")
+def _a(trace, config):
+    return {a_body!r}
+
+
+@register("b")
+def _b(trace, config):
+    return {b_body!r}
+'''
+        monkeypatch.syspath_prepend(str(tmp_path))
+
+        def digest(helper_body, a_body, b_body, modname):
+            (tmp_path / f"{modname}.py").write_text(
+                template.format(helper_body=helper_body, a_body=a_body,
+                                b_body=b_body))
+            try:
+                return _registry_scaffold_digest(modname)
+            finally:
+                sys.modules.pop(modname, None)
+
+        base = digest("h1", "a1", "b1", "scaffold_mod1")
+        # Editing adapter bodies leaves the scaffold unchanged...
+        assert digest("h1", "a2", "b2", "scaffold_mod2") == base
+        # ...editing the shared helper does not.
+        assert digest("h2", "a1", "b1", "scaffold_mod3") != base
+
+
 class TestResultCache:
     def test_roundtrip(self, tmp_path):
         cache = ResultCache(str(tmp_path))

@@ -1,6 +1,5 @@
 """Verdict explanations: provenance chains behind closures."""
 
-import pytest
 
 from repro.analysis.explain import explain_pattern, _provenance_closure
 from repro.core.closure import sp_closure_events

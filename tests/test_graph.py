@@ -1,6 +1,5 @@
 """Graph utilities: digraph, SCC, Johnson cycle enumeration."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph.digraph import DiGraph

@@ -1,11 +1,10 @@
 """The Section 3 reductions, validated in both directions."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.patterns import find_concrete_patterns, is_deadlock_pattern
+from repro.core.patterns import find_concrete_patterns
 from repro.hardness.independent_set import (
     has_independent_set,
     independent_set_to_trace,
@@ -163,7 +162,6 @@ class TestRaceReduction:
     def test_witness_equivalence(self):
         """Theorem 3.3 direction: the race trace has a predictable race
         on the fresh writes iff the deadlock was predictable."""
-        from repro.reorder.exhaustive import ExhaustivePredictor
         from repro.synth.paper import sigma1, sigma2
 
         # sigma2's deadlock is predictable -> writes co-enabled.

@@ -1,6 +1,5 @@
 """Happens-Before substrate: clocks, races, and the deadlock filter."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.races import is_sp_race, sp_races

@@ -6,7 +6,6 @@ prediction, the race detector, the audit, and cross-check coherence
 between the layers.
 """
 
-import pytest
 
 from repro import (
     check_well_formed,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.closure import SPClosureEngine
 from repro.locks.history import CSHistories
-from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
 from repro.trace.builder import TraceBuilder
 from repro.vc.clock import VectorClock
 from repro.vc.timestamps import TRFTimestamps
@@ -21,11 +20,17 @@ def two_cs_trace():
     )
 
 
+def lock_id(trace, name):
+    """CSHistories keys critical sections by interned lock id."""
+    return trace.compiled.locks_tab.get(name)
+
+
 class TestCSHistories:
     def test_entries_carry_release_timestamps(self, two_cs_trace):
         ts = TRFTimestamps(two_cs_trace)
         hist = CSHistories(two_cs_trace, ts)
-        join = hist.advance_lock("l", ts.of(5))  # everything inside
+        lid = lock_id(two_cs_trace, "l")
+        join = hist.advance_lock(lid, ts.of(5))  # everything inside
         # Both acquires are inside; earlier CS (t1's) must close; its
         # release timestamp is already ⊑ the query clock, so no growth.
         assert join is None
@@ -36,7 +41,7 @@ class TestCSHistories:
         # Clock covering both acquires but not t1's release: join of
         # acq timestamps.
         clock = ts.of(0).join(ts.of(3))
-        join = hist.advance_lock("l", clock)
+        join = hist.advance_lock(lock_id(two_cs_trace, "l"), clock)
         assert join is not None
         assert ts.of(2).leq(join)  # t1's release must enter
 
@@ -44,25 +49,26 @@ class TestCSHistories:
         t = TraceBuilder().acq("t1", "l").write("t1", "x").build()
         ts = TRFTimestamps(t)
         hist = CSHistories(t, ts)
-        assert hist.advance_lock("l", ts.of(1)) is None
+        assert hist.advance_lock(lock_id(t, "l"), ts.of(1)) is None
 
     def test_cursor_persistence(self, two_cs_trace):
         """Cursors never rewind within a run; reset() restores them."""
         ts = TRFTimestamps(two_cs_trace)
         hist = CSHistories(two_cs_trace, ts)
+        lid = lock_id(two_cs_trace, "l")
         small = ts.of(0)
-        hist.advance_lock("l", small)
+        hist.advance_lock(lid, small)
         # Larger query later sees the same (persisted) last entries.
         big = ts.of(0).join(ts.of(3))
-        join = hist.advance_lock("l", big)
+        join = hist.advance_lock(lid, big)
         assert join is not None
         hist.reset()
-        assert hist.advance_lock("l", small) is None  # one acquire only
+        assert hist.advance_lock(lid, small) is None  # one acquire only
 
     def test_locks_listing(self, two_cs_trace):
         ts = TRFTimestamps(two_cs_trace)
         hist = CSHistories(two_cs_trace, ts)
-        assert hist.locks == ["l"]
+        assert hist.locks == [lock_id(two_cs_trace, "l")]
 
 
 class TestEngineMembers:

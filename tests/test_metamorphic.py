@@ -5,7 +5,6 @@ to random traces and checks the detector's verdict moves accordingly —
 a second, independent line of defense beyond the oracle comparisons.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.spd_offline import spd_offline

@@ -6,7 +6,6 @@ the Appendix C incomparability examples (Fig. 5/6).
 Event numbering is 0-based (paper's e(i+1) is trace[i]).
 """
 
-import pytest
 
 from repro.core.alg import abstract_deadlock_patterns, build_abstract_lock_graph
 from repro.core.closure import sp_closure_events

@@ -1,6 +1,5 @@
 """Trace profiling (lock contention / thread breakdowns)."""
 
-import pytest
 
 from repro.synth.paper import sigma2, sigma3
 from repro.synth.suite import SUITE_BY_NAME, build_benchmark

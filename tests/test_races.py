@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.races import is_sp_race, sp_races
-from repro.core.spd_offline import spd_offline
 from repro.hardness.race_reduction import deadlock_to_race_trace
 from repro.reorder.exhaustive import ExhaustivePredictor
 from repro.synth.paper import sigma1, sigma2

@@ -1,7 +1,6 @@
 """Correct-reordering validation, witnesses, and the exhaustive oracle."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.reorder.check import (
     enabled_events,

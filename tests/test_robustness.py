@@ -12,7 +12,6 @@ Two harnesses:
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.races import sp_races

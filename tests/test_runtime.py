@@ -4,7 +4,7 @@ import pytest
 
 from repro.runtime.fuzzer import DeadlockFuzzer
 from repro.runtime.monitor import monitored_campaign, run_with_monitor
-from repro.runtime.program import Acquire, Program, Release, VarWrite
+from repro.runtime.program import Program, VarWrite
 from repro.runtime.programs import (
     dining_program,
     inverse_order_program,

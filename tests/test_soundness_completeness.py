@@ -15,7 +15,6 @@ On random small traces:
 
 import itertools
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.patterns import find_concrete_patterns

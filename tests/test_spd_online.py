@@ -1,6 +1,5 @@
 """SPDOnline-specific behavior: streaming, incrementality, fork/join."""
 
-import pytest
 
 from repro.core.spd_online import SPDOnline, spd_online
 from repro.core.spd_offline import spd_offline

@@ -1,18 +1,17 @@
 """Trace transforms, DOT export, and witness replay."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.spd_offline import spd_offline
 from repro.graph.dot import alg_to_dot, lock_order_to_dot
-from repro.runtime.programs import inverse_order_program, transfer_program
+from repro.runtime.programs import inverse_order_program
 from repro.runtime.replay import (
     ScriptedScheduler,
     predict_and_replay,
     replay_witness,
     schedule_to_script,
 )
-from repro.runtime.scheduler import RandomScheduler, run_program
+from repro.runtime.scheduler import run_program
 from repro.synth.paper import sigma2, sigma3
 from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
 from repro.trace.builder import TraceBuilder

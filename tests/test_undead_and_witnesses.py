@@ -1,6 +1,5 @@
 """UNDEAD baseline and witness attachment."""
 
-import pytest
 
 from repro.baselines.undead import undead
 from repro.core.spd_offline import spd_offline
