@@ -1,0 +1,178 @@
+"""Shard-and-merge scaling benchmark: 1M events, multi-context.
+
+Builds a deterministic 1M-event trace with several independent lock
+contexts (disjoint thread/lock groups), heavy thread-local noise
+(unobserved writes, initial reads, thread-local lock traffic — exactly
+what the causality spine drops), reads-from handoff chains that force
+full linear phase-2 pointer walks, and a couple of genuine
+sync-preserving deadlocks per group.
+
+Asserts the ISSUE-4 acceptance bar — ``spd_offline_sharded`` at
+``-j 4`` is >= 1.5x faster than the serial engine — and records the
+measurement to ``BENCH_shard.json`` at the repo root, alongside
+``BENCH_spd.json``.  Outputs are compared bit-for-bit between the two
+engines on every run.
+
+**Machine-relative floor**: wall-clock speedup depends on core count
+(needs >= 4 usable cores) and process start-up cost.  Set
+``REPRO_BENCH_SKIP_PERF=1`` (CI does, via ``scripts/ci.sh``) to skip
+the timing assertion and the ``BENCH_shard.json`` rewrite while still
+checking shard/serial bit-identity on a scaled-down trace.
+
+Run with ``pytest benchmarks/test_shard_speedup.py`` (tier-1
+``testpaths`` excludes benchmarks by default).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.spd_offline import spd_offline
+from repro.exp.shard import spd_offline_sharded, split_trace
+from repro.trace.compiled import CompiledTrace
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_shard.json")
+
+#: sized so the full build lands within a hair of 1M events.
+FULL_GROUPS, FULL_ROUNDS = 6, 2150
+#: scaled-down variant for the REPRO_BENCH_SKIP_PERF=1 (CI) path.
+SMALL_GROUPS, SMALL_ROUNDS = 3, 60
+
+JOBS = 4
+MIN_SPEEDUP = 1.5
+
+
+def build_multi_context_trace(groups: int, rounds: int,
+                              name: str = "shard-bench") -> CompiledTrace:
+    """A deterministic trace with independent lock contexts per group.
+
+    Each group has two causally independent parts:
+
+    - three *walker* threads running nested shared-lock sections in
+      conflicting orders, chained by reads-from handoffs (t1 observes
+      t0's marker, t2 observes t1's, t0 observes t2's previous round).
+      The chain totally orders the sections, so every conflicting pair
+      is an abstract pattern whose phase-2 check must walk — and
+      reject — all ~``rounds`` instantiations: the linear-time workload
+      the shards parallelize.  Thread-local lock traffic, initial
+      reads, and unobserved writes pad each round with spine-droppable
+      noise.
+    - two *fuel* threads taking locks ``M0``/``M1`` in opposite orders
+      during the first rounds with no ordering between them: a genuine
+      sync-preserving deadlock per group, so the identity check
+      compares non-trivial reports.
+    """
+    ct = CompiledTrace(name)
+    app = ct.append
+    # conflicting nested section orders per walker: three 2-cycles
+    # (t0:L0->L1 vs t1:L1->L0, t0:L1->L2 vs t2:L2->L1,
+    #  t1:L2->L0 vs t2:L0->L2), all visible under max_size=2.
+    orders = [[(0, 1), (1, 2)], [(1, 0), (2, 0)], [(2, 1), (0, 2)]]
+    for r in range(rounds):
+        for g in range(groups):
+            if r < 2:
+                # deadlock fuel: opposite lock orders, no rf chain.
+                for d, (x, y) in ((0, (0, 1)), (1, (1, 0))):
+                    t = f"g{g}d{d}"
+                    app(t, "acq", f"g{g}M{x}", loc=f"G{g}.java:{90 + d}")
+                    app(t, "acq", f"g{g}M{y}", loc=f"G{g}.java:{92 + d}")
+                    app(t, "rel", f"g{g}M{y}")
+                    app(t, "rel", f"g{g}M{x}")
+            for i in range(3):
+                t = f"g{g}t{i}"
+                # handoff read: observe the previous walker's marker
+                # (t0 reads t2's previous-round marker) — the rf chain
+                # that orders every pair of conflicting sections.
+                if r > 0 or i > 0:
+                    app(t, "r", f"g{g}h{(i - 1) % 3}")
+                for a, b in orders[i]:
+                    app(t, "acq", f"g{g}L{a}", loc=f"G{g}.java:{10 * i + a}")
+                    app(t, "acq", f"g{g}L{b}", loc=f"G{g}.java:{10 * i + b}")
+                    app(t, "rel", f"g{g}L{b}")
+                    app(t, "rel", f"g{g}L{a}")
+                # thread-local lock traffic: dropped by the spine.
+                for _ in range(2):
+                    app(t, "acq", f"g{g}local{i}")
+                    app(t, "w", f"g{g}scratch{i}")
+                    app(t, "rel", f"g{g}local{i}")
+                # rf-free noise (dropped): initial reads + unobserved
+                # writes, the bulk of a realistic trace's traffic.
+                for _ in range(5):
+                    app(t, "r", f"g{g}never_written{i}")
+                    app(t, "w", f"g{g}scratch{i}")
+                # marker write for the next handoff in the chain.
+                app(t, "w", f"g{g}h{i}")
+    return ct
+
+
+def result_key(res):
+    return (res.num_cycles, res.num_abstract_patterns,
+            res.num_concrete_patterns,
+            [(r.pattern.events, r.locations) for r in res.reports])
+
+
+def test_sharded_bit_identical_and_speedup():
+    skip_perf = os.environ.get("REPRO_BENCH_SKIP_PERF") == "1"
+    groups, rounds = (SMALL_GROUPS, SMALL_ROUNDS) if skip_perf else (
+        FULL_GROUPS, FULL_ROUNDS)
+    trace = build_multi_context_trace(groups, rounds).to_trace()
+    num_events = len(trace)
+    if not skip_perf:
+        assert num_events >= 1_000_000, num_events
+
+    plan = split_trace(trace, jobs=JOBS)
+    assert plan.num_contexts == 2 * groups, "walker + fuel context per group"
+    assert plan.num_components == 2 * groups
+    spine_fraction = sum(len(s) for s in plan.spines.values()) / num_events
+    assert spine_fraction < 0.5, (
+        "noise-heavy workload must shrink substantially: per-worker "
+        f"memory is bounded by the spine, got {spine_fraction:.0%}"
+    )
+
+    t0 = time.perf_counter()
+    serial = spd_offline(trace, max_size=2)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = spd_offline_sharded(trace, max_size=2, jobs=JOBS)
+    sharded_s = time.perf_counter() - t0
+
+    assert result_key(serial) == result_key(sharded)
+    assert serial.num_deadlocks > 0, "workload must report real deadlocks"
+
+    if skip_perf:
+        import pytest
+
+        pytest.skip("REPRO_BENCH_SKIP_PERF=1: bit-identity verified on the "
+                    "scaled-down trace, wall-clock floor skipped")
+
+    speedup = serial_s / sharded_s
+    payload = {
+        "description": "spd_offline vs spd_offline_sharded (-j 4) on a "
+                       "1M-event multi-context trace "
+                       "(see benchmarks/test_shard_speedup.py)",
+        "num_events": num_events,
+        "num_contexts": plan.num_contexts,
+        "num_components": plan.num_components,
+        "spine_events": sum(len(s) for s in plan.spines.values()),
+        "spine_fraction": round(spine_fraction, 4),
+        "jobs": JOBS,
+        "serial_s": round(serial_s, 3),
+        "sharded_s": round(sharded_s, 3),
+        "speedup": round(speedup, 2),
+        "outputs": {
+            "deadlocks": serial.num_deadlocks,
+            "cycles": serial.num_cycles,
+            "abstract_patterns": serial.num_abstract_patterns,
+        },
+    }
+    with open(BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"sharded -j{JOBS} is only {speedup:.2f}x over serial "
+        f"({sharded_s:.1f}s vs {serial_s:.1f}s); need >= {MIN_SPEEDUP}x"
+    )

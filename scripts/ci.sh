@@ -22,8 +22,23 @@ else
 fi
 
 echo "== tier-1 tests (includes the property-equivalence suite:"
-echo "   tests/test_perf_equivalence.py + tests/test_trace_index.py) =="
+echo "   tests/test_perf_equivalence.py + tests/test_trace_index.py, and"
+echo "   the quick shard-differential slice: tests/test_shard_differential.py) =="
 python -m pytest -x -q
 
 echo "== perf smoke (floors skipped) =="
-python -m pytest -q benchmarks/test_perf_regression.py
+python -m pytest -q benchmarks/test_perf_regression.py benchmarks/test_shard_speedup.py
+
+# Nightly-style long fuzz loop: opt in with e.g. REPRO_FUZZ_ITERS=5000
+# (the quick ~200-config slice above always runs as part of tier-1).
+# Non-numeric values (a mistyped workflow_dispatch input) are ignored
+# rather than tripping set -e on the integer comparison.
+case "${REPRO_FUZZ_ITERS:-0}" in
+    ''|*[!0-9]*)
+        echo "ignoring non-numeric REPRO_FUZZ_ITERS=${REPRO_FUZZ_ITERS:-}" ;;
+    0)
+        : ;;
+    *)
+        echo "== shard-differential fuzz loop (REPRO_FUZZ_ITERS=${REPRO_FUZZ_ITERS}) =="
+        python -m pytest -q -m fuzz tests/test_shard_differential.py ;;
+esac

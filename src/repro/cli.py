@@ -86,11 +86,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                       f"{r.second_event} (locations {r.locations[0]} / "
                       f"{r.locations[1]})")
         return 0 if result.num_reports == 0 else 1
-    result = spd_offline(trace, max_size=args.max_size)
+    if args.shard:
+        from repro.exp.shard import ShardError, spd_offline_sharded
+
+        try:
+            result = spd_offline_sharded(trace, max_size=args.max_size,
+                                         jobs=args.jobs)
+        except ShardError as exc:
+            print(f"shard cell failed: {exc}", file=sys.stderr)
+            return 2
+    else:
+        result = spd_offline(trace, max_size=args.max_size)
     if args.json:
         print(json.dumps({
             "trace": trace.name,
-            "mode": "offline",
+            "mode": "offline-sharded" if args.shard else "offline",
             "cycles": result.num_cycles,
             "abstract_patterns": result.num_abstract_patterns,
             "concrete_patterns": result.num_concrete_patterns,
@@ -252,7 +262,11 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     out_dir = args.out or os.path.join("bench_runs", campaign.name)
     os.makedirs(out_dir, exist_ok=True)
     cache = None if args.no_cache else ResultCache(os.path.join(out_dir, "cache"))
-    if args.jobs <= 1 or args.runner == "inline":
+    if args.shard_contexts:
+        from repro.exp.shard import ShardedCampaignRunner
+
+        runner = ShardedCampaignRunner(jobs=args.jobs)
+    elif args.jobs <= 1 or args.runner == "inline":
         runner = InlineRunner()
     else:
         runner = ProcessPoolRunner(jobs=args.jobs)
@@ -336,6 +350,11 @@ def build_parser() -> argparse.ArgumentParser:
     mode.add_argument("--online", action="store_true", help="use SPDOnline (streaming, size 2)")
     mode.add_argument("--window", type=_window_size, default=None, metavar="N",
                       help="bounded-memory mode: overlapping windows of N events")
+    mode.add_argument("--shard", action="store_true",
+                      help="split into per-lock-context shards and analyze "
+                           "across -j worker processes (bit-identical output)")
+    p_an.add_argument("-j", "--jobs", type=int, default=2,
+                      help="worker processes for --shard (default 2)")
     p_an.add_argument("--max-size", type=int, default=None, help="cap deadlock size")
     p_an.add_argument("--overlap", type=_overlap_fraction, default=0.5,
                       help="window overlap fraction in [0, 1) "
@@ -402,6 +421,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_brun.add_argument("--runner", choices=["process", "inline"],
                         default="process",
                         help="force the serial runner even with -j > 1")
+    p_brun.add_argument("--shard-contexts", action="store_true",
+                        help="split spd_offline cells into per-lock-context "
+                             "shards over the worker pool (bit-identical "
+                             "results; run.json diffs clean vs unsharded)")
     p_brun.add_argument("--out", default=None,
                         help="output directory (default bench_runs/<name>)")
     p_brun.add_argument("--no-cache", action="store_true",

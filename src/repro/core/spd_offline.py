@@ -38,14 +38,30 @@ def check_abstract_pattern(
 
     Returns the first sync-preserving concrete instantiation of
     ``abstract``, or ``None`` when the abstract pattern contains no
-    sync-preserving deadlock.  The engine must be freshly
-    :meth:`~repro.core.closure.SPClosureEngine.reset` — cursor state is
-    shared within a single check only.
+    sync-preserving deadlock.
+    """
+    events = check_pattern_sequences(
+        engine, tuple(a.events for a in abstract.acquires)
+    )
+    return DeadlockPattern(events) if events is not None else None
+
+
+def check_pattern_sequences(
+    engine: SPClosureEngine,
+    sequences: Tuple[Tuple[int, ...], ...],
+) -> Optional[Tuple[int, ...]]:
+    """Algorithm 2 on raw acquire-event sequences (one per pattern node).
+
+    The event-index core of :func:`check_abstract_pattern`, shared with
+    the sharded pipeline (``repro.exp.shard``), where workers check
+    patterns against spine-local event indices rather than
+    :class:`AbstractDeadlockPattern` objects.  Returns the first
+    sync-preserving instantiation (one event per sequence, in sequence
+    order), or ``None``.  The engine is reset on entry — cursor state
+    is shared within a single check only.
     """
     engine.reset()
-    trace = engine.trace
     ts = engine.timestamps
-    sequences: Tuple[Tuple[int, ...], ...] = tuple(a.events for a in abstract.acquires)
     k = len(sequences)
     pointers = [0] * k
     t_clock = VectorClock.bottom(len(ts.universe))
@@ -59,7 +75,7 @@ def check_abstract_pattern(
             t_clock.join_with(ts.pred_timestamp(idx))
         t_clock = engine.compute(t_clock)
         if all(not leq_clock(e, t_clock) for e in current):
-            return DeadlockPattern(tuple(current))
+            return tuple(current)
         # Corollary 4.5: skip every instantiation whose events are
         # already inside the closure — they can never succeed.
         for j in range(k):

@@ -32,6 +32,28 @@ from repro.exp.campaign import (
 from repro.exp.runner import CellResult, CellTask, InlineRunner, ProcessPoolRunner, RunResult
 from repro.exp.report import diff_runs, render_markdown, run_to_json
 
+#: lazily re-exported from repro.exp.shard (PEP 562): shard.py imports
+#: the whole analysis engine at module level, and eagerly pulling it in
+#: here would slow every ProcessPoolRunner worker spawn — the rest of
+#: this package defers heavy imports the same way.
+_SHARD_EXPORTS = frozenset({
+    "ShardError",
+    "ShardPlan",
+    "ShardedCampaignRunner",
+    "merge_shard_outputs",
+    "spd_offline_sharded",
+    "split_trace",
+})
+
+
+def __getattr__(name):
+    if name in _SHARD_EXPORTS:
+        from repro.exp import shard
+
+        return getattr(shard, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Campaign",
     "CampaignError",
@@ -42,11 +64,17 @@ __all__ = [
     "ProcessPoolRunner",
     "ResultCache",
     "RunResult",
+    "ShardError",
+    "ShardPlan",
+    "ShardedCampaignRunner",
     "TraceSource",
     "cell_key",
     "code_version",
     "diff_runs",
     "load_campaign",
+    "merge_shard_outputs",
     "render_markdown",
     "run_to_json",
+    "spd_offline_sharded",
+    "split_trace",
 ]

@@ -34,7 +34,7 @@ import threading
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exp.cache import ResultCache, cell_key, detector_code_version
 from repro.exp.campaign import Campaign, DetectorSpec, TraceSource
@@ -236,6 +236,18 @@ class _BaseRunner:
             progress: Optional[Callable[[CellResult], None]] = None) -> RunResult:
         start = time.perf_counter()
         tasks = campaign.cells()
+        ordered, hits = self.run_tasks(tasks, cache=cache, progress=progress)
+        return RunResult(campaign=campaign, results=ordered,
+                         elapsed=time.perf_counter() - start, cache_hits=hits)
+
+    def run_tasks(self, tasks: List[CellTask],
+                  cache: Optional[ResultCache] = None,
+                  progress: Optional[Callable[[CellResult], None]] = None,
+                  ) -> Tuple[List[CellResult], int]:
+        """Run a bare task list (cache-aware); returns ``(results in
+        task order, cache hits)``.  The seam the sharded campaign
+        runner (:mod:`repro.exp.shard`) uses to mix shard cells and
+        ordinary cells over one pool."""
         results: Dict[int, CellResult] = {}
         misses: List[CellTask] = []
         keys: Dict[int, str] = {}
@@ -263,9 +275,7 @@ class _BaseRunner:
             if cache is not None and res.status in _CACHEABLE:
                 cache.put(keys[res.index], res.to_json())
 
-        ordered = [results[t.index] for t in tasks]
-        return RunResult(campaign=campaign, results=ordered,
-                         elapsed=time.perf_counter() - start, cache_hits=hits)
+        return [results[t.index] for t in tasks], hits
 
     def _run_tasks(self, tasks: List[CellTask],
                    progress: Optional[Callable[[CellResult], None]]):

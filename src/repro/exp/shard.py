@@ -1,0 +1,516 @@
+"""Shard-and-merge SPDOffline: split a trace into per-context shards,
+fan them across worker processes, merge cell outputs bit-identically.
+
+The paper's analyses are linear-time and per-context independent: every
+simple cycle of the abstract lock graph lives inside one weakly
+connected component ("lock context"), and every abstract-pattern check
+(Algorithm 2) runs against a fresh closure engine.  This module turns
+that independence into a scale-out pipeline on top of the PR-2
+machinery:
+
+- **split** (:func:`split_trace`): one pass builds the ALG in interned
+  form, partitions its nodes into contexts, groups threads into
+  *causally independent components*
+  (:func:`repro.trace.shard.causality_components` — connected via
+  shared locks, reads-from edges, or fork/join; closures provably
+  never cross them), and projects each component onto its own
+  *causality spine* — fork/join edges, rf pairs, and shared-lock
+  critical sections; thread-local lock traffic, requests, initial
+  reads, and unobserved writes are dropped.  Each shard is one
+  component's event columns; per-worker memory is bounded by the
+  largest component's spine, not the trace.
+- **map** (:class:`~repro.exp.runner.ProcessPoolRunner` over
+  ``_spd_shard`` cells): each component's contexts are balanced into
+  at most ``jobs`` cells — the ALG subgraphs travel in the cell
+  config, the sub-spine travels by path — with the usual per-cell
+  wall-clock timeouts, crash isolation, and content-addressed caching
+  (spine digest × contexts × code version).
+- **reduce** (:func:`merge_shard_outputs`): per-context cycle counts
+  and pattern verdicts are merged back into one
+  :class:`~repro.core.spd_offline.SPDOfflineResult`.  Cycles are
+  enumerated per component with globally-ascending starts, so sorting
+  pattern records by ``(start node, per-component sequence)``
+  reproduces the serial engine's exact enumeration — and therefore
+  report — order.  Event indices come back in original-trace
+  coordinates.
+
+``tests/test_shard_differential.py`` pins bit-identity of the whole
+pipeline against the serial engine on the corpus and hundreds of
+randomized traces, serial and ``-j 2``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.alg import (
+    alg_components,
+    build_alg_ids,
+    cycle_is_abstract_pattern,
+    enumerate_subgraph_cycles,
+)
+from repro.core.closure import SPClosureEngine
+from repro.core.patterns import (
+    AbstractDeadlockPattern,
+    DeadlockPattern,
+    DeadlockReport,
+)
+from repro.core.spd_offline import SPDOfflineResult, check_pattern_sequences
+from repro.exp.cache import ResultCache, cell_key, detector_code_version
+from repro.exp.campaign import Campaign, DetectorSpec, TraceSource
+from repro.exp.runner import (
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CellResult,
+    InlineRunner,
+    ProcessPoolRunner,
+    RunResult,
+)
+from repro.locks.abstract import AbstractAcquire, AbstractAcquireIds
+from repro.trace.shard import (
+    Spine,
+    build_component_spines,
+    causality_components,
+    save_spine,
+    spine_masks,
+)
+from repro.trace.trace import Trace, as_trace
+
+#: detector registry names the sharded campaign runner reroutes.
+SHARDABLE_DETECTORS = ("spd_offline",)
+
+
+class ShardError(RuntimeError):
+    """A shard cell failed (crash or timeout); carries the cell results."""
+
+    def __init__(self, message: str, results: Sequence[CellResult] = ()) -> None:
+        super().__init__(message)
+        self.results = list(results)
+
+    @property
+    def timed_out(self) -> bool:
+        return any(r.status == STATUS_TIMEOUT for r in self.results)
+
+
+# -- split --------------------------------------------------------------------
+
+
+@dataclass
+class ShardPlan:
+    """Everything the map/reduce phases need for one trace.
+
+    ``spines`` maps causality-component label -> that component's
+    sub-spine.  ``cells`` are JSON-able shard configs, each bound to
+    one component: ``{"component": c, "contexts": [...]}`` where every
+    context carries its ALG subgraph — ``nodes`` as ``[global id,
+    thread id, lock id, held lock ids (sorted), event indices]`` rows
+    in ascending global-id order (full-trace held sets, so the
+    worker's pattern filter matches the serial engine's) and ``edges``
+    as local index pairs.
+    """
+
+    trace: Trace
+    spines: Dict[int, Spine]
+    cells: List[Dict]
+    num_alg_nodes: int
+    num_contexts: int
+
+    @property
+    def num_components(self) -> int:
+        return len(self.spines)
+
+
+def _context_weight(ctx: Dict) -> int:
+    return sum(len(row[4]) for row in ctx["nodes"])
+
+
+def _balanced_bins(contexts: List[Dict], bins: int) -> List[List[Dict]]:
+    """Greedy weight balancing of one component's contexts into at most
+    ``bins`` cells (deterministic; bin/contents order is stable)."""
+    if bins <= 1 or len(contexts) <= 1:
+        return [contexts]
+    order = sorted(range(len(contexts)),
+                   key=lambda i: (-_context_weight(contexts[i]), i))
+    loads = [0] * min(bins, len(contexts))
+    packed: List[List[int]] = [[] for _ in loads]
+    for i in order:
+        b = loads.index(min(loads))
+        packed[b].append(i)
+        loads[b] += _context_weight(contexts[i]) + 1
+    return [[contexts[i] for i in sorted(group)] for group in packed if group]
+
+
+def split_trace(trace, jobs: Optional[int] = None) -> ShardPlan:
+    """The streaming splitter: trace -> per-component spines + contexts.
+
+    With ``jobs`` given, each component's contexts are balanced into at
+    most ``jobs`` cells (one closure engine per cell); without it,
+    every context gets its own cell.
+    """
+    trace = as_trace(trace)
+    acquires, graph = build_alg_ids(trace)
+    adjacency = graph.adjacency()
+    masks = spine_masks(trace.index)
+    thread_comp = causality_components(trace.index, shared=masks[0])
+    by_comp: Dict[int, List[Dict]] = {}
+    num_contexts = 0
+    for comp in alg_components(graph):
+        local = {g: i for i, g in enumerate(comp)}
+        edges = sorted(
+            (local[g], local[j]) for g in comp for j in adjacency[g]
+        )
+        nodes = [
+            [g, acquires[g].thread, acquires[g].lock,
+             sorted(acquires[g].held), list(acquires[g].events)]
+            for g in comp
+        ]
+        # Every context lives inside exactly one causality component:
+        # adjacent ALG nodes share a lock, and sharing a lock connects
+        # the threads.
+        label = thread_comp[acquires[comp[0]].thread]
+        by_comp.setdefault(label, []).append(
+            {"nodes": nodes, "edges": [list(e) for e in edges]}
+        )
+        num_contexts += 1
+    cells: List[Dict] = []
+    for label in sorted(by_comp):
+        groups = (_balanced_bins(by_comp[label], jobs) if jobs
+                  else [[ctx] for ctx in by_comp[label]])
+        for group in groups:
+            cells.append({"component": label, "contexts": group})
+    spines = build_component_spines(trace.index, thread_comp, set(by_comp),
+                                    masks=masks)
+    return ShardPlan(
+        trace=trace,
+        spines=spines,
+        cells=cells,
+        num_alg_nodes=graph.num_nodes,
+        num_contexts=num_contexts,
+    )
+
+
+# -- map (worker side) --------------------------------------------------------
+
+
+def run_shard(spine: Spine, config: Dict) -> Dict:
+    """Execute one shard cell against its component sub-spine.
+
+    For each context in the cell, phase 1 enumerates the ALG
+    subgraph's simple cycles in the serial engine's canonical order
+    and filters abstract patterns; phase 2 checks every pattern with
+    one shared closure engine over the sub-spine (reset per check,
+    exactly like the serial engine).  Returns a JSON-able record; all
+    event indices are translated back to original-trace coordinates.
+    """
+    compiled = spine.compiled
+    trace = compiled.to_trace()
+    from_orig = spine.from_orig()
+    to_orig = spine.to_orig
+    max_size = config.get("max_size")
+
+    engine: Optional[SPClosureEngine] = None
+    contexts_out: List[Dict] = []
+    total_witnessed = 0
+    for ctx in config["contexts"]:
+        rows = ctx["nodes"]
+        gids = [row[0] for row in rows]
+        nodes = [
+            AbstractAcquireIds(thread=row[1], lock=row[2],
+                               held=frozenset(row[3]), events=tuple(row[4]))
+            for row in rows
+        ]
+        edges = [tuple(e) for e in ctx["edges"]]
+
+        num_cycles = 0
+        patterns: List[Dict] = []
+        for cycle in enumerate_subgraph_cycles(len(nodes), edges,
+                                               max_length=max_size):
+            num_cycles += 1
+            if not cycle_is_abstract_pattern([nodes[i] for i in cycle]):
+                continue
+            named = tuple(nodes[i].to_named(compiled) for i in cycle)
+            abstract = AbstractDeadlockPattern(named).canonical()
+            if engine is None:
+                engine = SPClosureEngine(trace)
+            sequences = tuple(
+                tuple(from_orig[e] for e in a.events)
+                for a in abstract.acquires
+            )
+            witness = check_pattern_sequences(engine, sequences)
+            if witness is not None:
+                total_witnessed += 1
+            patterns.append({
+                "start": gids[cycle[0]],
+                "nodes": [
+                    {"thread": a.thread, "lock": a.lock,
+                     "held": sorted(a.held), "events": list(a.events)}
+                    for a in abstract.acquires
+                ],
+                "witness": [to_orig[e] for e in witness]
+                if witness is not None else None,
+            })
+        contexts_out.append({"num_cycles": num_cycles, "patterns": patterns})
+    return {"primary": total_witnessed, "contexts": contexts_out}
+
+
+# -- reduce -------------------------------------------------------------------
+
+
+def merge_shard_outputs(trace, outputs: Sequence[Dict]) -> SPDOfflineResult:
+    """Merge shard cell outputs into one canonical result.
+
+    Pattern records are sorted by ``(cycle start node, per-context
+    sequence)``.  Johnson's enumeration visits start nodes in globally
+    ascending order and every start is unique to one context, so this
+    merge is exactly the serial enumeration order — reports come out
+    cell-for-cell identical to :func:`~repro.core.spd_offline.spd_offline`.
+    """
+    trace = as_trace(trace)
+    contexts = [ctx for out in outputs for ctx in out["contexts"]]
+    result = SPDOfflineResult(
+        num_cycles=sum(c["num_cycles"] for c in contexts)
+    )
+    records: List[Tuple[int, int, Dict]] = []
+    for ctx in contexts:
+        for seq, rec in enumerate(ctx["patterns"]):
+            records.append((rec["start"], seq, rec))
+    records.sort(key=lambda r: (r[0], r[1]))
+    for _, _, rec in records:
+        abstract = AbstractDeadlockPattern(tuple(
+            AbstractAcquire(thread=n["thread"], lock=n["lock"],
+                            held=frozenset(n["held"]), events=tuple(n["events"]))
+            for n in rec["nodes"]
+        ))
+        result.num_abstract_patterns += 1
+        result.num_concrete_patterns += abstract.num_concrete
+        if rec["witness"] is not None:
+            pattern = DeadlockPattern(tuple(rec["witness"]))
+            result.reports.append(
+                DeadlockReport.from_pattern(trace, pattern, abstract)
+            )
+    return result
+
+
+# -- the whole pipeline -------------------------------------------------------
+
+
+def spd_offline_sharded(
+    trace,
+    max_size: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    jobs: int = 2,
+    runner=None,
+    cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    with_witnesses: bool = False,
+    progress: Optional[Callable[[CellResult], None]] = None,
+) -> SPDOfflineResult:
+    """Sharded Algorithm 3: bit-identical to :func:`spd_offline`.
+
+    Args:
+        trace: the input trace (any form :func:`as_trace` accepts).
+        max_size: optional cap on deadlock size, as in the serial engine.
+        max_cycles: unsupported — it caps the *global* enumeration
+            prefix, which per-context workers cannot see; raises
+            :class:`ShardError` when set.
+        jobs: worker processes (1 = in-process, still shard-by-shard).
+        runner: override the runner (e.g. a shared pool); defaults to
+            :class:`ProcessPoolRunner` for ``jobs > 1``.
+        cache: optional result cache; shard cells are keyed by spine
+            digest × context config × code version, so an unchanged
+            trace re-analyzes for free.
+        timeout: per-shard wall-clock budget in seconds.
+        with_witnesses: attach Lemma 4.1 witness schedules, as in the
+            serial engine.
+        progress: per-shard-cell callback (``repro bench`` progress).
+    """
+    if max_cycles is not None:
+        raise ShardError(
+            "max_cycles caps the global cycle-enumeration prefix and "
+            "cannot be distributed; use the serial spd_offline for it"
+        )
+    trace = as_trace(trace)
+    start = time.perf_counter()
+    plan = split_trace(trace, jobs=jobs)
+    if not plan.cells:
+        result = SPDOfflineResult()
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-shard-") as tmp:
+            sources = []
+            source_name = {}
+            for comp in sorted(plan.spines):
+                path = os.path.join(tmp, f"spine{comp}.bin")
+                save_spine(plan.spines[comp], path)
+                name = f"comp{comp}"
+                source_name[comp] = name
+                sources.append(TraceSource(kind="spine", name=name, path=path))
+            # Each cell binds to its component's sub-spine via `only`.
+            campaign = Campaign(
+                name=f"{trace.name}-shards",
+                traces=sources,
+                detectors=[
+                    DetectorSpec(
+                        name="_spd_shard", id=f"shard{k}",
+                        config={"max_size": max_size,
+                                "contexts": cell["contexts"]},
+                        only=[source_name[cell["component"]]],
+                    )
+                    for k, cell in enumerate(plan.cells)
+                ],
+                default_timeout=timeout,
+                include_stats=False,
+            )
+            if runner is None:
+                runner = (ProcessPoolRunner(jobs=jobs) if jobs > 1
+                          else InlineRunner())
+            run = runner.run(campaign, cache=cache, progress=progress)
+        bad = [r for r in run.results if r.status != STATUS_OK]
+        if bad:
+            raise ShardError(
+                "; ".join(f"{r.detector_id}: {r.status}" for r in bad),
+                results=run.results,
+            )
+        result = merge_shard_outputs(trace, [r.output for r in run.results])
+    if with_witnesses:
+        from repro.reorder.witness import witness_for_pattern
+
+        for report in result.reports:
+            schedule, ok = witness_for_pattern(trace, report.pattern.events)
+            assert ok, "sound reports always admit a witness"
+            result.witnesses[report.pattern.events] = schedule
+    result.elapsed = time.perf_counter() - start
+    return result
+
+
+# -- campaign integration (repro bench run --shard-contexts) ------------------
+
+
+class ShardedCampaignRunner:
+    """Campaign runner that reroutes ``spd_offline`` cells through the
+    shard-and-merge pipeline (``repro bench run --shard-contexts``).
+
+    Every other cell runs through the wrapped pool unchanged.  A
+    rerouted cell produces the *same output record* as its serial
+    counterpart — ``bench diff`` between a sharded and an unsharded
+    run is clean — and *reads* the serial cell's cache key, so results
+    a plain run computed are reused.  Results computed *by the shard
+    pipeline* are written under a key additionally versioned by the
+    pipeline's own code closure (via ``_spd_shard``): an edit to the
+    shard code invalidates them instead of leaving a stale record
+    under the serial engine's version.  Shard sub-cells additionally
+    cache under their own spine-digest keys.  The cell's ``timeout``
+    becomes the per-shard
+    budget; ``repeats`` is ignored for rerouted cells (one pipeline
+    wall-clock is recorded).  Cells with ``max_cycles`` set stay on the
+    serial path — the cap is global and cannot be distributed.
+    """
+
+    def __init__(self, jobs: int = 2,
+                 detectors: Sequence[str] = SHARDABLE_DETECTORS) -> None:
+        self.jobs = jobs
+        self.pool = ProcessPoolRunner(jobs=jobs) if jobs > 1 else InlineRunner()
+        self.detectors = tuple(detectors)
+
+    def _shardable(self, task) -> bool:
+        return (task.detector.name in self.detectors
+                and task.detector.config.get("max_cycles") is None)
+
+    @staticmethod
+    def _sharded_key(task) -> str:
+        """Write-side cache key: the serial cell payload, versioned by
+        both the serial detector's code closure and the shard
+        pipeline's (``_spd_shard`` covers exp/shard.py, trace/shard.py,
+        and everything they import)."""
+        import hashlib
+
+        version = hashlib.sha256(
+            f"{detector_code_version(task.detector.name)}"
+            f"+{detector_code_version('_spd_shard')}".encode()
+        ).hexdigest()[:16]
+        return cell_key(task.trace_digest, task.detector.name,
+                        task.detector.config, task.timeout, task.repeats,
+                        version=version)
+
+    def run(self, campaign: Campaign, cache: Optional[ResultCache] = None,
+            progress: Optional[Callable[[CellResult], None]] = None) -> RunResult:
+        start = time.perf_counter()
+        tasks = campaign.cells()
+        plain = [t for t in tasks if not self._shardable(t)]
+        results: Dict[int, CellResult] = {}
+        ordered_plain, hits = self.pool.run_tasks(plain, cache=cache,
+                                                  progress=progress)
+        for res in ordered_plain:
+            results[res.index] = res
+        for task in tasks:
+            if task.index in results:
+                continue
+            res = self._run_sharded_cell(task, cache, progress)
+            if res.cached:
+                hits += 1
+            results[task.index] = res
+            if progress is not None:
+                progress(res)
+        ordered = [results[t.index] for t in tasks]
+        return RunResult(campaign=campaign, results=ordered,
+                         elapsed=time.perf_counter() - start, cache_hits=hits)
+
+    def _run_sharded_cell(self, task, cache: Optional[ResultCache],
+                          progress) -> CellResult:
+        from repro.exp.detectors import spd_offline_record
+
+        base = dict(
+            index=task.index,
+            trace_name=task.trace.name,
+            trace_digest=task.trace_digest,
+            detector_name=task.detector.name,
+            detector_id=task.detector.id,
+            config=task.detector.config,
+        )
+        shard_key = self._sharded_key(task)
+        if cache is not None:
+            # Serve a serial run's record when one exists — but only an
+            # ``ok`` one: the bit-identity argument covers outputs, not
+            # timeouts, and a cell the serial engine timed out on is
+            # exactly the one the per-shard budget might let finish.
+            rec = cache.get(task.key())
+            if rec is not None and rec.get("status") != STATUS_OK:
+                rec = None
+            if rec is None:
+                rec = cache.get(shard_key)
+            if rec is not None:
+                hit = CellResult.from_json(task.index, rec, cached=True)
+                hit.trace_name = task.trace.name
+                hit.detector_name = task.detector.name
+                hit.detector_id = task.detector.id
+                return hit
+        t0 = time.perf_counter()
+        try:
+            trace = task.trace.load()
+            num_events = len(trace)
+            res = spd_offline_sharded(
+                trace,
+                max_size=task.detector.config.get("max_size"),
+                jobs=self.jobs,
+                runner=self.pool,
+                cache=cache,
+                timeout=task.timeout,
+                progress=progress,
+            )
+        except ShardError as exc:
+            status = STATUS_TIMEOUT if exc.timed_out else "error"
+            return CellResult(status=status, error=str(exc), **base)
+        except Exception:
+            import traceback
+
+            return CellResult(status="error",
+                              error=traceback.format_exc(limit=20), **base)
+        cell = CellResult(status=STATUS_OK, output=spd_offline_record(res),
+                          num_events=num_events,
+                          times=[time.perf_counter() - t0], **base)
+        if cache is not None:
+            cache.put(shard_key, cell.to_json())
+        return cell

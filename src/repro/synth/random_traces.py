@@ -32,6 +32,11 @@ class RandomTraceConfig:
         max_nesting: cap on per-thread held-lock count.
         fork_join: emit fork events for non-main threads and join them
             from the main thread at the end.
+        release_any_prob: chance a release step frees a *random* held
+            lock instead of the most recently acquired one, producing
+            non-well-nested critical sections (hsqldb-style).  ``0.0``
+            (the default) keeps the classic LIFO discipline and the
+            exact event stream older seeds produced.
         seed: PRNG seed (generation is fully deterministic).
     """
 
@@ -44,6 +49,7 @@ class RandomTraceConfig:
     write_prob: float = 0.5
     max_nesting: int = 3
     fork_join: bool = False
+    release_any_prob: float = 0.0
     seed: int = 0
 
 
@@ -76,7 +82,13 @@ def generate_random_trace(config: RandomTraceConfig) -> Trace:
                 held[t].append(lk)
                 continue
         if roll < config.acquire_prob + config.release_prob and held[t]:
-            lk = held[t].pop()
+            # Guard the extra rng draw so release_any_prob == 0.0
+            # replays older seeds' event streams byte-for-byte.
+            if (config.release_any_prob > 0.0
+                    and rng.random() < config.release_any_prob):
+                lk = held[t].pop(rng.randrange(len(held[t])))
+            else:
+                lk = held[t].pop()
             b.rel(t, lk)
             lock_free[lk] = True
             continue

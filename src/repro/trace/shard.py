@@ -1,0 +1,326 @@
+"""Trace splitting for the shard-and-merge pipeline: the causality spine.
+
+The per-context SPD analyses (``repro.exp.shard``) fan out over worker
+processes, and every worker needs enough of the trace to compute
+sync-preserving closures *bit-identically* to the serial engine.  The
+closure (Algorithm 1) is a global fix-point: it can pull in the
+matching release of **any** lock acquired by two closure threads and
+follow **any** reads-from edge, so a shard cannot restrict itself to
+one lock context's events.  What every shard shares instead is the
+**causality spine** — the provably sufficient projection of the trace:
+
+- all fork/join events (the cross-thread spawn/join edges);
+- all acquire/release events of *shared* locks (acquired by >= 2
+  threads) — thread-local locks never contribute a closure join,
+  because Algorithm 1's lock rule needs acquires from two distinct
+  threads;
+- every read that observes a write, together with the writes observed
+  by at least one read (the reads-from edges).  Initial reads and
+  never-observed writes add no cross-thread ordering.
+- ``request`` events are dropped entirely (they only tick positions).
+
+Every cross-thread TRF edge (rf, fork, join) has both endpoints in the
+spine, and thread order survives projection, so ``<=TRF`` restricted to
+spine events — and therefore every closure computation whose joined
+timestamps and membership tests touch only spine events — is exactly
+the full trace's.  Abstract deadlock-pattern events are acquires of
+shared locks, so phase 2 runs entirely inside the spine.  The
+differential suite (``tests/test_shard_differential.py``) pins this
+equivalence on hundreds of randomized traces.
+
+Intern tables are serialized whole, so thread/lock/variable **ids in a
+reloaded spine are identical to the original trace's** — only event
+indices are renumbered, and :attr:`Spine.to_orig` maps them back.
+
+On real traces most events are memory accesses and thread-local lock
+traffic, so the spine is typically a small fraction of the input — this
+is what bounds per-worker memory on huge traces.
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+from typing import Dict, List, Optional
+
+from repro.trace.compiled import CompiledTrace
+from repro.trace.events import (
+    OP_ACQUIRE,
+    OP_FORK,
+    OP_JOIN,
+    OP_READ,
+    OP_RELEASE,
+    OP_WRITE,
+)
+from repro.trace.index import TraceIndex
+
+
+class Spine:
+    """A causality-spine projection of one trace.
+
+    Attributes:
+        compiled: the projected events as a :class:`CompiledTrace`
+            (intern tables shared with / identical to the original).
+        to_orig: spine event index -> original event index (``array``).
+        orig_len: event count of the original trace.
+    """
+
+    __slots__ = ("compiled", "to_orig", "orig_len", "_from_orig")
+
+    def __init__(self, compiled: CompiledTrace, to_orig: array,
+                 orig_len: int) -> None:
+        self.compiled = compiled
+        self.to_orig = to_orig
+        self.orig_len = orig_len
+        self._from_orig: Optional[Dict[int, int]] = None
+
+    def __len__(self) -> int:
+        return len(self.compiled)
+
+    @property
+    def name(self) -> str:
+        return self.compiled.name
+
+    def from_orig(self) -> Dict[int, int]:
+        """original event index -> spine event index (built lazily)."""
+        if self._from_orig is None:
+            self._from_orig = {o: s for s, o in enumerate(self.to_orig)}
+        return self._from_orig
+
+
+def shared_lock_ids(index: TraceIndex) -> List[int]:
+    """Lock ids acquired by at least two distinct threads."""
+    tids = index.compiled.thread_ids
+    out: List[int] = []
+    for lid, acquires in enumerate(index.acquires_by_lock):
+        owner = -1
+        for i in acquires:
+            t = tids[i]
+            if owner < 0:
+                owner = t
+            elif t != owner:
+                out.append(lid)
+                break
+    return out
+
+
+def spine_masks(index: TraceIndex):
+    """``(shared lock mask, observed write mask)`` — the two marking
+    passes behind the spine keep rules, computed once and shared by
+    :func:`causality_components` / :func:`build_component_spines`."""
+    compiled = index.compiled
+    ops = compiled.ops
+    rf = index.rf
+    shared = bytearray(len(compiled.locks_tab))
+    for lid in shared_lock_ids(index):
+        shared[lid] = 1
+    observed = bytearray(len(ops))
+    for i in range(len(ops)):
+        if ops[i] == OP_READ and rf[i] >= 0:
+            observed[rf[i]] = 1
+    return shared, observed
+
+
+def build_spine(index: TraceIndex) -> Spine:
+    """Project a trace onto its causality spine (see module docstring).
+
+    The single-component case of :func:`build_component_spines` — one
+    definition of the keep rules serves both.  Intern tables are
+    shared by reference; ``locs`` are remapped for the kept events.
+    """
+    comp_of_thread = [0] * len(index.compiled.threads_tab)
+    spine = build_component_spines(index, comp_of_thread, {0})[0]
+    spine.compiled.name = f"{index.compiled.name}|spine"
+    return spine
+
+
+# -- causally independent components ------------------------------------------
+
+
+def causality_components(index: TraceIndex,
+                         shared: Optional[bytearray] = None) -> List[int]:
+    """Thread id -> component label (the min thread id of the component).
+
+    Two threads are causally connected when any cross-thread edge of
+    the analysis can relate their events: they acquire a common shared
+    lock (Algorithm 1's lock rule), a reads-from edge links them, or
+    one forks/joins the other.  Closure computations provably never
+    leave a component — a joined release belongs to a lock whose
+    acquires are already inside the closure, and every TRF edge stays
+    inside — so each component's shard can carry *only its own
+    threads'* spine events and still reproduce the serial engine bit
+    for bit.  This is what bounds per-worker memory: a worker holds one
+    component's sub-spine, not the whole trace.
+    """
+    compiled = index.compiled
+    ops, tids, targs = compiled.columns()
+    rf = index.rf
+    n_threads = len(compiled.threads_tab)
+    parent = list(range(n_threads))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            # Root at the smaller id so labels are deterministic.
+            if ra < rb:
+                parent[rb] = ra
+            else:
+                parent[ra] = rb
+
+    shared_ids = ([lid for lid, s in enumerate(shared) if s]
+                  if shared is not None else shared_lock_ids(index))
+    for lid in shared_ids:
+        acquires = index.acquires_by_lock[lid]
+        first = tids[acquires[0]]
+        for i in acquires[1:]:
+            union(first, tids[i])
+    for i in range(len(ops)):
+        op = ops[i]
+        if op == OP_READ:
+            if rf[i] >= 0:
+                union(tids[i], tids[rf[i]])
+        elif op == OP_FORK or op == OP_JOIN:
+            union(tids[i], targs[i])
+    return [find(t) for t in range(n_threads)]
+
+
+def build_component_spines(index: TraceIndex, thread_comp: List[int],
+                           wanted, masks=None) -> Dict[int, Spine]:
+    """Per-component causality spines (see :func:`causality_components`).
+
+    Routes each spine-kept event to its thread's component bucket; only
+    components in ``wanted`` (those owning at least one lock context)
+    are materialized — the rest of the trace is irrelevant to every
+    shard.  This is the one definition of the keep rules (the module
+    docstring's spine invariant); :func:`build_spine` is the
+    single-component special case.  Pass ``masks`` (from
+    :func:`spine_masks`) to reuse already-computed marking passes.
+    """
+    compiled = index.compiled
+    ops, tids, targs = compiled.columns()
+    n = len(ops)
+    rf = index.rf
+    shared, observed = masks if masks is not None else spine_masks(index)
+    wanted = set(wanted)
+    out: Dict[int, Spine] = {}
+    for comp in wanted:
+        ct = CompiledTrace.__new__(CompiledTrace)
+        ct.name = f"{compiled.name}|spine{comp}"
+        ct.ops = array("b")
+        ct.thread_ids = array("i")
+        ct.target_ids = array("i")
+        ct.locs = {}
+        ct.threads_tab = compiled.threads_tab
+        ct.locks_tab = compiled.locks_tab
+        ct.vars_tab = compiled.vars_tab
+        out[comp] = Spine(ct, array("i"), n)
+
+    locs = compiled.locs
+    for i in range(n):
+        op = ops[i]
+        if op == OP_READ:
+            keep = rf[i] >= 0
+        elif op == OP_WRITE:
+            keep = bool(observed[i])
+        elif op == OP_ACQUIRE or op == OP_RELEASE:
+            keep = bool(shared[targs[i]])
+        else:
+            keep = op == OP_FORK or op == OP_JOIN
+        if not keep:
+            continue
+        spine = out.get(thread_comp[tids[i]])
+        if spine is None:
+            continue
+        ct = spine.compiled
+        idx = len(ct.ops)
+        ct.ops.append(op)
+        ct.thread_ids.append(tids[i])
+        ct.target_ids.append(targs[i])
+        loc = locs.get(i)
+        if loc is not None:
+            ct.locs[idx] = loc
+        spine.to_orig.append(i)
+    return out
+
+
+# -- spine (de)serialization --------------------------------------------------
+
+#: format marker for :func:`save_spine` files.
+_MAGIC = "repro-spine-v1"
+
+
+def save_spine(spine: Spine, path: str) -> None:
+    """Write a spine to ``path`` in a compact, deterministic binary form.
+
+    Layout: one JSON header line (format marker, name, intern-table
+    names, sparse locations, column byte lengths) followed by the raw
+    bytes of the ops / thread-id / target-id / to-orig columns.  The
+    encoding is canonical for a given spine, so the file's content
+    digest is stable across runs — the shard result cache keys on it.
+    """
+    compiled = spine.compiled
+    ops_b = compiled.ops.tobytes()
+    tid_b = compiled.thread_ids.tobytes()
+    targ_b = compiled.target_ids.tobytes()
+    map_b = spine.to_orig.tobytes()
+    header = {
+        "format": _MAGIC,
+        "name": compiled.name,
+        "num_events": len(compiled),
+        "orig_len": spine.orig_len,
+        "threads": compiled.threads_tab.names,
+        "locks": compiled.locks_tab.names,
+        "vars": compiled.vars_tab.names,
+        "locs": {str(k): v for k, v in sorted(compiled.locs.items())},
+        "ops_bytes": len(ops_b),
+        "int_itemsize": array("i").itemsize,
+    }
+    with open(path, "wb") as fh:
+        fh.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+        fh.write(b"\n")
+        fh.write(ops_b)
+        fh.write(tid_b)
+        fh.write(targ_b)
+        fh.write(map_b)
+
+
+def load_spine(path: str) -> Spine:
+    """Load a spine written by :func:`save_spine` (worker-side)."""
+    with open(path, "rb") as fh:
+        header_line = fh.readline()
+        blob = fh.read()
+    header = json.loads(header_line.decode("utf-8"))
+    if header.get("format") != _MAGIC:
+        raise ValueError(f"{path}: not a {_MAGIC} file")
+    if header["int_itemsize"] != array("i").itemsize:
+        raise ValueError(
+            f"{path}: written with int itemsize {header['int_itemsize']}, "
+            f"this platform uses {array('i').itemsize}"
+        )
+    n = header["num_events"]
+    ops_len = header["ops_bytes"]
+    int_len = n * header["int_itemsize"]
+
+    compiled = CompiledTrace(header["name"])
+    for name in header["threads"]:
+        compiled.threads_tab.intern(name)
+    for name in header["locks"]:
+        compiled.locks_tab.intern(name)
+    for name in header["vars"]:
+        compiled.vars_tab.intern(name)
+    compiled.ops.frombytes(blob[:ops_len])
+    off = ops_len
+    compiled.thread_ids.frombytes(blob[off:off + int_len])
+    off += int_len
+    compiled.target_ids.frombytes(blob[off:off + int_len])
+    off += int_len
+    to_orig = array("i")
+    to_orig.frombytes(blob[off:off + int_len])
+    compiled.locs = {int(k): v for k, v in header["locs"].items()}
+    return Spine(compiled, to_orig, header["orig_len"])
