@@ -21,13 +21,15 @@ else
     echo "ruff not installed; skipping lint (CI installs it)"
 fi
 
-echo "== tier-1 tests (includes the property-equivalence suite:"
-echo "   tests/test_perf_equivalence.py + tests/test_trace_index.py, and"
-echo "   the quick shard-differential slice: tests/test_shard_differential.py) =="
+echo "== tier-1 tests (includes the property-equivalence suites:"
+echo "   tests/test_perf_equivalence.py + tests/test_trace_index.py, the"
+echo "   quick shard-differential slice: tests/test_shard_differential.py,"
+echo "   and the streaming-session slice: tests/test_stream.py) =="
 python -m pytest -x -q
 
-echo "== perf smoke (floors skipped) =="
-python -m pytest -q benchmarks/test_perf_regression.py benchmarks/test_shard_speedup.py
+echo "== perf smoke (floors skipped) + bounded-memory ceiling =="
+python -m pytest -q benchmarks/test_perf_regression.py \
+    benchmarks/test_shard_speedup.py benchmarks/test_stream_memory.py
 
 # Nightly-style long fuzz loop: opt in with e.g. REPRO_FUZZ_ITERS=5000
 # (the quick ~200-config slice above always runs as part of tier-1).
@@ -39,6 +41,6 @@ case "${REPRO_FUZZ_ITERS:-0}" in
     0)
         : ;;
     *)
-        echo "== shard-differential fuzz loop (REPRO_FUZZ_ITERS=${REPRO_FUZZ_ITERS}) =="
-        python -m pytest -q -m fuzz tests/test_shard_differential.py ;;
+        echo "== shard-differential + streaming fuzz loops (REPRO_FUZZ_ITERS=${REPRO_FUZZ_ITERS}) =="
+        python -m pytest -q -m fuzz tests/test_shard_differential.py tests/test_stream.py ;;
 esac

@@ -32,9 +32,105 @@ from repro.trace.parser import format_trace, load_trace
 from repro.trace.stats import compute_stats
 
 
+def _print_windowed(args: argparse.Namespace, name: str, result) -> int:
+    import json
+
+    if args.json:
+        print(json.dumps({
+            "trace": name,
+            "mode": "windowed",
+            "window": args.window,
+            "overlap": args.overlap,
+            "max_memory_events": args.max_memory_events,
+            "windows": result.windows,
+            "deadlocks": [
+                {"events": list(r.pattern.events),
+                 "locations": list(r.locations)}
+                for r in result.reports
+            ],
+            "elapsed_s": result.elapsed,
+        }, indent=2))
+    else:
+        bound = (f", bounded at {args.max_memory_events} events"
+                 if args.max_memory_events else "")
+        print(f"{name}: {result.num_deadlocks} sync-preserving "
+              f"deadlock(s) [windowed, {result.windows} window(s) of "
+              f"{args.window}{bound}] in {result.elapsed:.3f}s")
+        for r in result.reports:
+            evs = ", ".join(f"e{i}" for i in r.pattern.events)
+            print(f"  deadlock pattern <{evs}> at {' / '.join(r.locations)}")
+    return 0 if result.num_deadlocks == 0 else 1
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     import json
 
+    if args.max_memory_events is not None:
+        if args.max_memory_events < 1:
+            print("--max-memory-events must be >= 1", file=sys.stderr)
+            return 2
+        if not args.stream and args.window is None:
+            print("--max-memory-events requires --stream or --window "
+                  "(the batch modes are unbounded by design)",
+                  file=sys.stderr)
+            return 2
+    if args.stream:
+        from repro.core.spd_online import SPDOnline
+        from repro.stream import StreamSession
+
+        session = StreamSession(name=args.trace,
+                                max_memory_events=args.max_memory_events)
+        detector = SPDOnline(max_memory_events=args.max_memory_events)
+        session.attach(detector)
+        import time as _time
+
+        started = _time.perf_counter()
+        session.feed_file(args.trace)
+        session.close()
+        elapsed = _time.perf_counter() - started
+        stats = detector.stats()
+        if args.json:
+            print(json.dumps({
+                "trace": args.trace,
+                "mode": "stream",
+                "max_memory_events": args.max_memory_events,
+                "events": stats["events"],
+                "evictions": stats["evictions"],
+                "tracked_entries": stats["tracked_entries"],
+                "deadlocks": [
+                    {"events": [r.first_event, r.second_event],
+                     "locations": list(r.locations)}
+                    for r in detector.reports
+                ],
+                "elapsed_s": elapsed,
+            }, indent=2))
+        else:
+            bound = (f", bounded at {args.max_memory_events} events, "
+                     f"{stats['evictions']} eviction sweep(s)"
+                     if args.max_memory_events else "")
+            print(f"{args.trace}: {len(detector.reports)} sync-preserving "
+                  f"deadlock report(s) [streaming, size 2, "
+                  f"{stats['events']} events{bound}] in {elapsed:.3f}s")
+            for r in detector.reports:
+                print(f"  deadlock between events {r.first_event} and "
+                      f"{r.second_event} (locations {r.locations[0]} / "
+                      f"{r.locations[1]})")
+        return 0 if not detector.reports else 1
+    if args.window is not None and args.max_memory_events:
+        # Bounded-memory windowed streaming: the file is parsed
+        # incrementally and the session evicts everything older than
+        # the open window — reports match the batch windowed engine.
+        from repro.stream import StreamSession, WindowedSessionClient
+
+        session = StreamSession(name=args.trace,
+                                max_memory_events=args.max_memory_events)
+        client = WindowedSessionClient(session, window=args.window,
+                                       overlap=args.overlap,
+                                       max_size=args.max_size)
+        session.feed_file(args.trace)
+        session.close()
+        result = client.result
+        return _print_windowed(args, args.trace, result)
     trace = load_trace(args.trace)
     if args.window is not None:
         from repro.core.windowed import spd_offline_windowed
@@ -43,28 +139,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             trace, window=args.window, overlap=args.overlap,
             max_size=args.max_size,
         )
-        if args.json:
-            print(json.dumps({
-                "trace": trace.name,
-                "mode": "windowed",
-                "window": args.window,
-                "overlap": args.overlap,
-                "windows": result.windows,
-                "deadlocks": [
-                    {"events": list(r.pattern.events),
-                     "locations": list(r.locations)}
-                    for r in result.reports
-                ],
-                "elapsed_s": result.elapsed,
-            }, indent=2))
-        else:
-            print(f"{trace.name}: {result.num_deadlocks} sync-preserving "
-                  f"deadlock(s) [windowed, {result.windows} window(s) of "
-                  f"{args.window}] in {result.elapsed:.3f}s")
-            for r in result.reports:
-                evs = ", ".join(f"e{i}" for i in r.pattern.events)
-                print(f"  deadlock pattern <{evs}> at {' / '.join(r.locations)}")
-        return 0 if result.num_deadlocks == 0 else 1
+        return _print_windowed(args, trace.name, result)
     if args.online:
         result = spd_online(trace)
         if args.json:
@@ -348,6 +423,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("trace", help="trace file (STD text format)")
     mode = p_an.add_mutually_exclusive_group()
     mode.add_argument("--online", action="store_true", help="use SPDOnline (streaming, size 2)")
+    mode.add_argument("--stream", action="store_true",
+                      help="streaming session mode: parse the file "
+                           "incrementally and run SPDOnline through "
+                           "repro.stream (same reports as --online; "
+                           "combine with --max-memory-events for bounded "
+                           "memory on huge traces)")
     mode.add_argument("--window", type=_window_size, default=None, metavar="N",
                       help="bounded-memory mode: overlapping windows of N events")
     mode.add_argument("--shard", action="store_true",
@@ -359,6 +440,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--overlap", type=_overlap_fraction, default=0.5,
                       help="window overlap fraction in [0, 1) "
                            "(with --window; default 0.5)")
+    p_an.add_argument("--max-memory-events", type=int, default=None, metavar="M",
+                      help="bounded-memory eviction horizon: with --stream, "
+                           "evict detector state older than M events (sound, "
+                           "may miss); with --window, stream the file and "
+                           "evict session columns behind the open window")
     p_an.add_argument("--json", action="store_true", help="machine-readable output")
     p_an.set_defaults(func=_cmd_analyze)
 

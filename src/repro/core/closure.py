@@ -30,34 +30,103 @@ class SPClosureEngine:
     timestamps — history cursors persist across calls, which is exactly
     the Proposition 4.4 reuse that makes Algorithm 2 linear overall.
     Call :meth:`reset` between independent abstract-pattern checks.
+
+    The fix-point is worklist-driven, mirroring the streaming engine's
+    dirty-lock scheme: after the first pass of a check, a lock is
+    re-examined only when the closure clock grew in a slot of a thread
+    holding critical sections on it (``CSHistories.locks_of_slot``),
+    instead of re-scanning every lock each round.
     """
 
     def __init__(self, trace: Trace, timestamps: TRFTimestamps | None = None) -> None:
         self.trace = trace = as_trace(trace)
         self.timestamps = timestamps or TRFTimestamps(trace)
         self.histories = CSHistories(trace, self.timestamps)
+        self._locks = self.histories.locks  # static once built
+        # The monotone clock of the current check (aliased with what
+        # compute() returned) and its value snapshot at the end of the
+        # last compute — the diff tells which slots the caller grew.
+        self._clock: VectorClock | None = None
+        self._last_vals: tuple = ()
 
     def reset(self) -> None:
         self.histories.reset()
+        self._clock = None
+        self._last_vals = ()
 
     def compute(self, t0: VectorClock) -> VectorClock:
         """Run Algorithm 1 starting from timestamp ``t0``.
 
         Returns the (possibly aliased, mutated) fix-point timestamp of
-        ``SPClosure({e | TS(e) ⊑ t0})``.
+        ``SPClosure({e | TS(e) ⊑ t0})``.  Across calls of one check the
+        seeds must be monotone (they are: callers join into the
+        returned clock), which lets the worklist start from only the
+        slots that grew since the previous fix-point.
         """
-        t_clock = t0.copy()
         histories = self.histories
-        locks = histories.locks  # static for a built trace; snapshot once
         advance = histories.advance_lock
-        changed = True
-        while changed:
-            changed = False
-            for lock in locks:
-                join = advance(lock, t_clock)
-                if join is not None and t_clock.join_with(join):
-                    changed = True
+        locks_of_slot = histories.locks_of_slot
+        if self._clock is None:
+            # First fix-point of a check: every lock is potentially
+            # live, so the opening round is a plain full sweep (the
+            # dirty bookkeeping would not filter anything).
+            t_clock = self._clock = t0.copy()
+            grown = []
+            for lock in self._locks:
+                join = advance(lock, t_clock, None)
+                if join is not None:
+                    grown.extend(t_clock.join_update(join))
+        else:
+            # Subsequent fix-points grow from a small delta: the slots
+            # the caller (or the new seed) grew since the last one.
+            t_clock = self._clock
+            if t0 is not t_clock:
+                t_clock.join_with(t0)
+            last = self._last_vals
+            nlast = len(last)
+            v = t_clock._v
+            grown = [s for s in range(len(v))
+                     if v[s] > (last[s] if s < nlast else 0)]
+        # Batched rounds: each round advances every dirty lock against
+        # exactly the slots that grew last round, and the joins those
+        # contribute seed the next round's dirty set.
+        while grown:
+            pend: dict = {}
+            for s in grown:
+                for l2 in locks_of_slot.get(s, ()):
+                    dirty = pend.get(l2)
+                    if dirty is None:
+                        pend[l2] = [s]
+                    else:
+                        dirty.append(s)
+            grown = []
+            for lock, slots in pend.items():
+                join = advance(lock, t_clock, slots)
+                if join is not None:
+                    grown.extend(t_clock.join_update(join))
+        self._last_vals = tuple(t_clock._v)
         return t_clock
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    def checkpoint(self) -> bytes:
+        """Serialize the expensive derived state (the TRF timestamps).
+
+        The critical-section histories are a cheap single pass over the
+        acquire column *given* the timestamps, so :meth:`restore`
+        rebuilds them instead of shipping them — the blob stays compact
+        and version-robust.
+        """
+        return self.timestamps.checkpoint()
+
+    @classmethod
+    def restore(cls, trace: Trace, blob: bytes) -> "SPClosureEngine":
+        """An engine over ``trace`` reusing checkpointed timestamps.
+
+        Raises ``ValueError`` when the blob does not belong to
+        ``trace`` (callers fall back to a fresh derivation).
+        """
+        return cls(trace, timestamps=TRFTimestamps.restore(trace, blob))
 
     def timestamp_of_events(self, events: Iterable[int]) -> VectorClock:
         """``TS(S) = ⨆ {TS(e)}`` for an event set."""

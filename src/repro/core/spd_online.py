@@ -124,10 +124,12 @@ class _OnlineClosure:
         # with owner.threads_with_lock[lid] (synced lazily on growth).
         self._by_lock: Dict[int, List[list]] = {}
         self.clock = VectorClock(0)
-        # Cursor into the owner's append-only cs_log: histories that
-        # gained records past this point are dirty for this closure.
-        # -1 = never computed; the first compute dirties every lock
-        # with records directly (O(locks), not O(log)).
+        # Cursor into the owner's append-only cs_log (in *absolute*
+        # positions — eviction mode compacts the log and advances
+        # owner.cs_log_base): histories that gained records past this
+        # point are dirty for this closure.  -1 = never computed; the
+        # first compute dirties every lock with records directly
+        # (O(locks), not O(log)).
         self._log_pos = -1
         self._pending: Set[int] = set()
 
@@ -155,15 +157,15 @@ class _OnlineClosure:
         # O(min(new records, locks)).
         pend = self._pending
         log = owner.cs_log
+        base = owner.cs_log_base
         pos = self._log_pos
-        n = len(log)
+        n = base + len(log)
         if pos < n:
-            if pos < 0 or n - pos > len(owner.threads_with_lock):
+            if pos < base or n - pos > len(owner.threads_with_lock):
                 pend.update(owner.threads_with_lock)
             else:
-                while pos < n:
-                    pend.add(log[pos])
-                    pos += 1
+                for j in range(pos - base, len(log)):
+                    pend.add(log[j])
             self._log_pos = n
         if not pend:
             return t_clock
@@ -195,13 +197,24 @@ class _OnlineClosure:
         if not twl:
             return None
         rows = self._by_lock.get(lid)
+        # Rows created over an already-evicted history must fold the
+        # evicted releases' summary clock into the closure (a sound
+        # overapproximation — see SPDOnline._evict_stale); ``extra``
+        # carries those joins out even when no cursor moves.
+        extra: Optional[List[VectorClock]] = None
+        evicted = owner._evicted_rel
         if rows is None:
             rows = self._by_lock[lid] = [
                 [0, None, owner.cs_history[(tid, lid)], tid] for tid in twl
             ]
+            if evicted:
+                extra = self._eviction_summaries(evicted, twl, lid)
         elif len(rows) < len(twl):
-            for tid in twl[len(rows):]:
+            fresh = twl[len(rows):]
+            for tid in fresh:
                 rows.append([0, None, owner.cs_history[(tid, lid)], tid])
+            if evicted:
+                extra = self._eviction_summaries(evicted, fresh, lid)
         # Pass 1: advance cursors.  If none moves, every prior
         # contribution was already joined into t_clock (and, with
         # mutex-exclusive locking, a non-latest candidate's release
@@ -225,15 +238,15 @@ class _OnlineClosure:
                     row[1] = last
                     moved = True
         if not moved:
-            return None
+            return extra
         candidates = [row[1] for row in rows if row[1] is not None]
         if len(candidates) <= 1:
-            return None
+            return extra
         latest = candidates[0]
         for rec in candidates:
             if rec.acq_idx > latest.acq_idx:
                 latest = rec
-        joins: Optional[List[VectorClock]] = None
+        joins: Optional[List[VectorClock]] = extra
         for rec in candidates:
             if rec is latest or rec.rel_ts is None:
                 continue
@@ -245,6 +258,48 @@ class _OnlineClosure:
             else:
                 joins.append(rec.rel_ts)
         return joins
+
+    @staticmethod
+    def _eviction_summaries(evicted, tids, lid) -> Optional[List[VectorClock]]:
+        out: Optional[List[VectorClock]] = None
+        for tid in tids:
+            summary = evicted.get((tid, lid))
+            if summary is not None:
+                if out is None:
+                    out = [summary]
+                else:
+                    out.append(summary)
+        return out
+
+    def _after_eviction(self, trimmed: Dict[Tuple[int, int], int]) -> None:
+        """Rebase row cursors after the owner trimmed history prefixes.
+
+        A cursor already past the trimmed prefix just shifts; a cursor
+        that had *not* consumed every evicted record joins that
+        history's summary clock instead — the closure can only grow,
+        which keeps every subsequent report sound (reports fire when an
+        acquire stays *outside* the closure, so overapproximating can
+        only suppress them: eviction misses, never fabricates).
+        """
+        pending: Optional[VectorClock] = None
+        evicted = self._owner._evicted_rel
+        for lid, rows in self._by_lock.items():
+            for row in rows:
+                k = trimmed.get((row[3], lid))
+                if not k:
+                    continue
+                if row[0] >= k:
+                    row[0] -= k
+                else:
+                    row[0] = 0
+                    summary = evicted.get((row[3], lid))
+                    if summary is not None:
+                        if pending is None:
+                            pending = summary.copy()
+                        else:
+                            pending.join_with(summary)
+        if pending is not None:
+            self.join_seed(pending)
 
 
 @dataclass
@@ -272,10 +327,25 @@ class SPDOnline(InterningDetectorMixin):
         print(det.reports)
 
     Feeding a :class:`~repro.trace.compiled.CompiledTrace` through
-    :meth:`run` skips string interning entirely.
+    :meth:`run` (or attaching to a :class:`repro.stream.StreamSession`,
+    which delivers batches through :meth:`feed_batch`) skips string
+    interning entirely.
+
+    ``max_memory_events`` enables *bounded-memory eviction* for
+    unbounded monitoring sessions: closed critical-section records and
+    queued guarded acquires older than that horizon are periodically
+    discarded, so tracked state stays O(horizon + entities) instead of
+    O(trace).  Eviction is *sound but lossy*: evicted releases are
+    folded into per-history summary clocks that only ever **grow** the
+    closures consulting them, so every report the detector still makes
+    is a true sync-preserving deadlock — eviction can miss reports the
+    exact detector would have made, never fabricate new ones (pinned by
+    ``tests/test_stream.py``).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_memory_events: Optional[int] = None) -> None:
+        if max_memory_events is not None and max_memory_events < 1:
+            raise ValueError("max_memory_events must be >= 1")
         self.universe = ThreadUniverse()
         # Intern tables (thread id == universe slot).
         self._tid: Dict[str, int] = {}
@@ -309,9 +379,27 @@ class SPDOnline(InterningDetectorMixin):
         self._closures: Dict[_Ctx, _OnlineClosure] = {}
         self.reports: List[OnlineReport] = []
         self._events_seen = 0
+        # Bounded-memory eviction (None = keep everything, the exact
+        # algorithm).  cs_log_base counts log entries compacted away;
+        # _evicted_rel maps a trimmed (thread, lock) history to the
+        # join of its evicted release timestamps (the sound
+        # overapproximation closures consult instead).
+        self.max_memory_events = max_memory_events
+        self.cs_log_base = 0
+        self._evicted_rel: Dict[Tuple[int, int], VectorClock] = {}
+        self._evicted_counts: Dict[Tuple[int, int], int] = {}
+        if max_memory_events is not None:
+            self._evict_period = max(1, max_memory_events // 2)
+            self._next_evict: Optional[int] = (
+                max_memory_events + self._evict_period
+            )
+        else:
+            self._evict_period = 0
+            self._next_evict = None
         # Instrumentation (cheap counters; see stats()).
         self._closure_iterations = 0
         self._deadlock_checks = 0
+        self._evictions = 0
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -386,6 +474,8 @@ class SPDOnline(InterningDetectorMixin):
         else:  # request events carry no analysis semantics
             clock.tick(tid)
         self._events_seen += 1
+        if self._next_evict is not None and self._events_seen >= self._next_evict:
+            self._evict_stale()
 
     def _handle_acquire(self, tid: int, lid: int, loc: Optional[str],
                         clock: VectorClock) -> None:
@@ -491,6 +581,121 @@ class SPDOnline(InterningDetectorMixin):
             cursor += 1
         self._ctx_cursor[ctx] = cursor
 
+    # -- bounded-memory eviction (Corollary 4.5 + summary clocks) -----------
+
+    def _evict_stale(self) -> None:
+        """Discard tracked state older than the eviction horizon.
+
+        Three sweeps, each sound under the report rule (a report fires
+        only when an acquire stays *outside* the computed closure, so
+        any change that can only grow closures or drop candidate
+        patterns yields misses, never fabrications):
+
+        1. **Critical-section histories** — closed records older than
+           the horizon are removed prefix-wise; their release clocks
+           are folded into a per-(thread, lock) summary that closures
+           join *unconditionally* wherever the exact algorithm might
+           have joined a subset (the spine insight in reverse: we keep
+           a one-clock overapproximation of everything the closure
+           could still reach through the evicted records).
+        2. **Guarded-acquire queues** (AcqHist) — entries older than
+           the horizon can never be re-examined usefully at bounded
+           memory; dropping them forfeits only the patterns they
+           anchor.  Context cursors shift with the trimmed prefix
+           (entries a cursor had not reached are simply missed).
+        3. **The history-growth log** — closures lagging more than the
+           lock count behind take the dirty-all-locks fallback anyway,
+           so only that many trailing entries are kept;
+           :attr:`cs_log_base` keeps absolute positions meaningful.
+        """
+        self._next_evict = self._events_seen + self._evict_period
+        horizon = self._events_seen - self.max_memory_events
+        if horizon <= 0:
+            return
+        trimmed: Dict[Tuple[int, int], int] = {}
+        for key, records in self.cs_history.items():
+            k = 0
+            n = len(records)
+            while (k < n and records[k].rel_ts is not None
+                   and records[k].acq_idx < horizon):
+                k += 1
+            if not k:
+                continue
+            summary = self._evicted_rel.get(key)
+            if summary is None:
+                summary = self._evicted_rel[key] = VectorClock(0)
+            for rec in records[:k]:
+                summary.join_with(rec.rel_ts)
+            del records[:k]
+            self._evicted_counts[key] = self._evicted_counts.get(key, 0) + k
+            trimmed[key] = k
+        if trimmed:
+            for closure in self._closures.values():
+                closure._after_eviction(trimmed)
+        acq_trim: Dict[Tuple[int, int, int], int] = {}
+        for skey, queue in self._acq_seq.items():
+            k = 0
+            n = len(queue)
+            while k < n and queue[k].idx < horizon:
+                k += 1
+            if k:
+                del queue[:k]
+                acq_trim[skey] = k
+        if acq_trim:
+            cursors = self._ctx_cursor
+            for ctx, cur in cursors.items():
+                k = acq_trim.get((ctx[0], ctx[1], ctx[3]))
+                if k:
+                    cursors[ctx] = cur - k if cur > k else 0
+        keep = len(self.threads_with_lock) + 1
+        excess = len(self.cs_log) - keep
+        if excess > 0:
+            del self.cs_log[:excess]
+            self.cs_log_base += excess
+        self._evictions += 1
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    def checkpoint(self) -> bytes:
+        """Serialize the complete detector state.
+
+        The blob captures clocks, histories, queues, closures, and
+        reports — restoring and feeding the remainder of a stream
+        yields exactly the reports of an uninterrupted run.  Only the
+        session-table identity link is dropped (a restored detector
+        re-interns event names on its next feed).
+        """
+        import pickle
+
+        state = dict(self.__dict__)
+        state.pop("_synced_tabs", None)
+        return pickle.dumps((type(self).__name__, state),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "SPDOnline":
+        """Rebuild a detector from :meth:`checkpoint` output."""
+        import pickle
+
+        kind, state = pickle.loads(blob)
+        if kind != cls.__name__:
+            raise ValueError(
+                f"checkpoint was taken from {kind}, not {cls.__name__}"
+            )
+        out = cls.__new__(cls)
+        out.__dict__.update(state)
+        # Closures were pickled with an ``_owner`` backref to a shadow
+        # copy of the detector.  Its mutable containers are the same
+        # objects as ``out``'s (pickle preserves sharing within one
+        # graph), but scalars like ``cs_log_base`` would freeze on the
+        # shadow while ``out`` advances — rebind so closures track the
+        # live detector.
+        for closure in out._closures.values():
+            closure._owner = out
+        for ctx in getattr(out, "_contexts", ()):
+            ctx.closure._owner = out
+        return out
+
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
@@ -501,13 +706,21 @@ class SPDOnline(InterningDetectorMixin):
         - ``contexts``: distinct ⟨t1, l1, t2, l2⟩ closures materialized.
         - ``acquire_entries``: total queued guarded acquires.
         - ``cs_records``: critical sections recorded.
+        - ``tracked_entries``: live per-event state (records + queued
+          acquires + log entries) — the quantity bounded-memory
+          eviction keeps O(horizon); asserted by the memory benchmark.
+        - ``evictions``: eviction sweeps performed.
         """
+        cs_records = sum(len(v) for v in self.cs_history.values())
+        acquire_entries = sum(len(v) for v in self._acq_seq.values())
         return {
             "events": self._events_seen,
             "deadlock_checks": self._deadlock_checks,
             "contexts": len(self._closures),
-            "acquire_entries": sum(len(v) for v in self._acq_seq.values()),
-            "cs_records": sum(len(v) for v in self.cs_history.values()),
+            "acquire_entries": acquire_entries,
+            "cs_records": cs_records,
+            "tracked_entries": cs_records + acquire_entries + len(self.cs_log),
+            "evictions": self._evictions,
         }
 
     # -- batch driver ---------------------------------------------------------
@@ -518,18 +731,11 @@ class SPDOnline(InterningDetectorMixin):
     def run(self, trace) -> "SPDOnlineResult":
         """Stream a whole trace; accepts :class:`Trace` (string events)
         or :class:`~repro.trace.compiled.CompiledTrace` (interned fast
-        path)."""
+        path).  Both route through :meth:`feed_batch` — the same code
+        path a live :class:`repro.stream.StreamSession` drives."""
         start = time.perf_counter()
-        if isinstance(trace, CompiledTrace) and self._adopt_tables(trace):
-            step_coded = self._step_coded
-            locs = trace.locs
-            ops, tids, targets = trace.columns()
-            if locs:
-                for i in range(len(ops)):
-                    step_coded(ops[i], tids[i], targets[i], locs.get(i))
-            else:
-                for i in range(len(ops)):
-                    step_coded(ops[i], tids[i], targets[i], None)
+        if isinstance(trace, CompiledTrace):
+            self.feed_batch(trace, 0, len(trace))
         else:
             for ev in trace:
                 self.step(ev)

@@ -79,7 +79,14 @@ class SPDOnlineK(SPDOnline):
     adds the graph-driven contexts for 3 ≤ size ≤ ``max_size``.
     """
 
-    def __init__(self, max_size: int = 3) -> None:
+    def __init__(self, max_size: int = 3,
+                 max_memory_events: Optional[int] = None) -> None:
+        if max_memory_events is not None:
+            raise ValueError(
+                "bounded-memory eviction is supported by the size-2 "
+                "SPDOnline only (K-contexts hold cursors into the shared "
+                "acquire queues that eviction would invalidate)"
+            )
         super().__init__()
         if max_size < 2:
             raise ValueError("max_size must be at least 2")

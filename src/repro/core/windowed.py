@@ -7,6 +7,13 @@ than one window — the same engineering compromise Dirk makes
 (Section 6.1 discusses its misses), provided here as a first-class,
 clearly-labelled mode rather than a silent limitation.
 
+Since the streaming refactor this module is a thin batch adapter: the
+window engine itself is :class:`repro.stream.WindowedSessionClient`,
+which slides the window over an incrementally-maintained session index
+(and powers true bounded-memory streaming via ``repro analyze
+--stream``).  Replaying a complete trace through a session reproduces
+the historical batch behavior bit for bit.
+
 Guarantees:
 
 - every reported deadlock is a sync-preserving deadlock of the *whole*
@@ -20,18 +27,19 @@ Guarantees:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.patterns import DeadlockReport
-from repro.core.spd_offline import spd_offline
 from repro.trace.events import OP_RELEASE
 from repro.trace.trace import Trace, as_trace
 
 
 @dataclass
 class WindowedResult:
+    """Accumulated windowed-analysis output (shared by the batch entry
+    point and the streaming session client)."""
+
     reports: List[DeadlockReport] = field(default_factory=list)
     windows: int = 0
     elapsed: float = 0.0
@@ -70,7 +78,12 @@ def spd_offline_windowed(
     overlap: float = 0.5,
     max_size: Optional[int] = None,
 ) -> WindowedResult:
-    """Windowed SPDOffline with overlapping chunks.
+    """Windowed SPDOffline with overlapping chunks (batch adapter).
+
+    Replays ``trace`` through a :class:`~repro.stream.StreamSession`
+    driving a :class:`~repro.stream.WindowedSessionClient` — window
+    placement, slicing, and deduplication are the client's, so batch
+    and streaming runs agree bit for bit.
 
     Args:
         trace: input trace.
@@ -80,35 +93,13 @@ def spd_offline_windowed(
             straddle a boundary by less than ``overlap · window``.
         max_size: deadlock-size cap forwarded to each window.
     """
-    if window < 1:
-        raise ValueError("window must be >= 1")
-    if not 0 <= overlap < 1:
-        raise ValueError("overlap must be in [0, 1)")
-    trace = as_trace(trace)
-    start = time.perf_counter()
-    result = WindowedResult()
-    step = max(1, int(window * (1 - overlap)))
-    seen: Set[Tuple[str, ...]] = set()
-    location_of = trace.compiled.location_of
-    lo = 0
-    while lo < len(trace):
-        hi = min(lo + window, len(trace))
-        sub, back = window_slice(trace, lo, hi)
-        result.windows += 1
-        inner = spd_offline(sub, max_size=max_size)
-        for report in inner.reports:
-            original = tuple(sorted(back[e] for e in report.pattern.events))
-            bug = tuple(sorted(location_of(i) for i in original))
-            if bug in seen:
-                continue
-            seen.add(bug)
-            from repro.core.patterns import DeadlockPattern
+    from repro.stream.session import StreamSession
+    from repro.stream.windowed import WindowedSessionClient
 
-            result.reports.append(
-                DeadlockReport.from_pattern(trace, DeadlockPattern(original))
-            )
-        if hi == len(trace):
-            break
-        lo += step
-    result.elapsed = time.perf_counter() - start
-    return result
+    trace = as_trace(trace)
+    session = StreamSession(name=trace.name)
+    client = WindowedSessionClient(session, window=window, overlap=overlap,
+                                   max_size=max_size)
+    session.feed_compiled(trace.compiled)
+    session.close()
+    return client.result

@@ -196,6 +196,38 @@ def split_trace(trace, jobs: Optional[int] = None) -> ShardPlan:
 # -- map (worker side) --------------------------------------------------------
 
 
+def _component_engine(spine: Spine, trace: Trace) -> SPClosureEngine:
+    """The cell's closure engine, sharing derived state per component.
+
+    The TRFTimestamps/CSHistories pass over a component's sub-spine is
+    identical for every cell of that component (ROADMAP lever (a)); the
+    first cell to need an engine checkpoints the derived timestamps
+    next to the spine file (atomically, so racing pool workers at worst
+    both derive) and sibling cells restore instead of re-deriving.  The
+    checkpoint's lifetime is the shard run's temp directory, and
+    restore validates the thread universe + event count, so a stale or
+    torn file just falls back to a fresh derivation.
+    """
+    path = spine.path
+    if path is None:
+        return SPClosureEngine(trace)
+    ckpt = path + ".ckpt"
+    try:
+        with open(ckpt, "rb") as fh:
+            return SPClosureEngine.restore(trace, fh.read())
+    except (OSError, ValueError):
+        pass
+    engine = SPClosureEngine(trace)
+    try:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(ckpt), suffix=".ckpt")
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(engine.checkpoint())
+        os.replace(tmp, ckpt)
+    except OSError:
+        pass
+    return engine
+
+
 def run_shard(spine: Spine, config: Dict) -> Dict:
     """Execute one shard cell against its component sub-spine.
 
@@ -203,8 +235,10 @@ def run_shard(spine: Spine, config: Dict) -> Dict:
     subgraph's simple cycles in the serial engine's canonical order
     and filters abstract patterns; phase 2 checks every pattern with
     one shared closure engine over the sub-spine (reset per check,
-    exactly like the serial engine).  Returns a JSON-able record; all
-    event indices are translated back to original-trace coordinates.
+    exactly like the serial engine; derived per component once and
+    shared through checkpoints — see :func:`_component_engine`).
+    Returns a JSON-able record; all event indices are translated back
+    to original-trace coordinates.
     """
     compiled = spine.compiled
     trace = compiled.to_trace()
@@ -235,7 +269,7 @@ def run_shard(spine: Spine, config: Dict) -> Dict:
             named = tuple(nodes[i].to_named(compiled) for i in cycle)
             abstract = AbstractDeadlockPattern(named).canonical()
             if engine is None:
-                engine = SPClosureEngine(trace)
+                engine = _component_engine(spine, trace)
             sequences = tuple(
                 tuple(from_orig[e] for e in a.events)
                 for a in abstract.acquires

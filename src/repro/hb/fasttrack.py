@@ -262,21 +262,37 @@ class FastTrack(InterningDetectorMixin):
                 return ev_idx
         return next(iter(vs.shared_events.values()), None)
 
-    # -- batch driver -------------------------------------------------------
+    # -- batch / session drivers --------------------------------------------
 
     def _fresh(self) -> bool:
         return not (self._clocks or self._vars or self._last_release)
 
-    def run(self, trace) -> FastTrackResult:
-        """Stream a whole trace (``Trace`` or ``CompiledTrace``)."""
-        start = time.perf_counter()
-        if isinstance(trace, CompiledTrace) and self._adopt_tables(trace):
+    def feed_batch(self, compiled: CompiledTrace, lo: int, hi: int,
+                   base: int = 0) -> None:
+        """Session feed (see :mod:`repro.stream`): FastTrack's coded
+        step takes the *global* event index (``base + i``) instead of a
+        location, so race reports name the same events a batch run
+        over the full trace would."""
+        if self._sync_tables(compiled):
             step_coded = self._step_coded
-            ops, tids, targets = trace.columns()
-            for i in range(len(ops)):
+            ops, tids, targets = compiled.columns()
+            for i in range(lo, hi):
                 # request events fall through _step_coded as no-ops,
                 # matching the string path exactly
-                step_coded(ops[i], tids[i], targets[i], i)
+                step_coded(ops[i], tids[i], targets[i], base + i)
+        else:
+            intern = self._intern_event
+            step_coded = self._step_coded
+            for i in range(lo, hi):
+                op, tid, target_id = intern(compiled.event(i))
+                step_coded(op, tid, target_id, base + i)
+
+    def run(self, trace) -> FastTrackResult:
+        """Stream a whole trace (``Trace`` or ``CompiledTrace``) through
+        the same feed path a live session drives."""
+        start = time.perf_counter()
+        if isinstance(trace, CompiledTrace):
+            self.feed_batch(trace, 0, len(trace))
         else:
             for ev in trace:
                 self.step(ev)

@@ -66,9 +66,21 @@ class CSHistories:
         # Event objects or string hashing.
         self._queues: Dict[Tuple[int, int], List[CSEntry]] = {}
         self._threads_with_lock: Dict[int, List[int]] = {}
+        #: timestamp slot -> lock ids with critical sections by that
+        #: thread — the dirty-lock fan-out of the closure worklist
+        #: (a grown slot can only unlock progress on these locks).
+        self.locks_of_slot: Dict[int, List[int]] = {}
         # Per-lock rows aligned with _threads_with_lock[lock]:
-        # [cursor, last-entry, queue] — rebuilt by reset().
-        self._rows: Dict[int, List[list]] = {}
+        # [cursor, last-entry, queue].  Rows carry the generation of
+        # the check they belong to and are rebuilt lazily: reset()
+        # only bumps the generation, so locks a check never touches
+        # never pay for a rebuild.
+        self._rows: Dict[int, Tuple[int, List[list]]] = {}
+        self._gen = 0
+        #: static per-lock map: timestamp slot -> row index (each
+        #: (thread, lock) pair owns one row; built once, shared by
+        #: every reset)
+        self._slot_index: Dict[int, Dict[int, int]] = {}
         compiled = trace.compiled
         index = trace.index
         ops, tids, targs = compiled.columns()
@@ -91,16 +103,21 @@ class CSHistories:
             key = (tids[i], targs[i])
             if key not in self._queues:
                 self._queues[key] = []
-                self._threads_with_lock.setdefault(targs[i], []).append(tids[i])
+                twl = self._threads_with_lock.setdefault(targs[i], [])
+                self._slot_index.setdefault(targs[i], {})[slots[i]] = len(twl)
+                twl.append(tids[i])
+                self.locks_of_slot.setdefault(slots[i], []).append(targs[i])
             self._queues[key].append(entry)
         self.reset()
 
     def reset(self) -> None:
-        """Rewind all cursors (start a fresh abstract-pattern check)."""
-        self._rows = {
-            lock: [[0, None, self._queues[(t, lock)]] for t in threads]
-            for lock, threads in self._threads_with_lock.items()
-        }
+        """Rewind all cursors (start a fresh abstract-pattern check).
+
+        O(1): row lists are tagged with a generation and rebuilt
+        lazily, on the first :meth:`advance_lock` touch of each lock in
+        the new check.
+        """
+        self._gen += 1
 
     @property
     def locks(self) -> List[int]:
@@ -108,29 +125,61 @@ class CSHistories:
         for :meth:`advance_lock`), in first-acquire order."""
         return list(self._threads_with_lock)
 
-    def advance_lock(self, lock: int, t_clock: VectorClock) -> Optional[VectorClock]:
+    def advance_lock(self, lock: int, t_clock: VectorClock,
+                     slots=None) -> Optional[VectorClock]:
         """One Algorithm 1 inner-loop pass for ``lock`` against ``t_clock``.
 
         Returns the join of release timestamps that must enter the
-        closure, or ``None`` when nothing new is contributed.
+        closure, or ``None`` when nothing new is contributed.  Mirrors
+        the streaming engine's cursor/worklist scheme: with ``slots``
+        given (the clock slots that grew since this lock was last
+        advanced), only those threads' rows are touched — a row whose
+        own component did not grow cannot move its cursor — and if no
+        cursor moves, every prior contribution was already joined into
+        the (monotone) closure clock of the current check, so candidate
+        rebuilding is skipped entirely.
         """
-        rows = self._rows.get(lock)
-        if not rows:
-            return None
+        entry = self._rows.get(lock)
+        if entry is None or entry[0] != self._gen:
+            threads = self._threads_with_lock.get(lock)
+            if not threads:
+                return None
+            rows = [[0, None, self._queues[(t, lock)]] for t in threads]
+            self._rows[lock] = (self._gen, rows)
+        else:
+            rows = entry[1]
         tv = t_clock._v
         ltv = len(tv)
-        candidates: Optional[List[CSEntry]] = None
-        for row in rows:
-            cursor, last, queue = row
+        moved = False
+        if slots is None or len(slots) >= len(rows):
+            # Not selective (typical for a check's first fix-point
+            # round): the plain row sweep is cheaper than filtering.
+            touched = rows
+        else:
+            by_slot = self._slot_index[lock]
+            touched = [rows[i] for i in
+                       {by_slot[s] for s in slots if s in by_slot}]
+        for row in touched:
+            cursor = row[0]
+            queue = row[2]
             n = len(queue)
             if cursor < n:
                 slot = queue[0].slot
                 bound = tv[slot] if slot < ltv else 0
-                while cursor < n and queue[cursor].acq_val <= bound:
+                if queue[cursor].acq_val <= bound:
                     last = queue[cursor]
                     cursor += 1
-                row[0] = cursor
-                row[1] = last
+                    while cursor < n and queue[cursor].acq_val <= bound:
+                        last = queue[cursor]
+                        cursor += 1
+                    row[0] = cursor
+                    row[1] = last
+                    moved = True
+        if not moved:
+            return None
+        candidates: Optional[List[CSEntry]] = None
+        for row in rows:
+            last = row[1]
             if last is not None:
                 if candidates is None:
                     candidates = [last]

@@ -6,6 +6,13 @@ an actual deadlock the run halts (and that counts as a bug find too);
 when a deadlock is merely *predictable* in an alternate interleaving,
 the monitor reports it and the run continues — no confirmation
 re-executions needed, because SPDOnline is sound.
+
+Events flow through a :class:`repro.stream.StreamSession` (flushed per
+event, preserving the instant-detection semantics): the detector is an
+ordinary session consumer, the monitored run leaves behind a
+first-class incrementally-indexed trace (:attr:`MonitoredExecution.session`),
+and ``max_memory_events`` turns on bounded-memory eviction for
+indefinitely-running programs.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from repro.runtime.scheduler import (
     RandomScheduler,
     run_program,
 )
+from repro.stream.session import StreamSession
 
 
 @dataclass
@@ -31,6 +39,8 @@ class MonitoredExecution:
     predictions: List[OnlineReport] = field(default_factory=list)
     #: size ≥ 3 predictions (populated when monitoring with SPDOnline-K)
     k_predictions: List = field(default_factory=list)
+    #: the streaming session the run fed (trace views, checkpoints)
+    session: Optional[StreamSession] = None
 
     @property
     def bug_ids(self) -> Set[Tuple[str, ...]]:
@@ -56,26 +66,40 @@ def run_with_monitor(
     scheduler: Optional[RandomScheduler] = None,
     max_steps: int = 100_000,
     max_deadlock_size: int = 2,
+    max_memory_events: Optional[int] = None,
 ) -> MonitoredExecution:
     """Execute ``program`` with SPDOnline attached to the event stream.
 
     ``max_deadlock_size > 2`` swaps in the SPDOnline-K extension, which
     also predicts multi-thread cycles (e.g. dining philosophers)
     online; size-2 reports flow through either way.
+    ``max_memory_events`` bounds tracked detector (and session) state
+    for long-running programs — sound, may miss (size 2 only).
     """
     if max_deadlock_size > 2:
         from repro.core.spd_online_k import SPDOnlineK
 
         detector = SPDOnlineK(max_size=max_deadlock_size)
     else:
-        detector = SPDOnline()
+        detector = SPDOnline(max_memory_events=max_memory_events)
+    # Per-event flush: the detector sees each event the instant the
+    # scheduler emits it, exactly as with a direct sink.
+    session = StreamSession(
+        name=getattr(program, "name", None) or "monitored-run",
+        batch_size=1,
+        max_memory_events=max_memory_events,
+    )
+    session.attach(detector)
     result = run_program(
         program,
         scheduler=scheduler,
         max_steps=max_steps,
-        event_sink=detector.step,
+        event_sink=session.append_event,
     )
-    out = MonitoredExecution(execution=result, predictions=list(detector.reports))
+    session.close()
+    out = MonitoredExecution(execution=result,
+                             predictions=list(detector.reports),
+                             session=session)
     for rep in getattr(detector, "k_reports", ()):
         out.k_predictions.append(rep)
     return out

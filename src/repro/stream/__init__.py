@@ -1,0 +1,21 @@
+"""``repro.stream`` — streaming-first sessions over the columnar engine.
+
+One incremental engine layer for every event-at-a-time consumer:
+
+- :class:`~repro.stream.session.StreamSession` maintains
+  ``CompiledTrace + TraceIndex`` incrementally from chunked batches
+  (live runtime programs, incrementally-parsed ``.std``/``.std.gz``
+  files, replayed compiled traces) and fans batches out to attached
+  consumers through one feed API;
+- :class:`~repro.stream.windowed.WindowedSessionClient` slides the
+  bounded-memory SPDOffline window over a session without per-window
+  re-projection of the full trace;
+- the streaming detectors (``SPDOnline``, ``SPDOnlineK``,
+  ``FastTrack``) attach directly — ``session.attach(detector)`` — and
+  produce reports bit-identical to their batch ``run`` entry points.
+"""
+
+from repro.stream.session import StreamSession
+from repro.stream.windowed import WindowedSessionClient
+
+__all__ = ["StreamSession", "WindowedSessionClient"]

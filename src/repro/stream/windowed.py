@@ -1,0 +1,127 @@
+"""Windowed SPDOffline as a streaming-session client.
+
+The batch :func:`repro.core.windowed.spd_offline_windowed` loads a full
+trace, derives its index, and re-projects every window.  This client
+instead *rides a session*: it slides its window over the incrementally
+maintained columns — the acquire/release ``match`` relation each window
+needs for well-formed slicing already exists by the time the window
+closes, so no per-window re-parse or full-trace re-derivation ever
+happens — and it reports its retention point back to the session, so a
+bounded session evicts everything older than the open window and peak
+memory stays O(window) on unbounded monitoring streams.
+
+Window placement, slicing, deduplication, and report shape replicate
+the batch engine exactly: a session-fed run over the same events is
+bit-identical to ``spd_offline_windowed`` (pinned corpus-wide and on
+seeded random traces by ``tests/test_stream.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Set, Tuple
+
+from repro.core.patterns import DeadlockPattern, DeadlockReport
+from repro.core.spd_offline import spd_offline
+from repro.core.windowed import WindowedResult
+from repro.stream.session import StreamSession
+from repro.trace.compiled import CompiledTrace
+from repro.trace.events import OP_RELEASE
+from repro.trace.trace import as_trace
+
+__all__ = ["WindowedSessionClient", "WindowedResult"]
+
+
+class WindowedSessionClient:
+    """Sliding-window SPDOffline over a :class:`StreamSession`.
+
+    Args:
+        session: the session to ride; the client attaches itself.
+        window: events per chunk.
+        overlap: fraction of each window shared with the next
+            (0 ≤ overlap < 1), exactly as in the batch engine.
+        max_size: deadlock-size cap forwarded to each window.
+
+    The accumulated :class:`~repro.core.windowed.WindowedResult` lives
+    in :attr:`result`; it is complete once the session is closed.
+    """
+
+    def __init__(self, session: StreamSession, window: int = 50_000,
+                 overlap: float = 0.5, max_size: Optional[int] = None) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0 <= overlap < 1:
+            raise ValueError("overlap must be in [0, 1)")
+        self.session = session
+        self.window = window
+        self.step = max(1, int(window * (1 - overlap)))
+        self.max_size = max_size
+        self.result = WindowedResult()
+        self._lo = 0                      # global start of the open window
+        self._last_hi = -1                # global end of the last run window
+        self._seen: Set[Tuple[str, ...]] = set()
+        self._started = time.perf_counter()
+        session.attach(self)
+
+    # -- feed protocol -------------------------------------------------------
+
+    def retain_from(self) -> int:
+        """The session may evict everything before the open window."""
+        return self._lo
+
+    def feed_batch(self, compiled: CompiledTrace, lo: int, hi: int,
+                   base: int = 0) -> None:
+        glen = base + hi
+        while glen >= self._lo + self.window:
+            self._run_window(self._lo, self._lo + self.window)
+            self._lo += self.step
+
+    def finish(self) -> None:
+        """Drain trailing windows, mirroring the batch engine's loop:
+        windows keep sliding until one ends exactly at the trace end,
+        and a final partial window covers any remainder."""
+        glen = len(self.session)
+        while self._lo < glen and self._last_hi != glen:
+            self._run_window(self._lo, min(self._lo + self.window, glen))
+            if self._last_hi == glen:
+                break
+            self._lo += self.step
+        self.result.elapsed = time.perf_counter() - self._started
+
+    # -- one window ----------------------------------------------------------
+
+    def _location(self, gidx: int) -> str:
+        loc = self.session.compiled.locs.get(gidx - self.session.base)
+        return loc if loc is not None else f"@{gidx}"
+
+    def _run_window(self, glo: int, ghi: int) -> None:
+        """Analyze global window ``[glo, ghi)`` (same slicing rule as
+        :func:`repro.core.windowed.window_slice`: releases whose acquire
+        precedes the window are dropped)."""
+        session = self.session
+        base = session.base
+        if glo < base:
+            raise ValueError("session evicted events of the open window")
+        compiled = session.compiled
+        ops = compiled.ops
+        match = session.match_view()
+        keep: List[int] = []
+        for j in range(glo - base, ghi - base):
+            if ops[j] == OP_RELEASE and match[j] < glo:
+                continue
+            keep.append(j)
+        sub = compiled.project(keep, name=f"{session.name}[{glo}:{ghi}]")
+        self.result.windows += 1
+        self._last_hi = ghi
+        inner = spd_offline(as_trace(sub), max_size=self.max_size)
+        for report in inner.reports:
+            original = tuple(sorted(base + keep[e] for e in report.pattern.events))
+            locations = tuple(self._location(g) for g in original)
+            bug = tuple(sorted(locations))
+            if bug in self._seen:
+                continue
+            self._seen.add(bug)
+            self.result.reports.append(
+                DeadlockReport(pattern=DeadlockPattern(original),
+                               locations=locations)
+            )

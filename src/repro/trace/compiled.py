@@ -265,20 +265,64 @@ class InterningDetectorMixin:
             target_id = add(event.target)
         return op, tid, target_id
 
-    def _adopt_tables(self, trace: "CompiledTrace") -> bool:
-        """Share a compiled trace's intern tables (fresh detector only)."""
-        if not self._fresh():
+    def _fresh(self) -> bool:
+        raise NotImplementedError
+
+    # -- the session feed protocol (repro.stream) ---------------------------
+
+    def _sync_tables(self, compiled: "CompiledTrace") -> bool:
+        """Track a (possibly growing) compiled trace's intern tables.
+
+        Returns True when the detector's interned ids are guaranteed to
+        equal ``compiled``'s — either because the detector adopted this
+        trace's tables while fresh, or because it has been synced with
+        the *same table objects* before and only needs to absorb the
+        names appended since.  A detector fed from any other source
+        first gets False and must fall back to string interning.
+        """
+        tabs = (compiled.threads_tab, compiled.locks_tab, compiled.vars_tab)
+        synced = getattr(self, "_synced_tabs", None)
+        if synced is None:
+            if not self._fresh():
+                return False
+            self._synced_tabs = tabs
+        elif not (synced[0] is tabs[0] and synced[1] is tabs[1]
+                  and synced[2] is tabs[2]):
             return False
-        for name in trace.threads_tab.names:
+        for name in tabs[0].names[len(self._tid):]:
             self._add_thread(name)
-        for name in trace.locks_tab.names:
+        for name in tabs[1].names[len(self._lid):]:
             self._add_lock(name)
-        for name in trace.vars_tab.names:
+        for name in tabs[2].names[len(self._vid):]:
             self._add_var(name)
         return True
 
-    def _fresh(self) -> bool:
-        raise NotImplementedError
+    def feed_batch(self, compiled: "CompiledTrace", lo: int, hi: int,
+                   base: int = 0) -> None:
+        """Consume one session batch: events ``[lo, hi)`` of ``compiled``.
+
+        This is the one feed API every streaming consumer implements
+        (see :mod:`repro.stream`): ``lo``/``hi`` index ``compiled``'s
+        columns directly, and ``base`` is the global index of the
+        trace's first retained event (non-zero only for bounded
+        sessions that evicted a consumed prefix).  The default
+        implementation streams interned op codes through
+        ``_step_coded(op, tid, target_id, loc)``; detectors with a
+        different coded signature override it.
+        """
+        if self._sync_tables(compiled):
+            step = self._step_coded
+            ops, tids, targs = compiled.columns()
+            locs = compiled.locs
+            for i in range(lo, hi):
+                step(ops[i], tids[i], targs[i], locs.get(i))
+        else:
+            step_event = self.step
+            for i in range(lo, hi):
+                ev = compiled.event(i)
+                if base:
+                    ev = Event(base + i, ev.thread, ev.op, ev.target, ev.loc)
+                step_event(ev)
 
 
 def ensure_trace(trace) -> "Trace":
@@ -346,14 +390,29 @@ def parse_compiled(lines: Iterable[str], name: str = "trace") -> CompiledTrace:
     (comments, blank lines, optional location field) but interns names
     and op codes as it goes, without building ``Event`` objects.
     """
+    out = CompiledTrace(name)
+    parse_std_into(out, lines)
+    return out
+
+
+def parse_std_into(out: CompiledTrace, lines: Iterable[str],
+                   start_lineno: int = 1) -> int:
+    """Parse STD-format lines, *appending* to ``out``; returns the next
+    line number.
+
+    The incremental core of :func:`parse_compiled`: a streaming session
+    can keep calling this with successive line batches of one file
+    (passing the returned line number back in) and the appended columns
+    are byte-identical to a one-shot parse.
+    """
     from repro.trace.parser import ParseError
 
-    out = CompiledTrace(name)
     op_codes = Op.CODE
     threads_tab = out.threads_tab
     append_coded = out.append_coded
     intern_target = out._intern_target
-    for lineno, raw in enumerate(lines, start=1):
+    lineno = start_lineno - 1
+    for lineno, raw in enumerate(lines, start=start_lineno):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -375,7 +434,7 @@ def parse_compiled(lines: Iterable[str], name: str = "trace") -> CompiledTrace:
         append_coded(
             code, threads_tab.intern(head.strip()), intern_target(code, target), loc
         )
-    return out
+    return lineno + 1
 
 
 def load_compiled_trace(path: str, name: str = "") -> CompiledTrace:

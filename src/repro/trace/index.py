@@ -8,6 +8,14 @@ objects are materialized and no string is hashed: relations come out as
 flat integer arrays keyed by event index and interned thread/lock/
 variable ids.
 
+The pass is *incremental*: the index keeps its carry state (open
+critical sections, per-thread held stacks, last writes) between calls,
+so :meth:`TraceIndex.extend` can absorb new events appended to a
+growing ``CompiledTrace`` batch by batch — the streaming sessions of
+:mod:`repro.stream` are built on this.  A one-shot construction is just
+``extend()`` over the whole trace, so batch and streaming indexes are
+bit-identical by construction.
+
 Held-lock sets are stored as offsets into one shared pool rather than
 per-event tuples: each distinct held *stack* (a short tuple of interned
 lock ids) is appended to :attr:`TraceIndex.held_pool` exactly once, and
@@ -73,6 +81,11 @@ class TraceIndex:
       event lists, indexed by interned id;
     - :attr:`fork_of` — thread id -> index of the first fork event
       targeting it (the causality seed for a thread's first event).
+
+    A ``TraceIndex`` over a still-growing compiled trace stays valid:
+    call :meth:`extend` after appending events and every column grows
+    in place.  Consumers holding the index see the new rows without
+    re-deriving anything.
     """
 
     __slots__ = (
@@ -81,67 +94,121 @@ class TraceIndex:
         "thread_order", "lock_order", "var_order",
         "events_by_thread", "acquires_by_lock", "fork_of",
         "num_acquires", "num_requests", "lock_nesting_depth",
-        "_held_frozen",
+        "_held_frozen", "_pos", "_pool_ids", "_last_write", "_open_acq",
+        "_held_stack", "_cur_held", "_seen_thread", "_seen_lock",
+        "_seen_var",
     )
 
     def __init__(self, compiled: CompiledTrace) -> None:
         self.compiled = compiled
+        self.rf = array("i")
+        self.match = array("i")
+        self.thread_pos = array("i")
+        self.thread_pred = array("i")
+        self.held_id = array("i")
+        self.held_pool = array("i")
+        self.held_offsets = array("i", [0])
+        self.held_lengths = array("i", [0])
+        self.thread_order: List[int] = []
+        self.lock_order: List[int] = []
+        self.var_order: List[int] = []
+        self.events_by_thread: List[List[int]] = []
+        self.acquires_by_lock: List[List[int]] = []
+        self.fork_of: Dict[int, int] = {}
+        self.num_acquires = 0
+        self.num_requests = 0
+        self.lock_nesting_depth = 0
+        self._held_frozen: Dict[int, FrozenSet[int]] = {}
+        # Carry state of the incremental pass.
+        self._pos = 0
+        self._pool_ids: Dict[Tuple[int, ...], int] = {(): 0}
+        self._last_write: List[int] = []                 # vid -> write idx
+        self._open_acq: Dict[Tuple[int, int], List[int]] = {}
+        self._held_stack: List[List[int]] = []           # tid -> lock stack
+        self._cur_held: List[int] = []                   # tid -> held-set id
+        self._seen_thread = bytearray()
+        self._seen_lock = bytearray()
+        self._seen_var = bytearray()
+        self.extend()
+
+    def extend(self) -> int:
+        """Absorb events appended to :attr:`compiled` since the last call.
+
+        Processes ``[len(self), len(compiled))`` and grows every column
+        in place; returns the number of events absorbed.  The combined
+        result of any extend() partition is bit-identical to a one-shot
+        pass over the full trace.
+        """
+        compiled = self.compiled
         ops, tids, targs = compiled.columns()
-        n = len(ops)
+        lo, hi = self._pos, len(ops)
+        if lo >= hi:
+            return 0
 
-        minus_one = array("i", [-1])
-        rf = minus_one * n
-        match = minus_one * n
-        thread_pos = minus_one * n
-        thread_pred = minus_one * n
-        held_id = minus_one * n
+        rf_append = self.rf.append
+        match = self.match
+        match_append = match.append
+        pos_append = self.thread_pos.append
+        pred_append = self.thread_pred.append
+        held_append = self.held_id.append
+        pool_ids = self._pool_ids
+        held_pool = self.held_pool
+        held_offsets = self.held_offsets
+        held_lengths = self.held_lengths
+        events_by_thread = self.events_by_thread
+        acquires_by_lock = self.acquires_by_lock
+        thread_order = self.thread_order
+        lock_order = self.lock_order
+        var_order = self.var_order
+        seen_thread = self._seen_thread
+        seen_lock = self._seen_lock
+        seen_var = self._seen_var
+        last_write = self._last_write
+        open_acq = self._open_acq
+        held_stack = self._held_stack
+        cur_held = self._cur_held
+        fork_of = self.fork_of
+        nesting = self.lock_nesting_depth
 
-        held_pool = array("i")
-        held_offsets = array("i", [0])
-        held_lengths = array("i", [0])
-        pool_ids: Dict[Tuple[int, ...], int] = {(): 0}
-
+        # Entity tables may have grown since the last batch.
         n_threads = len(compiled.threads_tab)
+        if len(events_by_thread) < n_threads:
+            grow = n_threads - len(events_by_thread)
+            events_by_thread.extend([] for _ in range(grow))
+            held_stack.extend([] for _ in range(grow))
+            cur_held.extend([0] * grow)
+            seen_thread.extend(b"\0" * grow)
         n_locks = len(compiled.locks_tab)
+        if len(acquires_by_lock) < n_locks:
+            grow = n_locks - len(acquires_by_lock)
+            acquires_by_lock.extend([] for _ in range(grow))
+            seen_lock.extend(b"\0" * grow)
         n_vars = len(compiled.vars_tab)
-        events_by_thread: List[List[int]] = [[] for _ in range(n_threads)]
-        acquires_by_lock: List[List[int]] = [[] for _ in range(n_locks)]
-        thread_order: List[int] = []
-        lock_order: List[int] = []
-        var_order: List[int] = []
-        seen_thread = bytearray(n_threads)
-        seen_lock = bytearray(n_locks)
-        seen_var = bytearray(n_vars)
+        if len(last_write) < n_vars:
+            grow = n_vars - len(last_write)
+            last_write.extend([-1] * grow)
+            seen_var.extend(b"\0" * grow)
 
-        fork_of: Dict[int, int] = {}
-        last_write = minus_one * n_vars
-        open_acq: Dict[int, List[int]] = {}      # (tid * n_locks + lid) -> stack
-        held_stack: List[List[int]] = [[] for _ in range(n_threads)]
-        cur_held: List[int] = [0] * n_threads    # tid -> current held-set id
-        num_acquires = 0
-        num_requests = 0
-        nesting = 0
-
-        for i in range(n):
+        for i in range(lo, hi):
             op = ops[i]
             t = tids[i]
             if not seen_thread[t]:
                 seen_thread[t] = 1
                 thread_order.append(t)
             row = events_by_thread[t]
-            pos = len(row)
-            thread_pos[i] = pos
-            if pos:
-                thread_pred[i] = row[-1]
+            pos_append(len(row))
+            pred_append(row[-1] if row else -1)
             row.append(i)
-            held_id[i] = cur_held[t]
+            held_append(cur_held[t])
+            rf_append(-1)
+            match_append(-1)
 
             if op == OP_READ:
                 v = targs[i]
                 if not seen_var[v]:
                     seen_var[v] = 1
                     var_order.append(v)
-                rf[i] = last_write[v]
+                self.rf[i] = last_write[v]
             elif op == OP_WRITE:
                 v = targs[i]
                 if not seen_var[v]:
@@ -153,8 +220,8 @@ class TraceIndex:
                 if not seen_lock[lk]:
                     seen_lock[lk] = 1
                     lock_order.append(lk)
-                num_acquires += 1
-                open_acq.setdefault(t * n_locks + lk, []).append(i)
+                self.num_acquires += 1
+                open_acq.setdefault((t, lk), []).append(i)
                 acquires_by_lock[lk].append(i)
                 hs = held_stack[t]
                 if len(hs) >= nesting:
@@ -168,7 +235,7 @@ class TraceIndex:
                 if not seen_lock[lk]:
                     seen_lock[lk] = 1
                     lock_order.append(lk)
-                stack = open_acq.get(t * n_locks + lk)
+                stack = open_acq.get((t, lk))
                 if not stack:
                     raise TraceError(
                         f"release without matching acquire: {compiled.event(i)}"
@@ -196,29 +263,14 @@ class TraceIndex:
                 if not seen_lock[lk]:
                     seen_lock[lk] = 1
                     lock_order.append(lk)
-                num_requests += 1
+                self.num_requests += 1
             elif op == OP_FORK:
                 if targs[i] not in fork_of:
                     fork_of[targs[i]] = i
 
-        self.rf = rf
-        self.match = match
-        self.thread_pos = thread_pos
-        self.thread_pred = thread_pred
-        self.held_id = held_id
-        self.held_pool = held_pool
-        self.held_offsets = held_offsets
-        self.held_lengths = held_lengths
-        self.thread_order = thread_order
-        self.lock_order = lock_order
-        self.var_order = var_order
-        self.events_by_thread = events_by_thread
-        self.acquires_by_lock = acquires_by_lock
-        self.fork_of = fork_of
-        self.num_acquires = num_acquires
-        self.num_requests = num_requests
         self.lock_nesting_depth = nesting
-        self._held_frozen: Dict[int, FrozenSet[int]] = {}
+        self._pos = hi
+        return hi - lo
 
     @staticmethod
     def _pool_id(stack: List[int], pool_ids: Dict[Tuple[int, ...], int],

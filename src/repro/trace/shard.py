@@ -63,15 +63,19 @@ class Spine:
             (intern tables shared with / identical to the original).
         to_orig: spine event index -> original event index (``array``).
         orig_len: event count of the original trace.
+        path: where this spine was loaded from (None for in-memory
+            spines) — sibling shard cells key shared engine
+            checkpoints off it.
     """
 
-    __slots__ = ("compiled", "to_orig", "orig_len", "_from_orig")
+    __slots__ = ("compiled", "to_orig", "orig_len", "_from_orig", "path")
 
     def __init__(self, compiled: CompiledTrace, to_orig: array,
-                 orig_len: int) -> None:
+                 orig_len: int, path: Optional[str] = None) -> None:
         self.compiled = compiled
         self.to_orig = to_orig
         self.orig_len = orig_len
+        self.path = path
         self._from_orig: Optional[Dict[int, int]] = None
 
     def __len__(self) -> int:
@@ -323,4 +327,4 @@ def load_spine(path: str) -> Spine:
     to_orig = array("i")
     to_orig.frombytes(blob[off:off + int_len])
     compiled.locs = {int(k): v for k, v in header["locs"].items()}
-    return Spine(compiled, to_orig, header["orig_len"])
+    return Spine(compiled, to_orig, header["orig_len"], path=path)

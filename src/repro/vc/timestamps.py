@@ -32,7 +32,17 @@ class TRFTimestamps:
 
     Access with :meth:`of`.  Timestamps are *inclusive*: ``of(e)``
     counts ``e`` itself in its own thread's component.
+
+    The O(N·T) derivation pass runs once per construction;
+    :meth:`checkpoint` / :meth:`restore` serialize the derived state so
+    other workers analyzing the *same* trace (e.g. sibling shard cells
+    of one causality component) can skip the pass entirely.
+    ``TRFTimestamps.computations`` counts derivation passes
+    process-wide — the shard pipeline's reuse is pinned against it.
     """
+
+    #: process-wide count of full derivation passes (restores excluded)
+    computations = 0
 
     def __init__(self, trace: Trace) -> None:
         self.trace = trace = as_trace(trace)
@@ -42,6 +52,7 @@ class TRFTimestamps:
         # component value (== per-thread position + 1).
         self._slots = array("i")
         self._vals = array("i")
+        TRFTimestamps.computations += 1
         self._compute()
 
     def _compute(self) -> None:
@@ -127,6 +138,83 @@ class TRFTimestamps:
     def leq(self, a: int, b: int) -> bool:
         """``a <=TRF b`` via timestamp comparison (O(1) epoch test)."""
         return self.leq_clock(a, self._ts[b])
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    _CKPT_MAGIC = "repro-trf-v1"
+
+    def checkpoint(self) -> bytes:
+        """Serialize the derived timestamps (not the trace).
+
+        One JSON header line (format marker, thread universe, event
+        count) followed by the raw bytes of the epoch columns, the
+        per-event clock lengths, and the flattened clock components —
+        deterministic for a given trace, cheap to reload with
+        ``array.frombytes``.
+        """
+        import json
+
+        lens = array("i", (len(c._v) for c in self._ts))
+        flat = array("i")
+        for c in self._ts:
+            flat.extend(c._v)
+        header = {
+            "format": self._CKPT_MAGIC,
+            "threads": list(self.universe.threads()),
+            "n": len(self._ts),
+            "itemsize": array("i").itemsize,
+        }
+        return b"".join((
+            json.dumps(header, sort_keys=True).encode("utf-8"), b"\n",
+            self._slots.tobytes(), self._vals.tobytes(),
+            lens.tobytes(), flat.tobytes(),
+        ))
+
+    @classmethod
+    def restore(cls, trace: Trace, blob: bytes) -> "TRFTimestamps":
+        """Rebuild timestamps for ``trace`` from :meth:`checkpoint` output.
+
+        Validates that the blob belongs to a trace with the same thread
+        universe and event count; raises ``ValueError`` otherwise (the
+        caller falls back to a fresh derivation).
+        """
+        import json
+
+        trace = as_trace(trace)
+        head, sep, rest = blob.partition(b"\n")
+        if not sep:
+            raise ValueError("truncated TRF checkpoint")
+        header = json.loads(head.decode("utf-8"))
+        if header.get("format") != cls._CKPT_MAGIC:
+            raise ValueError("not a TRF checkpoint")
+        if header["itemsize"] != array("i").itemsize:
+            raise ValueError("TRF checkpoint from a different platform")
+        n = header["n"]
+        if n != len(trace) or header["threads"] != list(trace.threads):
+            raise ValueError("TRF checkpoint is for a different trace")
+        size = n * header["itemsize"]
+        out = cls.__new__(cls)
+        out.trace = trace
+        out.universe = ThreadUniverse(header["threads"])
+        out._slots = array("i")
+        out._slots.frombytes(rest[:size])
+        out._vals = array("i")
+        out._vals.frombytes(rest[size:2 * size])
+        lens = array("i")
+        lens.frombytes(rest[2 * size:3 * size])
+        flat = array("i")
+        flat.frombytes(rest[3 * size:])
+        values = flat.tolist()
+        ts: List[VectorClock] = []
+        off = 0
+        for length in lens:
+            vc = VectorClock.__new__(VectorClock)
+            vc._v = values[off:off + length]
+            vc._shared = True  # stored snapshots are never mutated in place
+            ts.append(vc)
+            off += length
+        out._ts = ts
+        return out
 
 
 def compute_trf_timestamps(trace: Trace) -> TRFTimestamps:

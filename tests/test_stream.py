@@ -1,0 +1,560 @@
+"""Streaming-session equivalence and bounded-memory soundness suite.
+
+The contracts under test (ISSUE 5):
+
+- **Session ≡ batch, bit for bit** — feeding any trace through a
+  :class:`repro.stream.StreamSession` in chunked batches produces, for
+  every ported consumer (SPDOnline, SPDOnlineK, FastTrack, windowed
+  SPDOffline), exactly the reports of the batch entry point, for every
+  batch size, on the whole corpus and hundreds of seeded random traces.
+- **Eviction only misses** — with ``max_memory_events`` set, every
+  report the bounded detector still makes is a *true* sync-preserving
+  deadlock (verified against the closure oracle); when no sweep fired,
+  reports are bit-identical to the exact detector's; tracked state
+  stays bounded.
+- **Checkpoints resume exactly** — a detector checkpointed mid-stream
+  and restored produces the same remaining reports; shard cells of one
+  causality component share one TRFTimestamps derivation.
+
+The long fuzz loop is opt-in: ``REPRO_FUZZ_ITERS=N pytest -m fuzz
+tests/test_stream.py`` (nightly-style, same knob as the shard
+differential harness).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.core.patterns import DeadlockPattern, DeadlockReport
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import SPDOnline, spd_online
+from repro.core.spd_online_k import SPDOnlineK, spd_online_k
+from repro.core.windowed import spd_offline_windowed, window_slice
+from repro.hb.fasttrack import FastTrack, fasttrack_races
+from repro.stream import StreamSession, WindowedSessionClient
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.trace.index import TraceIndex
+from repro.trace.parser import load_trace
+from repro.trace.trace import as_trace
+
+CORPUS = sorted(glob.glob(os.path.join(os.path.dirname(__file__), "..",
+                                       "corpus", "*.std")))
+
+#: quick-slice size; the acceptance bar is >= 200 seeded configs.
+QUICK_ITERS = 200
+
+#: batch sizes swept by the equivalence checks (1 = the monitor's
+#: per-event flush; primes exercise misaligned chunk boundaries).
+BATCHES = (1, 7, 64, 100_000)
+
+
+def config_for(seed: int) -> RandomTraceConfig:
+    """Deterministic varied generator config (mirrors the shard sweep)."""
+    return RandomTraceConfig(
+        num_threads=2 + seed % 5,
+        num_locks=2 + (seed * 7) % 6,
+        num_vars=1 + seed % 4,
+        num_events=30 + (seed * 13) % 111,
+        acquire_prob=0.25 + 0.05 * (seed % 4),
+        release_prob=0.2 + 0.05 * (seed % 3),
+        write_prob=0.3 + 0.1 * (seed % 5),
+        max_nesting=1 + seed % 4,
+        fork_join=seed % 3 == 0,
+        release_any_prob=0.5 if seed % 2 else 0.0,
+        seed=seed,
+    )
+
+
+def online_key(reports):
+    return [(r.first_event, r.second_event, r.context, r.locations)
+            for r in reports]
+
+
+def online_k_key(reports):
+    return [(r.events, r.locations, r.signatures) for r in reports]
+
+
+def fasttrack_key(result):
+    return [(r.first_event, r.second_event, r.variable, r.kind)
+            for r in result.races]
+
+
+def windowed_key(result):
+    return [(r.pattern.events, r.locations) for r in result.reports]
+
+
+def session_fed(compiled, batch, max_memory_events=None, window=None,
+                overlap=0.5, max_size=None, with_k=True):
+    """Feed ``compiled`` through a session; returns the consumer dict."""
+    session = StreamSession(name="s", batch_size=batch,
+                            max_memory_events=max_memory_events)
+    out = {"session": session}
+    out["online"] = SPDOnline(max_memory_events=max_memory_events)
+    session.attach(out["online"])
+    if with_k and max_memory_events is None:
+        out["k"] = SPDOnlineK(max_size=3)
+        session.attach(out["k"])
+        out["fasttrack"] = FastTrack()
+        session.attach(out["fasttrack"])
+    if window is not None:
+        out["windowed"] = WindowedSessionClient(
+            session, window=window, overlap=overlap, max_size=max_size)
+    session.feed_compiled(compiled, batch_size=batch)
+    session.close()
+    return out
+
+
+def legacy_windowed(trace, window, overlap, max_size=None):
+    """The pre-streaming batch implementation, kept as the reference."""
+    trace = as_trace(trace)
+    step = max(1, int(window * (1 - overlap)))
+    seen = set()
+    reports = []
+    windows = 0
+    location_of = trace.compiled.location_of
+    lo = 0
+    while lo < len(trace):
+        hi = min(lo + window, len(trace))
+        sub, back = window_slice(trace, lo, hi)
+        windows += 1
+        inner = spd_offline(sub, max_size=max_size)
+        for report in inner.reports:
+            original = tuple(sorted(back[e] for e in report.pattern.events))
+            bug = tuple(sorted(location_of(i) for i in original))
+            if bug in seen:
+                continue
+            seen.add(bug)
+            reports.append(
+                DeadlockReport.from_pattern(trace, DeadlockPattern(original)))
+        if hi == len(trace):
+            break
+        lo += step
+    return reports, windows
+
+
+class TestIncrementalIndex:
+    """extend() over any batch partition ≡ the one-shot pass."""
+
+    @pytest.mark.parametrize("path", CORPUS, ids=os.path.basename)
+    def test_corpus_partitions(self, path):
+        full = as_trace(load_trace(path))
+        ref = full.index
+        compiled = full.compiled
+        for batch in (1, 3, 17):
+            session = StreamSession(name="s", batch_size=batch)
+            session.feed_compiled(compiled, batch_size=batch)
+            inc = session.index
+            assert inc.rf == ref.rf
+            assert inc.match == ref.match
+            assert inc.thread_pos == ref.thread_pos
+            assert inc.thread_pred == ref.thread_pred
+            assert inc.held_id == ref.held_id
+            assert inc.held_pool == ref.held_pool
+            assert inc.held_offsets == ref.held_offsets
+            assert inc.thread_order == ref.thread_order
+            assert inc.lock_order == ref.lock_order
+            assert inc.var_order == ref.var_order
+            assert inc.events_by_thread == ref.events_by_thread
+            assert inc.acquires_by_lock == ref.acquires_by_lock
+            assert inc.fork_of == ref.fork_of
+            assert inc.num_acquires == ref.num_acquires
+            assert inc.lock_nesting_depth == ref.lock_nesting_depth
+
+    def test_as_trace_view_is_live(self):
+        session = StreamSession(name="s", batch_size=2)
+        session.append("t1", "acq", "l1")
+        session.append("t1", "acq", "l2")
+        view = session.as_trace()
+        assert len(view) == 2
+        assert view.held_locks(1) == ("l1",)
+        session.append("t1", "rel", "l2")
+        session.append("t1", "rel", "l1")
+        session.flush()
+        assert len(view) == 4
+        assert view.match(1) == 2
+
+    def test_incremental_matches_one_shot_type(self):
+        session = StreamSession(name="s")
+        assert isinstance(session.index, TraceIndex)
+
+
+class TestSessionDetectorEquivalence:
+    """Session-fed streaming detectors ≡ their batch entry points."""
+
+    @pytest.mark.parametrize("path", CORPUS, ids=os.path.basename)
+    @pytest.mark.parametrize("batch", BATCHES)
+    def test_corpus(self, path, batch):
+        compiled = as_trace(load_trace(path)).compiled
+        fed = session_fed(compiled, batch)
+        assert online_key(fed["online"].reports) == \
+            online_key(spd_online(compiled).reports)
+        assert online_k_key(fed["k"].k_reports) == \
+            online_k_key(spd_online_k(compiled, max_size=3).k_reports)
+        assert fasttrack_key(fed["fasttrack"].result) == \
+            fasttrack_key(fasttrack_races(compiled))
+
+    def test_random_sweep(self):
+        """>= 200 seeded configs; batch size varies with the seed."""
+        deadlocks = 0
+        for seed in range(QUICK_ITERS):
+            compiled = as_trace(generate_random_trace(config_for(seed))).compiled
+            batch = BATCHES[seed % len(BATCHES)]
+            fed = session_fed(compiled, batch)
+            batch_reports = spd_online(compiled).reports
+            assert online_key(fed["online"].reports) == \
+                online_key(batch_reports), f"seed={seed}"
+            assert online_k_key(fed["k"].k_reports) == \
+                online_k_key(spd_online_k(compiled, max_size=3).k_reports), \
+                f"seed={seed}"
+            assert fasttrack_key(fed["fasttrack"].result) == \
+                fasttrack_key(fasttrack_races(compiled)), f"seed={seed}"
+            deadlocks += len(batch_reports)
+        assert deadlocks > 0, "vacuous sweep: no deadlock was ever found"
+
+    def test_string_fallback_consumer(self):
+        """A detector that cannot adopt the session tables (it saw other
+        events first) still gets identical reports via the slow path."""
+        compiled = as_trace(load_trace(CORPUS[0])).compiled
+        det = SPDOnline()
+        det.step(as_trace(load_trace(CORPUS[0]))[0])  # desync the tables
+        session = StreamSession(name="s", batch_size=3)
+        session.attach(det)
+        session.feed_compiled(compiled, batch_size=3)
+        session.close()
+        # the duplicated first event shifts indices by one
+        ref = SPDOnline()
+        ref.step(as_trace(load_trace(CORPUS[0]))[0])
+        for ev in load_trace(CORPUS[0]):
+            ref.step(ev)
+        assert online_key(det.reports) == online_key(ref.reports)
+
+
+class TestWindowedEquivalence:
+    """Session windowed client ≡ the historical batch implementation."""
+
+    @pytest.mark.parametrize("path", CORPUS, ids=os.path.basename)
+    def test_corpus(self, path):
+        trace = as_trace(load_trace(path))
+        for window, overlap in ((40, 0.5), (17, 0.0), (10 ** 6, 0.5)):
+            got = spd_offline_windowed(trace, window=window, overlap=overlap)
+            ref_reports, ref_windows = legacy_windowed(trace, window, overlap)
+            assert got.windows == ref_windows, (path, window, overlap)
+            assert windowed_key(got) == [
+                (r.pattern.events, r.locations) for r in ref_reports
+            ], (path, window, overlap)
+
+    def test_random_sweep(self):
+        for seed in range(0, QUICK_ITERS, 5):
+            trace = as_trace(generate_random_trace(config_for(seed)))
+            window = 10 + seed % 40
+            overlap = (seed % 3) * 0.25
+            got = spd_offline_windowed(trace, window=window, overlap=overlap,
+                                       max_size=2)
+            ref_reports, ref_windows = legacy_windowed(
+                trace, window, overlap, max_size=2)
+            assert got.windows == ref_windows, f"seed={seed}"
+            assert windowed_key(got) == [
+                (r.pattern.events, r.locations) for r in ref_reports
+            ], f"seed={seed}"
+
+    def test_bounded_session_windowed_identical(self):
+        """Eviction behind the open window never changes windowed
+        reports — bounded streaming ≡ batch."""
+        evicted_sessions = 0
+        for seed in range(0, QUICK_ITERS, 9):
+            trace = as_trace(generate_random_trace(config_for(seed)))
+            window = 16
+            session = StreamSession(name="s", batch_size=8,
+                                    max_memory_events=window)
+            client = WindowedSessionClient(session, window=window,
+                                           overlap=0.5, max_size=2)
+            session.feed_compiled(trace.compiled, batch_size=8)
+            session.close()
+            batch = spd_offline_windowed(trace, window=window, overlap=0.5,
+                                         max_size=2)
+            assert windowed_key(client.result) == windowed_key(batch), \
+                f"seed={seed}"
+            assert client.result.windows == batch.windows
+            if session.base > 0:
+                evicted_sessions += 1
+        assert evicted_sessions > 0, "eviction never fired; sweep is vacuous"
+
+    def test_bounded_session_rejects_views_and_late_consumers(self):
+        session = StreamSession(name="s", batch_size=4, max_memory_events=8)
+        client = WindowedSessionClient(session, window=8, overlap=0.5)
+        big = generate_random_trace(config_for(1))
+        session.feed_compiled(as_trace(big).compiled, batch_size=4)
+        assert session.base > 0
+        with pytest.raises(ValueError):
+            session.as_trace()
+        with pytest.raises(ValueError):
+            session.attach(SPDOnline())
+        session.close()
+        assert client.result.windows > 0
+
+
+def assert_eviction_sound(trace, det, exact_reports, label=""):
+    """The bounded-memory guarantee: reports are *true* sync-preserving
+    deadlocks (never fabricated); when no eviction sweep fired, reports
+    equal the exact detector's bit for bit.  Relative to the exact
+    first-hit detector, eviction may lose a report or surface a later
+    true representative of the same context (when the earlier entry was
+    evicted) — both are misses of the exact report, never false bugs.
+    """
+    from repro.analysis.explain import explain_pattern
+
+    got = online_key(det.reports)
+    ref = online_key(exact_reports)
+    if det.stats()["evictions"] == 0:
+        assert got == ref, f"{label}: no eviction fired yet reports differ"
+        return
+    exact_pairs = {(r.first_event, r.second_event) for r in exact_reports}
+    for r in det.reports:
+        pair = (r.first_event, r.second_event)
+        if pair in exact_pairs:
+            continue
+        assert explain_pattern(trace,
+                               tuple(sorted(pair))).is_deadlock, \
+            f"{label}: fabricated non-deadlock {pair}"
+
+
+class TestEvictionSoundness:
+    """Bounded-memory mode only ever misses, never fabricates."""
+
+    @pytest.mark.parametrize("path", CORPUS, ids=os.path.basename)
+    def test_corpus_sound(self, path):
+        trace = as_trace(load_trace(path))
+        exact = spd_online(trace.compiled).reports
+        for horizon in (8, 32, 128):
+            det = SPDOnline(max_memory_events=horizon)
+            det.run(trace.compiled)
+            assert_eviction_sound(trace, det, exact, f"{path}@{horizon}")
+
+    def test_random_sound_and_bounded_state(self):
+        fired = 0
+        kept = 0
+        for seed in range(QUICK_ITERS):
+            trace = as_trace(generate_random_trace(config_for(seed)))
+            exact = spd_online(trace.compiled).reports
+            horizon = 16 + seed % 48
+            det = SPDOnline(max_memory_events=horizon)
+            det.run(trace.compiled)
+            assert_eviction_sound(trace, det, exact, f"seed={seed}")
+            if det.stats()["evictions"]:
+                fired += 1
+            kept += len(det.reports)
+        assert fired > 0, "eviction never fired; sweep is vacuous"
+        assert kept > 0, "bounded mode found nothing; sweep is vacuous"
+
+    def test_tracked_state_is_bounded(self):
+        """On a long lock-heavy stream, tracked entries stay O(horizon)
+        while the exact detector's grow with the trace."""
+        cfg = RandomTraceConfig(num_threads=4, num_locks=4, num_vars=2,
+                                num_events=6000, acquire_prob=0.4,
+                                release_prob=0.45, max_nesting=2, seed=42)
+        compiled = as_trace(generate_random_trace(cfg)).compiled
+        exact = SPDOnline()
+        exact.run(compiled)
+        horizon = 256
+        bounded = SPDOnline(max_memory_events=horizon)
+        bounded.run(compiled)
+        exact_entries = exact.stats()["tracked_entries"]
+        bounded_entries = bounded.stats()["tracked_entries"]
+        assert bounded.stats()["evictions"] > 0
+        assert bounded_entries < exact_entries / 4
+        # O(horizon + entities): generous constant, but orders below N.
+        assert bounded_entries <= 8 * horizon
+
+    def test_reports_remain_true_deadlocks(self):
+        """Soundness end-to-end: every bounded-mode report passes the
+        closure oracle (a true sync-preserving deadlock of the trace)."""
+        from repro.analysis.explain import explain_pattern
+
+        checked = 0
+        for seed in range(0, QUICK_ITERS, 11):
+            trace = as_trace(generate_random_trace(config_for(seed)))
+            det = SPDOnline(max_memory_events=24)
+            det.run(trace.compiled)
+            for r in det.reports:
+                pair = tuple(sorted((r.first_event, r.second_event)))
+                assert explain_pattern(trace, pair).is_deadlock, \
+                    f"seed={seed}: {pair}"
+                checked += 1
+        assert checked > 0
+
+
+class TestCheckpointRestore:
+    """checkpoint()/restore() resumes detectors and engines exactly."""
+
+    @pytest.mark.parametrize("path", CORPUS, ids=os.path.basename)
+    def test_spd_online_resume(self, path):
+        compiled = as_trace(load_trace(path)).compiled
+        n = len(compiled)
+        ref = spd_online(compiled)
+        det = SPDOnline()
+        det.feed_batch(compiled, 0, n // 2)
+        blob = det.checkpoint()
+        resumed = SPDOnline.restore(blob)
+        resumed.feed_batch(compiled, n // 2, n)
+        assert online_key(resumed.reports) == online_key(ref.reports)
+        # the original, still holding its table link, agrees too
+        det.feed_batch(compiled, n // 2, n)
+        assert online_key(det.reports) == online_key(ref.reports)
+
+    def test_restore_rebinds_closure_owners(self):
+        """Regression: closures pickled with an ``_owner`` backref must
+        track the *restored* detector — with bounded-memory compaction
+        a stale owner freezes ``cs_log_base`` and desynchronizes the
+        dirty-tracking, so a resumed bounded run must stay identical to
+        an uninterrupted one."""
+        for seed in range(0, QUICK_ITERS, 13):
+            compiled = as_trace(generate_random_trace(config_for(seed))).compiled
+            n = len(compiled)
+            horizon = 16 + seed % 32
+            straight = SPDOnline(max_memory_events=horizon)
+            straight.run(compiled)
+            det = SPDOnline(max_memory_events=horizon)
+            det.feed_batch(compiled, 0, n // 2)
+            resumed = SPDOnline.restore(det.checkpoint())
+            for closure in resumed._closures.values():
+                assert closure._owner is resumed
+            resumed.feed_batch(compiled, n // 2, n)
+            assert online_key(resumed.reports) == \
+                online_key(straight.reports), f"seed={seed}"
+            assert resumed.cs_log_base == straight.cs_log_base, f"seed={seed}"
+
+    def test_restore_rejects_other_detector_kind(self):
+        det = SPDOnlineK(max_size=3)
+        blob = det.checkpoint()
+        with pytest.raises(ValueError):
+            SPDOnline.restore(blob)
+        assert isinstance(SPDOnlineK.restore(blob), SPDOnlineK)
+
+    def test_trf_checkpoint_roundtrip(self):
+        from repro.core.closure import SPClosureEngine
+        from repro.vc.timestamps import TRFTimestamps
+
+        trace = as_trace(load_trace(CORPUS[0]))
+        ts = TRFTimestamps(trace)
+        blob = ts.checkpoint()
+        restored = TRFTimestamps.restore(trace, blob)
+        for i in range(len(trace)):
+            assert restored.of(i) == ts.of(i)
+            assert restored.epoch(i) == ts.epoch(i)
+        other = as_trace(generate_random_trace(config_for(3)))
+        with pytest.raises(ValueError):
+            TRFTimestamps.restore(other, blob)
+        engine = SPClosureEngine.restore(trace, blob)
+        fresh = SPClosureEngine(trace)
+        seed_clock = fresh.pred_timestamp_of_events(range(min(4, len(trace))))
+        assert engine.compute(seed_clock.copy()) == fresh.compute(seed_clock.copy())
+
+    def test_shard_cells_share_one_trf_derivation(self):
+        """ROADMAP lever (a): per-component TRFTimestamps are derived
+        once and shared across that component's phase-2 cells."""
+        from repro.exp.runner import InlineRunner
+        from repro.exp.shard import spd_offline_sharded, split_trace
+        from repro.trace.builder import TraceBuilder
+        from repro.vc.timestamps import TRFTimestamps
+
+        b = TraceBuilder()
+        for l1, l2 in (("l1", "l2"), ("l3", "l4")):
+            b.acq("t1", l1); b.acq("t1", l2)
+            b.rel("t1", l2); b.rel("t1", l1)
+            b.acq("t2", l2); b.acq("t2", l1)
+            b.rel("t2", l1); b.rel("t2", l2)
+        trace = as_trace(b.build())
+        plan = split_trace(trace, jobs=2)
+        assert plan.num_components == 1 and len(plan.cells) == 2
+        serial = spd_offline(trace)
+        before = TRFTimestamps.computations
+        sharded = spd_offline_sharded(trace, jobs=2, runner=InlineRunner())
+        derivations = TRFTimestamps.computations - before
+        assert derivations == 1, \
+            f"expected one shared derivation for 2 cells, got {derivations}"
+        assert [r.pattern.events for r in sharded.reports] == \
+            [r.pattern.events for r in serial.reports]
+
+
+class TestMonitorSession:
+    """The runtime monitor rides the session layer."""
+
+    def test_monitor_exposes_session_trace(self):
+        from repro.runtime.monitor import run_with_monitor
+        from repro.runtime.programs import inverse_order_program
+
+        out = run_with_monitor(inverse_order_program("Mon"), max_steps=10_000)
+        assert out.session is not None
+        view = out.session.as_trace()
+        assert len(view) == len(out.execution.trace)
+        assert [e.op for e in view] == [e.op for e in out.execution.trace]
+
+    def test_monitor_bounded_memory(self):
+        from repro.runtime.monitor import run_with_monitor
+        from repro.runtime.programs import inverse_order_program
+
+        out = run_with_monitor(inverse_order_program("Mon"), max_steps=10_000,
+                               max_memory_events=64)
+        assert out.session.bounded
+        exact = run_with_monitor(inverse_order_program("Mon"), max_steps=10_000)
+        assert {r.bug_id for r in out.predictions} <= \
+            {r.bug_id for r in exact.predictions} | \
+            ({exact.execution.deadlock_bug_id}
+             if exact.execution.deadlocked else set())
+
+
+class TestFileFeeds:
+    """Incremental file parsing matches the one-shot loader."""
+
+    @pytest.mark.parametrize("path", CORPUS[:4], ids=os.path.basename)
+    def test_feed_file_identical(self, path):
+        from repro.trace.compiled import load_compiled_trace
+
+        ref = load_compiled_trace(path)
+        session = StreamSession(name=path, batch_size=13)
+        det = SPDOnline()
+        session.attach(det)
+        session.feed_file(path, batch_size=13)
+        session.close()
+        assert session.compiled.ops == ref.ops
+        assert session.compiled.thread_ids == ref.thread_ids
+        assert session.compiled.target_ids == ref.target_ids
+        assert session.compiled.locs == ref.locs
+        assert online_key(det.reports) == online_key(spd_online(ref).reports)
+
+    def test_feed_gz(self, tmp_path):
+        import gzip
+
+        src = CORPUS[0]
+        gz = str(tmp_path / "t.std.gz")
+        with open(src, "rb") as fin, gzip.open(gz, "wb") as fout:
+            fout.write(fin.read())
+        session = StreamSession(name="gz", batch_size=5)
+        session.feed_file(gz, batch_size=5)
+        session.close()
+        from repro.trace.compiled import load_compiled_trace
+
+        assert session.compiled.ops == load_compiled_trace(src).ops
+
+
+class TestStreamFuzz:
+    @pytest.mark.fuzz
+    def test_fuzz_long_loop(self):
+        """Nightly-style loop: REPRO_FUZZ_ITERS=N pytest -m fuzz ..."""
+        raw = os.environ.get("REPRO_FUZZ_ITERS", "0")
+        iters = int(raw) if raw.isdigit() else 0
+        if iters <= 0:
+            pytest.skip("set REPRO_FUZZ_ITERS to a positive integer "
+                        "to run the long fuzz loop")
+        for seed in range(QUICK_ITERS, QUICK_ITERS + iters):
+            trace = as_trace(generate_random_trace(config_for(seed)))
+            fed = session_fed(trace.compiled, BATCHES[seed % len(BATCHES)])
+            exact = spd_online(trace.compiled).reports
+            assert online_key(fed["online"].reports) == online_key(exact), \
+                f"seed={seed}"
+            det = SPDOnline(max_memory_events=16 + seed % 64)
+            det.run(trace.compiled)
+            assert_eviction_sound(trace, det, exact, f"seed={seed}")
