@@ -24,7 +24,9 @@ fi
 echo "== tier-1 tests (includes the property-equivalence suites:"
 echo "   tests/test_perf_equivalence.py + tests/test_trace_index.py, the"
 echo "   quick shard-differential slice: tests/test_shard_differential.py,"
-echo "   and the streaming-session slice: tests/test_stream.py) =="
+echo "   the streaming-session slice: tests/test_stream.py, and the"
+echo "   resilience + chaos bit-identity suites: tests/test_resilience.py"
+echo "   + tests/test_chaos.py) =="
 python -m pytest -x -q
 
 echo "== perf smoke (floors skipped) + bounded-memory ceiling =="
@@ -41,6 +43,7 @@ case "${REPRO_FUZZ_ITERS:-0}" in
     0)
         : ;;
     *)
-        echo "== shard-differential + streaming fuzz loops (REPRO_FUZZ_ITERS=${REPRO_FUZZ_ITERS}) =="
-        python -m pytest -q -m fuzz tests/test_shard_differential.py tests/test_stream.py ;;
+        echo "== shard-differential + streaming fuzz loops + seeded fault sweep (REPRO_FUZZ_ITERS=${REPRO_FUZZ_ITERS}) =="
+        python -m pytest -q -m fuzz tests/test_shard_differential.py \
+            tests/test_stream.py tests/test_chaos.py ;;
 esac

@@ -1,6 +1,6 @@
 """``python -m repro`` entry point."""
 
-from repro.cli import main
+from repro.cli import entry
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(entry())

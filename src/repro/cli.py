@@ -326,6 +326,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.exp.campaign import CampaignError, load_campaign
     from repro.exp.cache import ResultCache
     from repro.exp.report import render_markdown, run_to_json
+    from repro.exp.resilience import JOURNAL_NAME, RunJournal, locate_journal
     from repro.exp.runner import InlineRunner, ProcessPoolRunner
 
     try:
@@ -333,6 +334,21 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     except (CampaignError, OSError, ValueError) as exc:
         print(f"bad campaign: {exc}", file=sys.stderr)
         return 2
+    if args.retries is not None:
+        if args.retries < 1:
+            print("--retries must be >= 1", file=sys.stderr)
+            return 2
+        campaign.retry = dict(campaign.retry or {},
+                              max_attempts=args.retries)
+
+    resume = None
+    if args.resume:
+        journal_path = locate_journal(args.resume)
+        try:
+            resume = RunJournal.load(journal_path)
+        except OSError as exc:
+            print(f"cannot load journal: {exc}", file=sys.stderr)
+            return 2
 
     out_dir = args.out or os.path.join("bench_runs", campaign.name)
     os.makedirs(out_dir, exist_ok=True)
@@ -348,11 +364,16 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
 
     def progress(res) -> None:
         if not args.quiet:
-            mark = "cached" if res.cached else res.status
+            mark = ("cached" if res.cached
+                    else "journal" if res.replayed else res.status)
             print(f"  [{mark:>7s}] {res.trace_name} × {res.detector_id}",
                   file=sys.stderr)
 
-    run = runner.run(campaign, cache=cache, progress=progress)
+    with RunJournal(os.path.join(out_dir, JOURNAL_NAME)) as journal:
+        journal.start(campaign.name, resumed=resume is not None)
+        run = runner.run(campaign, cache=cache, progress=progress,
+                         journal=journal, resume=resume)
+        journal.finalize(cells=run.num_cells, interrupted=run.interrupted)
     record = run_to_json(run)
     markdown = render_markdown(record)
 
@@ -366,10 +387,42 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
 
     print(markdown)
     counts = run.counts()
-    print(f"{run.num_cells} cell(s) in {run.elapsed:.2f}s "
-          f"({run.cache_hits} cached, {counts['timeout']} timeout, "
-          f"{counts['error']} error) -> {run_path}")
-    return 0 if counts["error"] == 0 else 1
+    summary = (f"{run.num_cells} cell(s) in {run.elapsed:.2f}s "
+               f"({run.cache_hits} cached, {run.journal_replays} replayed, "
+               f"{counts['timeout']} timeout, {counts['error']} error")
+    if counts["quarantined"]:
+        summary += f", {counts['quarantined']} quarantined"
+    if counts["fault"]:
+        summary += f", {counts['fault']} fault"
+    summary += f") -> {run_path}"
+    print(summary)
+    if run.interrupted:
+        print(f"interrupted: partial run journaled; resume with "
+              f"--resume {out_dir}", file=sys.stderr)
+        return 3
+    bad = counts["error"] + counts["quarantined"] + counts["fault"]
+    return 0 if bad == 0 else 3
+
+
+def _cmd_bench_cache(args: argparse.Namespace) -> int:
+    from repro.exp.cache import ResultCache
+
+    if not args.verify:
+        print("nothing to do: pass --verify to scan and prune the cache",
+              file=sys.stderr)
+        return 2
+    root = args.dir
+    nested = os.path.join(root, "cache")
+    if not os.path.isdir(root):
+        print(f"no such directory: {root}", file=sys.stderr)
+        return 2
+    if os.path.isdir(nested):            # accept a bench-run out dir
+        root = nested
+    stats = ResultCache(root).verify(prune=not args.no_prune)
+    print(f"{root}: {stats['scanned']} entrie(s) scanned, "
+          f"{stats['ok']} ok, {stats['corrupt']} corrupt, "
+          f"{stats['pruned']} pruned")
+    return 0 if stats["corrupt"] == 0 else 1
 
 
 def _cmd_bench_report(args: argparse.Namespace) -> int:
@@ -517,7 +570,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ignore and do not write the result cache")
     p_brun.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress on stderr")
+    p_brun.add_argument("--resume", default=None, metavar="RUN",
+                        help="replay completed cells from a previous run's "
+                             "journal (a run output directory or the "
+                             "journal.jsonl itself) and execute only the "
+                             "remainder")
+    p_brun.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retry failed cells up to N attempts with "
+                             "backoff; cells still failing are quarantined "
+                             "(overrides the campaign's [retry] "
+                             "max_attempts)")
     p_brun.set_defaults(func=_cmd_bench_run)
+
+    p_bcache = bench_sub.add_parser(
+        "cache", help="inspect/repair a bench result cache"
+    )
+    p_bcache.add_argument("dir", help="bench-run output directory (or the "
+                                      "cache directory itself)")
+    p_bcache.add_argument("--verify", action="store_true",
+                          help="scan every entry and prune corrupt ones")
+    p_bcache.add_argument("--no-prune", action="store_true",
+                          help="with --verify: report corrupt entries "
+                               "without deleting them")
+    p_bcache.set_defaults(func=_cmd_bench_cache)
 
     p_brep = bench_sub.add_parser("report", help="re-render a run.json")
     p_brep.add_argument("run", help="run.json from 'bench run'")
@@ -533,10 +608,57 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """Parse and dispatch; returns the exit code, *propagates* exceptions.
+
+    In-process callers (tests, scripting) get the raw exception; the
+    process entry point (:func:`entry`) maps it to the exit-code
+    contract below.
+    """
     args = build_parser().parse_args(argv)
     return args.func(args)
 
 
+#: exception types that mean "your input is bad", not "we broke".
+def _usage_error_types():
+    from repro.exp.campaign import CampaignError
+    from repro.faults import FaultSpecError
+    from repro.trace.compiled import TraceReadError
+    from repro.trace.parser import ParseError
+
+    return (FileNotFoundError, IsADirectoryError, PermissionError,
+            ParseError, TraceReadError, CampaignError, FaultSpecError)
+
+
+def entry(argv: Optional[List[str]] = None) -> int:
+    """Process entry point enforcing the exit-code contract:
+
+    - ``0`` — success, nothing found;
+    - ``1`` — findings (deadlocks/races reported, diff not clean,
+      corrupt cache entries found);
+    - ``2`` — usage or input error (bad flags, missing/corrupt files,
+      malformed campaign);
+    - ``3`` — internal error, or a run with crashed / quarantined /
+      fault-injected cells;
+    - ``130`` — interrupted (SIGINT convention).
+
+    Every error is a single actionable line on stderr; set
+    ``REPRO_DEBUG=1`` to re-raise with the full traceback.
+    """
+    try:
+        return main(argv)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        code = 2 if isinstance(exc, _usage_error_types()) else 3
+        kind = "error" if code == 2 else "internal error"
+        detail = " ".join(str(exc).split()) or type(exc).__name__
+        print(f"repro-deadlock: {kind}: {detail} "
+              f"(set REPRO_DEBUG=1 for the traceback)", file=sys.stderr)
+        return code
+
+
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(entry())

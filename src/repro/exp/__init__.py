@@ -16,7 +16,10 @@ this package runs such matrices as *campaigns*:
   (trace digest, detector, config, code version), so re-running a
   campaign only executes changed cells;
 - :mod:`repro.exp.report` — paper-style Table 1 / Table 2 emitters
-  (Markdown + JSON) and a run-to-run diff.
+  (Markdown + JSON) and a run-to-run diff;
+- :mod:`repro.exp.resilience` — the fault-tolerance layer: crash-safe
+  run journal + resume, declarative retry/backoff policies, and
+  quarantine for cells that exhaust their retries.
 
 The CLI front door is ``repro-deadlock bench run|report|diff``.
 """
@@ -28,6 +31,13 @@ from repro.exp.campaign import (
     DetectorSpec,
     TraceSource,
     load_campaign,
+)
+from repro.exp.resilience import (
+    JournalState,
+    RetryPolicy,
+    RunJournal,
+    journal_key,
+    locate_journal,
 )
 from repro.exp.runner import CellResult, CellTask, InlineRunner, ProcessPoolRunner, RunResult
 from repro.exp.report import diff_runs, render_markdown, run_to_json
@@ -61,8 +71,11 @@ __all__ = [
     "CellTask",
     "DetectorSpec",
     "InlineRunner",
+    "JournalState",
     "ProcessPoolRunner",
     "ResultCache",
+    "RetryPolicy",
+    "RunJournal",
     "RunResult",
     "ShardError",
     "ShardPlan",
@@ -71,7 +84,9 @@ __all__ = [
     "cell_key",
     "code_version",
     "diff_runs",
+    "journal_key",
     "load_campaign",
+    "locate_journal",
     "merge_shard_outputs",
     "render_markdown",
     "run_to_json",

@@ -275,6 +275,39 @@ def cell_key(trace_digest: str, detector_name: str, config: dict,
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+#: the contract a cached record must satisfy to be served: ``status``
+#: is required; the rest are type-checked when present.  A record that
+#: parses as JSON but fails this (truncated rewrite, foreign file,
+#: flipped type) is corruption, not data.
+_REQUIRED_FIELDS = {"status": str}
+_OPTIONAL_FIELDS = {
+    "trace": str,
+    "trace_digest": str,
+    "detector": str,
+    "detector_name": str,
+    "config": dict,
+    "output": dict,
+    "error": str,
+    "times": list,
+    "num_events": int,
+    "attempts": list,
+}
+
+
+def validate_record(record) -> bool:
+    """Is ``record`` a well-formed cached cell result?"""
+    if not isinstance(record, dict):
+        return False
+    for name, types in _REQUIRED_FIELDS.items():
+        if name not in record or not isinstance(record[name], types):
+            return False
+    for name, types in _OPTIONAL_FIELDS.items():
+        value = record.get(name)
+        if value is not None and not isinstance(value, types):
+            return False
+    return True
+
+
 class ResultCache:
     """Filesystem-backed cell-result store."""
 
@@ -285,11 +318,61 @@ class ResultCache:
         return os.path.join(self.root, key[:2], f"{key}.json")
 
     def get(self, key: str) -> Optional[dict]:
+        """The record under ``key``, or None.
+
+        Corruption degrades to a miss: unreadable files, invalid JSON,
+        and schema-invalid records (a torn write that still parses, a
+        record from a future schema) all return None — and the bad
+        entry is deleted so the re-computed result can replace it.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as fh:
-                return json.load(fh)
-        except (OSError, json.JSONDecodeError):
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except FileNotFoundError:
             return None
+        except (OSError, json.JSONDecodeError):
+            self._discard(path)
+            return None
+        if not validate_record(record):
+            self._discard(path)
+            return None
+        return record
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def verify(self, prune: bool = True) -> Dict[str, int]:
+        """Scan every entry; optionally prune the corrupt ones.
+
+        Returns ``{"scanned": n, "ok": n, "corrupt": n, "pruned": n}``
+        (``repro bench cache --verify``).
+        """
+        stats = {"scanned": 0, "ok": 0, "corrupt": 0, "pruned": 0}
+        for dirpath, _, files in os.walk(self.root):
+            for fn in sorted(files):
+                if not fn.endswith(".json"):
+                    continue
+                stats["scanned"] += 1
+                path = os.path.join(dirpath, fn)
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        record = json.load(fh)
+                    good = validate_record(record)
+                except (OSError, json.JSONDecodeError):
+                    good = False
+                if good:
+                    stats["ok"] += 1
+                    continue
+                stats["corrupt"] += 1
+                if prune:
+                    self._discard(path)
+                    stats["pruned"] += 1
+        return stats
 
     def put(self, key: str, record: dict) -> None:
         path = self._path(key)

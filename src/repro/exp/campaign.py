@@ -23,6 +23,12 @@ Python (the perf benchmark does) or loaded from a TOML/JSON file
     name = "windowed"
     config = { window = 2000 }
     only = ["sigma*"]              # fnmatch over trace names
+    retry = { max_attempts = 1 }   # opt this column out of retries
+
+    [retry]                        # campaign-wide RetryPolicy
+    max_attempts = 3               # (see repro.exp.resilience); a
+    backoff = 1.0                  # detector's own retry table is
+    jitter = 0.25                  # layered on top of it
 
 Trace sources know how to *digest* themselves (the content address the
 result cache keys on) and how to *load* themselves inside a worker
@@ -140,7 +146,12 @@ class TraceSource:
 
 @dataclass
 class DetectorSpec:
-    """One detector column: registry name + config + cell policy."""
+    """One detector column: registry name + config + cell policy.
+
+    ``retry`` is a raw :class:`~repro.exp.resilience.RetryPolicy` spec
+    dict; it layers over the campaign-level policy field by field (the
+    effective policy is resolved in :meth:`Campaign.cells`).
+    """
 
     name: str
     id: str = ""                        # display id; defaults to name
@@ -148,6 +159,7 @@ class DetectorSpec:
     timeout: Optional[float] = None     # None = campaign default
     repeats: Optional[int] = None       # None = campaign default
     only: List[str] = field(default_factory=list)  # fnmatch over trace names
+    retry: Optional[Dict] = None        # RetryPolicy overrides
 
     def __post_init__(self) -> None:
         try:
@@ -159,6 +171,14 @@ class DetectorSpec:
                 f"detector {self.name!r}: timeout must be positive "
                 "(omit it for no timeout)"
             )
+        if self.retry is not None:
+            from repro.exp.resilience import RetryPolicy
+
+            try:                        # fail fast on a bad spec
+                RetryPolicy.from_json(self.retry)
+            except ValueError as exc:
+                raise CampaignError(
+                    f"detector {self.name!r}: {exc}") from None
         if not self.id:
             self.id = self.name
 
@@ -177,6 +197,8 @@ class DetectorSpec:
             out["repeats"] = self.repeats
         if self.only:
             out["only"] = self.only
+        if self.retry is not None:
+            out["retry"] = self.retry
         return out
 
 
@@ -190,11 +212,19 @@ class Campaign:
     default_timeout: Optional[float] = 120.0
     default_repeats: int = 1
     include_stats: bool = True          # implicit Table 1 stats cell per trace
+    retry: Optional[Dict] = None        # campaign-wide RetryPolicy spec
 
     def __post_init__(self) -> None:
         if self.default_timeout is not None and self.default_timeout <= 0:
             raise CampaignError("default_timeout must be positive "
                                 "(use None for no timeout)")
+        if self.retry is not None:
+            from repro.exp.resilience import RetryPolicy
+
+            try:
+                RetryPolicy.from_json(self.retry)
+            except ValueError as exc:
+                raise CampaignError(str(exc)) from None
         names = [t.name for t in self.traces]
         dupes = {n for n in names if names.count(n) > 1}
         if dupes:
@@ -205,6 +235,20 @@ class Campaign:
             raise CampaignError(
                 f"duplicate detector ids: {sorted(dupes)} (set 'id' to disambiguate)"
             )
+
+    def effective_retry(self, det: DetectorSpec):
+        """The resolved retry policy for one detector column: its
+        ``retry`` table layered over the campaign's (None when neither
+        sets one — the runner keeps classic single-attempt statuses)."""
+        if self.retry is None and det.retry is None:
+            return None
+        from repro.exp.resilience import RetryPolicy
+
+        base = (RetryPolicy.from_json(self.retry)
+                if self.retry is not None else None)
+        if det.retry is None:
+            return base
+        return RetryPolicy.from_json(det.retry, base=base)
 
     def cells(self) -> List["CellTask"]:
         """The deterministic cell list: trace-major, detector-minor,
@@ -219,6 +263,7 @@ class Campaign:
         ):
             columns.insert(0, DetectorSpec(name="stats", repeats=1))
         tasks: List[CellTask] = []
+        policies = {d.id: self.effective_retry(d) for d in columns}
         for trace in self.traces:
             digest = trace.digest()
             for det in columns:
@@ -233,17 +278,21 @@ class Campaign:
                     else self.default_timeout,
                     repeats=det.repeats if det.repeats is not None
                     else self.default_repeats,
+                    retry=policies[det.id],
                 ))
         return tasks
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "default_timeout": self.default_timeout,
             "default_repeats": self.default_repeats,
             "traces": [t.to_json() for t in self.traces],
             "detectors": [d.to_json() for d in self.detectors],
         }
+        if self.retry is not None:
+            out["retry"] = self.retry
+        return out
 
 
 def _trace_name_for_path(path: str) -> str:
@@ -349,6 +398,7 @@ def load_campaign(path: str) -> Campaign:
                 timeout=d.get("timeout"),
                 repeats=d.get("repeats"),
                 only=list(d.get("only", [])),
+                retry=dict(d["retry"]) if "retry" in d else None,
             )
             for d in data.get("detectors", [])
         ]
@@ -361,6 +411,7 @@ def load_campaign(path: str) -> Campaign:
         default_timeout=data.get("default_timeout", 120.0),
         default_repeats=int(data.get("default_repeats", 1)),
         include_stats=bool(data.get("include_stats", True)),
+        retry=dict(data["retry"]) if "retry" in data else None,
     )
     if not campaign.traces:
         raise CampaignError(f"campaign {campaign.name!r} has no traces")

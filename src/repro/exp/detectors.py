@@ -289,5 +289,10 @@ def _crash(trace, config: dict) -> dict:
     mode = config.get("mode", "exit")
     if mode == "exit":                       # simulates a segfault/OOM kill
         import os
+        import sys
+
+        # last words on stderr: pins the pool's per-cell stderr capture
+        sys.stderr.write("synthetic crash: about to _exit\n")
+        sys.stderr.flush()
         os._exit(int(config.get("code", 139)))
     raise RuntimeError("synthetic detector crash")

@@ -6,7 +6,8 @@
 - **Table 2** (per-detector outcomes): one row per trace, one column
   per detector showing the headline count and best time —
   ``F`` for a tool's own failure, ``TO``/``ERR`` for cells the runner
-  timed out or that crashed.
+  timed out or that crashed, ``QUAR`` for cells quarantined after
+  exhausting their retry budget, ``FLT`` for injected faults.
 - **JSON record**: the full run (campaign spec + every cell) with
   stable key order; :func:`diff_runs` compares two of these cell by
   cell, ignoring timing, which makes it the regression tracker —
@@ -23,7 +24,9 @@ from repro.analysis.comparison import exclusive_bugs
 from repro.exp.cache import code_version
 from repro.exp.runner import (
     STATUS_ERROR,
+    STATUS_FAULT,
     STATUS_OK,
+    STATUS_QUARANTINED,
     STATUS_TIMEOUT,
     RunResult,
 )
@@ -37,7 +40,7 @@ RUN_SCHEMA = 1
 
 def run_to_json(run: RunResult) -> dict:
     """The persistent record of one campaign execution."""
-    return {
+    out = {
         "schema": RUN_SCHEMA,
         "campaign": run.campaign.to_json(),
         "code_version": code_version(),
@@ -48,6 +51,11 @@ def run_to_json(run: RunResult) -> dict:
         "status_counts": run.counts(),
         "cells": [r.to_json() for r in run.results],
     }
+    if run.journal_replays:
+        out["journal_replays"] = run.journal_replays
+    if run.interrupted:
+        out["interrupted"] = True
+    return out
 
 
 def _cells_by_trace(cells: List[dict]) -> "Dict[str, Dict[str, dict]]":
@@ -89,6 +97,10 @@ def _format_cell(cell: Optional[dict]) -> str:
         return "TO"
     if cell["status"] == STATUS_ERROR:
         return "ERR"
+    if cell["status"] == STATUS_QUARANTINED:
+        return "QUAR"
+    if cell["status"] == STATUS_FAULT:
+        return "FLT"
     out = cell["output"] or {}
     if out.get("failed"):
         return "F"
@@ -144,17 +156,31 @@ def render_markdown(record: dict) -> str:
     campaign = record["campaign"]
     cells = record["cells"]
     counts = record.get("status_counts", {})
-    fresh = record["num_cells"] - record.get("cache_hits", 0)
+    fresh = (record["num_cells"] - record.get("cache_hits", 0)
+             - record.get("journal_replays", 0))
+    status_line = (f"- status: {counts.get(STATUS_OK, 0)} ok, "
+                   f"{counts.get(STATUS_TIMEOUT, 0)} timeout, "
+                   f"{counts.get(STATUS_ERROR, 0)} error")
+    if counts.get(STATUS_QUARANTINED):
+        status_line += f", {counts[STATUS_QUARANTINED]} quarantined"
+    if counts.get(STATUS_FAULT):
+        status_line += f", {counts[STATUS_FAULT]} fault"
+    cells_line = (f"- cells: {record['num_cells']} "
+                  f"({record.get('cache_hits', 0)} cached, {fresh} executed)")
+    if record.get("journal_replays"):
+        cells_line += f", {record['journal_replays']} replayed from journal"
     head = [
         f"# Campaign `{campaign['name']}`",
         "",
-        f"- cells: {record['num_cells']} "
-        f"({record.get('cache_hits', 0)} cached, {fresh} executed)",
-        f"- status: {counts.get(STATUS_OK, 0)} ok, "
-        f"{counts.get(STATUS_TIMEOUT, 0)} timeout, "
-        f"{counts.get(STATUS_ERROR, 0)} error",
+        cells_line,
+        status_line,
         f"- code version: `{record.get('code_version', '?')}`, "
         f"wall clock {record.get('elapsed', 0.0):.3f}s",
+    ]
+    if record.get("interrupted"):
+        head.append("- **interrupted run** — partial results; resume with "
+                    "`bench run --resume`")
+    head += [
         "",
         "## Table 1 — trace characteristics",
         "",
@@ -162,7 +188,9 @@ def render_markdown(record: dict) -> str:
         "",
         "## Table 2 — detector outcomes (count / best time)",
         "",
-        "`F` = tool failure (by design), `TO` = timeout, `ERR` = crashed cell.",
+        "`F` = tool failure (by design), `TO` = timeout, `ERR` = crashed "
+        "cell, `QUAR` = quarantined (retries exhausted), `FLT` = injected "
+        "fault.",
         "",
         table2_markdown(cells),
         "",

@@ -16,10 +16,26 @@ differ only in *where* the cell runs:
 Workers hand results back through per-cell JSON files written
 atomically into a private temp directory — no pipe buffering limits,
 and a worker that dies mid-cell simply leaves no file, which the
-parent records as the crash it was.  Results always come back in
-campaign cell order regardless of completion order, so parallel and
-serial runs are cell-for-cell comparable (modulo timing fields, which
-:meth:`CellResult.comparable` strips).
+parent records as the crash it was.  Worker stderr is captured per
+attempt, so crash diagnostics include the tool's last words.  Results
+always come back in campaign cell order regardless of completion
+order, so parallel and serial runs are cell-for-cell comparable
+(modulo timing fields, which :meth:`CellResult.comparable` strips).
+
+Fault tolerance (:mod:`repro.exp.resilience`) is threaded through both
+runners identically:
+
+- failed attempts retry with deterministic backoff per the cell's
+  :class:`~repro.exp.resilience.RetryPolicy`; cells that exhaust their
+  retries are **quarantined** (``status="quarantined"``) with the full
+  attempt timeline, not silently dropped and not fatal;
+- every attempt and every final outcome is appended to the run's
+  crash-safe journal, and ``resume`` replays journaled outcomes so an
+  interrupted run re-executes only the remainder;
+- SIGINT/SIGTERM *drain*: in-flight workers finish and are journaled,
+  unstarted cells are skipped, and the partial, loadable
+  :class:`RunResult` comes back with ``interrupted=True``.  A second
+  signal force-aborts.
 """
 
 from __future__ import annotations
@@ -29,23 +45,38 @@ import multiprocessing
 import os
 import shutil
 import signal
+import sys
 import tempfile
 import threading
 import time
 import traceback
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
+import repro.faults as faults
 from repro.exp.cache import ResultCache, cell_key, detector_code_version
 from repro.exp.campaign import Campaign, DetectorSpec, TraceSource
 from repro.exp.detectors import get_adapter
+from repro.exp.resilience import (
+    NO_RETRY,
+    JournalState,
+    RetryPolicy,
+    RunJournal,
+    journal_key,
+)
 
 STATUS_OK = "ok"
 STATUS_TIMEOUT = "timeout"
 STATUS_ERROR = "error"
+STATUS_FAULT = "fault"                   # injected fault (repro.faults)
+STATUS_QUARANTINED = "quarantined"       # retries exhausted
 
-#: statuses worth caching (errors always re-run).
+#: statuses worth caching (errors/faults/quarantines always re-run).
 _CACHEABLE = (STATUS_OK, STATUS_TIMEOUT)
+
+#: how much captured worker stderr survives into diagnostics.
+_STDERR_TAIL_BYTES = 2048
 
 
 @dataclass
@@ -58,6 +89,8 @@ class CellTask:
     detector: DetectorSpec
     timeout: Optional[float]
     repeats: int
+    retry: Optional[RetryPolicy] = None
+    attempt: int = 1                     # 1-based; not part of the key
 
     def key(self) -> str:
         # Version the key by the detector's module dependency closure,
@@ -68,6 +101,10 @@ class CellTask:
                         self.detector.config, self.timeout, self.repeats,
                         version=detector_code_version(self.detector.name))
 
+    @property
+    def policy(self) -> RetryPolicy:
+        return self.retry if self.retry is not None else NO_RETRY
+
 
 @dataclass
 class CellResult:
@@ -76,7 +113,10 @@ class CellResult:
     ``status`` is about the *runner*: ``ok`` means the adapter returned
     (even if the tool reported its own failure as data, e.g. SeqCheck's
     ``F``), ``timeout`` means the wall-clock budget expired, ``error``
-    means the cell crashed (exception, signal, or dead worker).
+    means the cell crashed (exception, signal, or dead worker),
+    ``fault`` means an injected fault fired (:mod:`repro.faults`), and
+    ``quarantined`` means the cell kept failing until its retry budget
+    ran out — ``attempts`` then carries the full timeline.
     """
 
     index: int
@@ -91,6 +131,9 @@ class CellResult:
     num_events: Optional[int] = None
     times: List[float] = field(default_factory=list)
     cached: bool = False
+    replayed: bool = False               # served from the run journal
+    attempts: List[dict] = field(default_factory=list)
+    timeout_enforced: bool = True
 
     @property
     def elapsed(self) -> Optional[float]:
@@ -119,10 +162,17 @@ class CellResult:
         out["times"] = [round(t, 6) for t in self.times]
         out["elapsed"] = round(self.elapsed, 6) if self.times else None
         out["cached"] = self.cached
+        if self.replayed:
+            out["replayed"] = True
+        if self.attempts:
+            out["attempts"] = self.attempts
+        if not self.timeout_enforced:
+            out["timeout_enforced"] = False
         return out
 
     @classmethod
-    def from_json(cls, index: int, rec: dict, cached: bool = False) -> "CellResult":
+    def from_json(cls, index: int, rec: dict, cached: bool = False,
+                  replayed: bool = False) -> "CellResult":
         return cls(
             index=index,
             trace_name=rec["trace"],
@@ -136,24 +186,44 @@ class CellResult:
             num_events=rec.get("num_events"),
             times=list(rec.get("times", [])),
             cached=cached,
+            replayed=replayed,
+            attempts=list(rec.get("attempts", [])),
+            timeout_enforced=rec.get("timeout_enforced", True),
         )
 
 
 @dataclass
+class RunStats:
+    """Execution bookkeeping ``run_tasks`` hands back beside results."""
+
+    cache_hits: int = 0
+    journal_replays: int = 0
+    interrupted: bool = False
+
+
+@dataclass
 class RunResult:
-    """One campaign execution: ordered cell results + bookkeeping."""
+    """One campaign execution: ordered cell results + bookkeeping.
+
+    ``interrupted`` runs carry only the cells that finished (or were
+    replayed) before the drain — still a loadable, reportable result;
+    resume picks up the rest from the journal.
+    """
 
     campaign: Campaign
     results: List[CellResult] = field(default_factory=list)
     elapsed: float = 0.0
     cache_hits: int = 0
+    journal_replays: int = 0
+    interrupted: bool = False
 
     @property
     def num_cells(self) -> int:
         return len(self.results)
 
     def counts(self) -> Dict[str, int]:
-        out = {STATUS_OK: 0, STATUS_TIMEOUT: 0, STATUS_ERROR: 0}
+        out = {STATUS_OK: 0, STATUS_TIMEOUT: 0, STATUS_ERROR: 0,
+               STATUS_FAULT: 0, STATUS_QUARANTINED: 0}
         for r in self.results:
             out[r.status] = out.get(r.status, 0) + 1
         return out
@@ -173,6 +243,18 @@ class _CellTimeout(Exception):
     pass
 
 
+class _DrainInterrupt(BaseException):
+    """SIGINT/SIGTERM during a run: drain, journal, finalize.
+
+    Derives from ``BaseException`` so a cell's blanket ``except
+    Exception`` cannot swallow the shutdown request.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"interrupted by signal {signum}")
+        self.signum = signum
+
+
 def run_cell(task: CellTask) -> CellResult:
     """Execute one cell in the current process (no timeout handling)."""
     base = dict(
@@ -184,6 +266,8 @@ def run_cell(task: CellTask) -> CellResult:
         config=task.detector.config,
     )
     try:
+        faults.fire("cell", index=task.index, attempt=task.attempt,
+                    detector=task.detector.id, trace=task.trace.name)
         adapter = get_adapter(task.detector.name)
         trace = task.trace.load()
         num_events = len(trace)
@@ -198,6 +282,8 @@ def run_cell(task: CellTask) -> CellResult:
     except _CellTimeout:
         return CellResult(status=STATUS_TIMEOUT,
                           error=f"timed out after {task.timeout}s", **base)
+    except faults.InjectedFault as exc:
+        return CellResult(status=STATUS_FAULT, error=str(exc), **base)
     except Exception:
         return CellResult(status=STATUS_ERROR,
                           error=traceback.format_exc(limit=20), **base)
@@ -216,7 +302,11 @@ def _timeout_result(task: CellTask) -> CellResult:
     )
 
 
-def _crash_result(task: CellTask, exitcode: Optional[int]) -> CellResult:
+def _crash_result(task: CellTask, exitcode: Optional[int],
+                  stderr_tail: str = "") -> CellResult:
+    detail = f"worker died with exit code {exitcode} before reporting a result"
+    if stderr_tail:
+        detail += f"; stderr tail:\n{stderr_tail}"
     return CellResult(
         index=task.index,
         trace_name=task.trace.name,
@@ -225,71 +315,184 @@ def _crash_result(task: CellTask, exitcode: Optional[int]) -> CellResult:
         detector_id=task.detector.id,
         config=task.detector.config,
         status=STATUS_ERROR,
-        error=f"worker died with exit code {exitcode} before reporting a result",
+        error=detail,
     )
 
 
+def _attempt_record(task: CellTask, res: CellResult,
+                    stderr_tail: str = "") -> dict:
+    """One entry of a cell's attempt timeline (quarantine diagnostics)."""
+    rec = {
+        "attempt": task.attempt,
+        "status": res.status,
+        "elapsed": round(res.elapsed, 6) if res.times else None,
+    }
+    if res.error:
+        rec["error"] = res.error[-500:]
+    if stderr_tail:
+        rec["stderr_tail"] = stderr_tail
+    return rec
+
+
+def _quarantined(res: CellResult, timeline: List[dict]) -> CellResult:
+    """The terminal record of a cell that exhausted its retries."""
+    last = res.error or res.status
+    return replace(
+        res,
+        status=STATUS_QUARANTINED,
+        output=None,
+        error=(f"quarantined after {len(timeline)} failed attempt(s); "
+               f"last failure ({res.status}): {last}"),
+        attempts=list(timeline),
+    )
+
+
+def _restamp(res: CellResult, task: CellTask) -> CellResult:
+    # The key hashes content (digest/config), not display identity —
+    # restamp the current task's names so a renamed trace or re-id'd
+    # detector never resurrects the labels it was first cached under.
+    res.trace_name = task.trace.name
+    res.detector_name = task.detector.name
+    res.detector_id = task.detector.id
+    return res
+
+
+def _stderr_tail(path: Optional[str]) -> str:
+    if not path:
+        return ""
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            fh.seek(max(0, size - _STDERR_TAIL_BYTES))
+            return fh.read().decode("utf-8", errors="replace").strip()
+    except OSError:
+        return ""
+
+
 class _BaseRunner:
-    """Shared cache-aware orchestration; subclasses run the misses."""
+    """Shared cache/journal-aware orchestration; subclasses run the
+    misses through :meth:`_execute`."""
 
     def run(self, campaign: Campaign, cache: Optional[ResultCache] = None,
-            progress: Optional[Callable[[CellResult], None]] = None) -> RunResult:
+            progress: Optional[Callable[[CellResult], None]] = None,
+            journal: Optional[RunJournal] = None,
+            resume: Optional[JournalState] = None) -> RunResult:
         start = time.perf_counter()
         tasks = campaign.cells()
-        ordered, hits = self.run_tasks(tasks, cache=cache, progress=progress)
+        ordered, stats = self.run_tasks(tasks, cache=cache, progress=progress,
+                                        journal=journal, resume=resume)
         return RunResult(campaign=campaign, results=ordered,
-                         elapsed=time.perf_counter() - start, cache_hits=hits)
+                         elapsed=time.perf_counter() - start,
+                         cache_hits=stats.cache_hits,
+                         journal_replays=stats.journal_replays,
+                         interrupted=stats.interrupted)
 
     def run_tasks(self, tasks: List[CellTask],
                   cache: Optional[ResultCache] = None,
                   progress: Optional[Callable[[CellResult], None]] = None,
-                  ) -> Tuple[List[CellResult], int]:
-        """Run a bare task list (cache-aware); returns ``(results in
-        task order, cache hits)``.  The seam the sharded campaign
-        runner (:mod:`repro.exp.shard`) uses to mix shard cells and
-        ordinary cells over one pool."""
+                  journal: Optional[RunJournal] = None,
+                  resume: Optional[JournalState] = None,
+                  ) -> Tuple[List[CellResult], RunStats]:
+        """Run a bare task list; returns ``(results in task order,
+        run stats)``.  The seam the sharded campaign runner
+        (:mod:`repro.exp.shard`) uses to mix shard cells and ordinary
+        cells over one pool.
+
+        Resolution order per cell: journal replay (``resume``) beats
+        cache hit beats execution.  Fresh attempts retry/backoff per
+        the task's policy; every attempt and final outcome is appended
+        to ``journal``.  On SIGINT/SIGTERM the in-flight cells drain
+        and the returned list holds only completed cells
+        (``stats.interrupted`` set).
+        """
         results: Dict[int, CellResult] = {}
+        stats = RunStats()
         misses: List[CellTask] = []
         keys: Dict[int, str] = {}
+        jkeys: Dict[int, str] = {}
+        timelines: Dict[int, List[dict]] = {}
         for task in tasks:
+            jkey = jkeys[task.index] = journal_key(task)
+            if resume is not None:
+                rec = resume.replayable(jkey)
+                if rec is not None:
+                    hit = CellResult.from_json(task.index, rec, replayed=True)
+                    results[task.index] = _restamp(hit, task)
+                    stats.journal_replays += 1
+                    if journal is not None and resume.path != journal.path:
+                        journal.record_cell(jkey, hit.to_json())
+                    if progress is not None:
+                        progress(hit)
+                    continue
             key = keys[task.index] = task.key()
             rec = cache.get(key) if cache is not None else None
             if rec is not None:
                 hit = CellResult.from_json(task.index, rec, cached=True)
-                # The key hashes content (digest/config), not display
-                # identity — restamp the current task's names so a
-                # renamed trace or re-id'd detector never resurrects
-                # the labels it was first cached under.
-                hit.trace_name = task.trace.name
-                hit.detector_name = task.detector.name
-                hit.detector_id = task.detector.id
-                results[task.index] = hit
+                results[task.index] = _restamp(hit, task)
+                stats.cache_hits += 1
+                if journal is not None:
+                    journal.record_cell(jkey, hit.to_json())
                 if progress is not None:
                     progress(hit)
             else:
                 misses.append(task)
-        hits = len(results)
 
-        for res in self._run_tasks(misses, progress):
-            results[res.index] = res
+        def on_result(task: CellTask, res: CellResult, stderr_tail: str = "",
+                      stop: bool = False):
+            """Journal one attempt; returns ``(final, retry)`` where
+            exactly one is set: ``final`` is the finished cell, and
+            ``retry`` is ``(backoff delay, next-attempt task)``."""
+            policy = task.policy
+            timeline = timelines.setdefault(task.index, [])
+            timeline.append(_attempt_record(task, res, stderr_tail))
+            if journal is not None:
+                journal.record_attempt(jkeys[task.index], task.attempt,
+                                       res.status, res.error)
+            if not stop and policy.should_retry(res.status, task.attempt):
+                delay = policy.delay_for(jkeys[task.index], task.attempt)
+                return None, (delay, replace(task, attempt=task.attempt + 1))
+            if policy.exhausted(res.status, task.attempt):
+                res = _quarantined(res, timeline)
+            elif len(timeline) > 1:
+                res.attempts = list(timeline)
+            results[task.index] = res
             if cache is not None and res.status in _CACHEABLE:
-                cache.put(keys[res.index], res.to_json())
+                cache.put(keys[task.index], res.to_json())
+            if journal is not None:
+                journal.record_cell(jkeys[task.index], res.to_json())
+            if progress is not None:
+                progress(res)
+            return res, None
 
-        return [results[t.index] for t in tasks], hits
+        stats.interrupted = self._execute(misses, on_result)
+        ordered = [results[t.index] for t in tasks if t.index in results]
+        return ordered, stats
 
-    def _run_tasks(self, tasks: List[CellTask],
-                   progress: Optional[Callable[[CellResult], None]]):
+    def _execute(self, tasks: List[CellTask], on_result) -> bool:
+        """Run ``tasks``, reporting each attempt through ``on_result``
+        and scheduling the retries it returns; returns True when the
+        run was interrupted (drained early)."""
         raise NotImplementedError
+
+
+def _can_trap_signals() -> bool:
+    return threading.current_thread() is threading.main_thread()
 
 
 class InlineRunner(_BaseRunner):
     """Serial in-process execution with identical result semantics.
 
     Timeouts use ``SIGALRM`` and therefore require the main thread of a
-    Unix process; anywhere else the cell simply runs to completion
-    (pass ``enforce_timeouts=False`` to make that explicit, e.g. for
+    Unix process; anywhere else a one-time warning is emitted, the cell
+    simply runs to completion, and the result records
+    ``timeout_enforced: false`` so reports can flag it (pass
+    ``enforce_timeouts=False`` to make the opt-out explicit, e.g. for
     perf measurements where an alarm would perturb timings).
     """
+
+    #: process-wide: the unenforced-timeout warning fires once, not per cell.
+    _warned_unenforced = False
 
     def __init__(self, enforce_timeouts: bool = True) -> None:
         self.enforce_timeouts = enforce_timeouts
@@ -299,41 +502,97 @@ class InlineRunner(_BaseRunner):
                 and hasattr(signal, "SIGALRM")
                 and threading.current_thread() is threading.main_thread())
 
-    def _run_tasks(self, tasks, progress):
-        out = []
-        for task in tasks:
-            # non-positive timeouts mean "no timeout" in BOTH runners
-            # (campaign validation rejects them; this guards hand-built
-            # CellTasks, where setitimer(0) would silently disarm here
-            # while the pool runner would kill the worker immediately)
-            if task.timeout is not None and task.timeout > 0 and self._can_alarm():
-                def _on_alarm(signum, frame):
-                    raise _CellTimeout()
+    def _run_one(self, task: CellTask) -> CellResult:
+        # non-positive timeouts mean "no timeout" in BOTH runners
+        # (campaign validation rejects them; this guards hand-built
+        # CellTasks, where setitimer(0) would silently disarm here
+        # while the pool runner would kill the worker immediately)
+        wants_timeout = task.timeout is not None and task.timeout > 0
+        if wants_timeout and self._can_alarm():
+            def _on_alarm(signum, frame):
+                raise _CellTimeout()
 
-                old = signal.signal(signal.SIGALRM, _on_alarm)
-                signal.setitimer(signal.ITIMER_REAL, task.timeout)
-                # The outer except catches an alarm that fires outside
-                # run_cell's own handler — after it returned but before
-                # the timer is disarmed, or while it was building an
-                # error result.  The budget elapsed either way, so
-                # "timeout" is the honest verdict.
+            old = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, task.timeout)
+            # The outer except catches an alarm that fires outside
+            # run_cell's own handler — after it returned but before
+            # the timer is disarmed, or while it was building an
+            # error result.  The budget elapsed either way, so
+            # "timeout" is the honest verdict.
+            try:
                 try:
-                    try:
-                        res = run_cell(task)
-                    finally:
-                        signal.setitimer(signal.ITIMER_REAL, 0.0)
-                        signal.signal(signal.SIGALRM, old)
-                except _CellTimeout:
-                    res = _timeout_result(task)
-            else:
-                res = run_cell(task)
-            if progress is not None:
-                progress(res)
-            out.append(res)
-        return out
+                    res = run_cell(task)
+                finally:
+                    signal.setitimer(signal.ITIMER_REAL, 0.0)
+                    signal.signal(signal.SIGALRM, old)
+            except _CellTimeout:
+                res = _timeout_result(task)
+            return res
+        res = run_cell(task)
+        if wants_timeout and self.enforce_timeouts:
+            # A timeout was requested but could not be enforced (no
+            # SIGALRM / not the main thread): say so once, and mark the
+            # result so downstream reports can flag it.
+            res.timeout_enforced = False
+            if not InlineRunner._warned_unenforced:
+                InlineRunner._warned_unenforced = True
+                warnings.warn(
+                    "InlineRunner cannot enforce cell timeouts here "
+                    "(SIGALRM needs the main thread of a Unix process); "
+                    "cells run to completion and their results record "
+                    "timeout_enforced: false",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return res
+
+    def _execute(self, tasks, on_result) -> bool:
+        from collections import deque
+
+        queue = deque(tasks)
+        interrupted = False
+        old_handlers = {}
+        trap = _can_trap_signals()
+        if trap:
+            def _on_signal(signum, frame):
+                raise _DrainInterrupt(signum)
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                old_handlers[sig] = signal.signal(sig, _on_signal)
+        try:
+            while queue:
+                task = queue.popleft()
+                try:
+                    res = self._run_one(task)
+                    _, retry = on_result(task, res)
+                    if retry is not None:
+                        delay, next_task = retry
+                        if delay > 0:
+                            time.sleep(delay)
+                        queue.appendleft(next_task)
+                except _DrainInterrupt:
+                    # the in-flight cell is discarded un-journaled;
+                    # resume re-executes it.
+                    interrupted = True
+                    break
+        finally:
+            for sig, handler in old_handlers.items():
+                signal.signal(sig, handler)
+        return interrupted
 
 
-def _worker_main(task: CellTask, out_path: str) -> None:
+def _worker_main(task: CellTask, out_path: str, err_path: str) -> None:
+    try:
+        fd = os.open(err_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+        os.dup2(fd, 2)
+        os.close(fd)
+        # rebind the Python-level stream too: the inherited sys.stderr
+        # may wrap something other than fd 2 (a capturing test harness,
+        # an io redirect), and the tool's last words must land in the
+        # err file either way
+        sys.stderr = os.fdopen(2, "w", closefd=False)
+    except OSError:
+        pass                        # diagnostics are best-effort
     res = run_cell(task)
     tmp = out_path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
@@ -357,31 +616,71 @@ class ProcessPoolRunner(_BaseRunner):
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
+        self._stop = False
 
-    def _run_tasks(self, tasks, progress):
-        results: Dict[int, CellResult] = {}
-        pending = list(tasks)
-        running: Dict = {}   # proc -> (task, deadline, out_path)
+    def _execute(self, tasks, on_result) -> bool:
+        results_done = 0
+        pending: List[CellTask] = list(tasks)
+        delayed: List[Tuple[float, CellTask]] = []   # (ready time, task)
+        running: Dict = {}   # proc -> (task, deadline, out_path, err_path)
+        self._stop = False
+        old_handlers = {}
+        if _can_trap_signals():
+            def _on_signal(signum, frame):
+                if self._stop:           # second signal: force-abort
+                    raise KeyboardInterrupt
+                self._stop = True
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                old_handlers[sig] = signal.signal(sig, _on_signal)
         tmpdir = tempfile.mkdtemp(prefix="repro-exp-")
+
+        def handle(task: CellTask, res: CellResult, stderr_tail: str) -> None:
+            nonlocal results_done
+            _, retry = on_result(task, res, stderr_tail=stderr_tail,
+                                 stop=self._stop)
+            if retry is not None:
+                delay, next_task = retry
+                delayed.append((time.monotonic() + delay, next_task))
+            else:
+                results_done += 1
+
         try:
-            while pending or running:
+            while running or ((pending or delayed) and not self._stop):
+                if self._stop:
+                    pending.clear()
+                    delayed.clear()
+                now = time.monotonic()
+                if delayed:
+                    ready = [t for t in delayed if t[0] <= now]
+                    if ready:
+                        delayed[:] = [t for t in delayed if t[0] > now]
+                        # deterministic re-queue order: by cell index
+                        pending.extend(t for _, t in
+                                       sorted(ready, key=lambda r: r[1].index))
                 while pending and len(running) < self.jobs:
                     task = pending.pop(0)
-                    out_path = os.path.join(tmpdir, f"cell-{task.index}.json")
+                    stem = os.path.join(
+                        tmpdir, f"cell-{task.index}-a{task.attempt}")
+                    out_path = stem + ".json"
+                    err_path = stem + ".stderr"
                     proc = self._ctx.Process(
-                        target=_worker_main, args=(task, out_path), daemon=True
+                        target=_worker_main, args=(task, out_path, err_path),
+                        daemon=True,
                     )
                     proc.start()
                     # mirror InlineRunner: non-positive = no timeout
                     deadline = (time.monotonic() + task.timeout
                                 if task.timeout is not None and task.timeout > 0
                                 else None)
-                    running[proc] = (task, deadline, out_path)
+                    running[proc] = (task, deadline, out_path, err_path)
 
+                faults.fire("pool_tick", done=results_done)
                 time.sleep(self.poll_interval)
                 now = time.monotonic()
                 finished = []
-                for proc, (task, deadline, out_path) in list(running.items()):
+                for proc, (task, deadline, out_path, err_path) in list(
+                        running.items()):
                     if not proc.is_alive():
                         finished.append(proc)
                     elif deadline is not None and now >= deadline:
@@ -391,32 +690,31 @@ class ProcessPoolRunner(_BaseRunner):
                             proc.kill()
                             proc.join()
                         running.pop(proc)
-                        res = _timeout_result(task)
-                        results[task.index] = res
-                        if progress is not None:
-                            progress(res)
+                        handle(task, _timeout_result(task),
+                               _stderr_tail(err_path))
                 for proc in finished:
-                    task, _, out_path = running.pop(proc)
+                    task, _, out_path, err_path = running.pop(proc)
                     proc.join()
-                    res = self._collect(task, out_path, proc.exitcode)
-                    results[task.index] = res
-                    if progress is not None:
-                        progress(res)
+                    tail = _stderr_tail(err_path)
+                    res = self._collect(task, out_path, proc.exitcode, tail)
+                    handle(task, res, tail)
         finally:
             for proc in running:
                 proc.kill()
                 proc.join()
             shutil.rmtree(tmpdir, ignore_errors=True)
-        return [results[t.index] for t in tasks]
+            for sig, handler in old_handlers.items():
+                signal.signal(sig, handler)
+        return self._stop
 
     @staticmethod
-    def _collect(task: CellTask, out_path: str,
-                 exitcode: Optional[int]) -> CellResult:
+    def _collect(task: CellTask, out_path: str, exitcode: Optional[int],
+                 stderr_tail: str = "") -> CellResult:
         try:
             with open(out_path, "r", encoding="utf-8") as fh:
                 rec = json.load(fh)
         except (OSError, json.JSONDecodeError):
-            return _crash_result(task, exitcode)
+            return _crash_result(task, exitcode, stderr_tail)
         if exitcode != 0:
             # result file exists but the worker still died (e.g. crash
             # during interpreter teardown) — trust the recorded result
@@ -424,5 +722,5 @@ class ProcessPoolRunner(_BaseRunner):
             try:
                 return CellResult.from_json(task.index, rec)
             except KeyError:
-                return _crash_result(task, exitcode)
+                return _crash_result(task, exitcode, stderr_tail)
         return CellResult.from_json(task.index, rec)

@@ -205,8 +205,10 @@ def _component_engine(spine: Spine, trace: Trace) -> SPClosureEngine:
     next to the spine file (atomically, so racing pool workers at worst
     both derive) and sibling cells restore instead of re-deriving.  The
     checkpoint's lifetime is the shard run's temp directory, and
-    restore validates the thread universe + event count, so a stale or
-    torn file just falls back to a fresh derivation.
+    restore validates the format version, payload checksum, thread
+    universe and event count, so a stale, bit-flipped, or torn file is
+    a *logged* fall-back to a fresh derivation — never silent state
+    corruption, never a crashed cell.
     """
     path = spine.path
     if path is None:
@@ -215,8 +217,14 @@ def _component_engine(spine: Spine, trace: Trace) -> SPClosureEngine:
     try:
         with open(ckpt, "rb") as fh:
             return SPClosureEngine.restore(trace, fh.read())
-    except (OSError, ValueError):
-        pass
+    except FileNotFoundError:
+        pass                            # first cell of the component
+    except (OSError, ValueError) as exc:
+        import logging
+
+        logging.getLogger(__name__).warning(
+            "discarding unusable engine checkpoint %s (%s); recomputing",
+            ckpt, exc)
     engine = SPClosureEngine(trace)
     try:
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(ckpt), suffix=".ckpt")
@@ -470,27 +478,53 @@ class ShardedCampaignRunner:
                         version=version)
 
     def run(self, campaign: Campaign, cache: Optional[ResultCache] = None,
-            progress: Optional[Callable[[CellResult], None]] = None) -> RunResult:
+            progress: Optional[Callable[[CellResult], None]] = None,
+            journal=None, resume=None) -> RunResult:
+        from repro.exp.resilience import journal_key
+
         start = time.perf_counter()
         tasks = campaign.cells()
         plain = [t for t in tasks if not self._shardable(t)]
         results: Dict[int, CellResult] = {}
-        ordered_plain, hits = self.pool.run_tasks(plain, cache=cache,
-                                                  progress=progress)
+        ordered_plain, stats = self.pool.run_tasks(
+            plain, cache=cache, progress=progress,
+            journal=journal, resume=resume)
         for res in ordered_plain:
             results[res.index] = res
         for task in tasks:
             if task.index in results:
                 continue
+            if stats.interrupted:
+                break           # drain: rerouted cells resume later
+            jkey = journal_key(task)
+            if resume is not None:
+                rec = resume.replayable(jkey)
+                if rec is not None:
+                    hit = CellResult.from_json(task.index, rec, replayed=True)
+                    hit.trace_name = task.trace.name
+                    hit.detector_name = task.detector.name
+                    hit.detector_id = task.detector.id
+                    results[task.index] = hit
+                    stats.journal_replays += 1
+                    if journal is not None and resume.path != journal.path:
+                        journal.record_cell(jkey, hit.to_json())
+                    if progress is not None:
+                        progress(hit)
+                    continue
             res = self._run_sharded_cell(task, cache, progress)
             if res.cached:
-                hits += 1
+                stats.cache_hits += 1
             results[task.index] = res
+            if journal is not None:
+                journal.record_cell(jkey, res.to_json())
             if progress is not None:
                 progress(res)
-        ordered = [results[t.index] for t in tasks]
+        ordered = [results[t.index] for t in tasks if t.index in results]
         return RunResult(campaign=campaign, results=ordered,
-                         elapsed=time.perf_counter() - start, cache_hits=hits)
+                         elapsed=time.perf_counter() - start,
+                         cache_hits=stats.cache_hits,
+                         journal_replays=stats.journal_replays,
+                         interrupted=stats.interrupted)
 
     def _run_sharded_cell(self, task, cache: Optional[ResultCache],
                           progress) -> CellResult:

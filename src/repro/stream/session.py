@@ -43,6 +43,7 @@ from typing import Iterable, List, Optional
 
 from repro.trace.compiled import (
     CompiledTrace,
+    TraceReadError,
     _iter_std_lines,
     parse_std_into,
 )
@@ -199,15 +200,25 @@ class StreamSession:
         session columns — the file is never resident as a whole, and in
         bounded mode neither is the trace.
         """
+        import zlib
+
         bs = batch_size or self.batch_size
         lineno = 1
         batch: List[str] = []
-        for line in _iter_std_lines(path):
-            batch.append(line)
-            if len(batch) >= bs:
-                lineno = parse_std_into(self.compiled, batch, lineno)
-                batch.clear()
-                self.flush()
+        state = {"offset": 0}
+        try:
+            for line in _iter_std_lines(path, state=state):
+                batch.append(line)
+                if len(batch) >= bs:
+                    lineno = parse_std_into(self.compiled, batch, lineno)
+                    batch.clear()
+                    self.flush()
+        except FileNotFoundError:
+            raise
+        except (OSError, EOFError, zlib.error, UnicodeDecodeError) as exc:
+            raise TraceReadError(
+                path, str(exc), byte_offset=state["offset"],
+                events_parsed=self.base + len(self.compiled)) from exc
         if batch:
             parse_std_into(self.compiled, batch, lineno)
         self.flush()

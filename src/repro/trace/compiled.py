@@ -354,12 +354,42 @@ def compile_trace(trace_or_events, name: Optional[str] = None) -> CompiledTrace:
 _CHUNK_SIZE = 1 << 20  # 1 MiB of decompressed text per read
 
 
-def _iter_std_lines(path: str, chunk_size: int = _CHUNK_SIZE) -> Iterator[str]:
+class TraceReadError(Exception):
+    """A ``.std`` / ``.std.gz`` file could not be read: truncated gzip
+    stream, corrupt deflate data, undecodable bytes, or an IO error
+    mid-read.  Typed and recoverable — carries the path, the
+    (decompressed) byte offset reached, and how many events had
+    already parsed, so campaign runners can report the cell precisely
+    instead of crashing the run.
+    """
+
+    def __init__(self, path: str, detail: str,
+                 byte_offset: Optional[int] = None,
+                 events_parsed: Optional[int] = None) -> None:
+        self.path = path
+        self.detail = detail
+        self.byte_offset = byte_offset
+        self.events_parsed = events_parsed
+        msg = f"{path}: unreadable trace: {detail}"
+        if byte_offset is not None:
+            msg += f" (at decompressed byte offset {byte_offset}"
+            if events_parsed is not None:
+                msg += f", after {events_parsed} parsed event(s)"
+            msg += ")"
+        super().__init__(msg)
+
+
+def _iter_std_lines(path: str, chunk_size: int = _CHUNK_SIZE,
+                    state: Optional[dict] = None) -> Iterator[str]:
     """Yield lines of a ``.std`` / ``.std.gz`` file, reading in chunks.
 
     Decompression and line splitting are incremental: memory stays
-    bounded by ``chunk_size`` regardless of trace length.
+    bounded by ``chunk_size`` regardless of trace length.  When a
+    ``state`` dict is passed, ``state["offset"]`` tracks the
+    decompressed byte offset consumed so far (error diagnostics).
     """
+    import repro.faults as faults
+
     if path.endswith(".gz"):
         import gzip
 
@@ -369,9 +399,13 @@ def _iter_std_lines(path: str, chunk_size: int = _CHUNK_SIZE) -> Iterator[str]:
     try:
         tail = ""
         while True:
+            faults.fire("std_read", path=path)
             chunk = fh.read(chunk_size)
             if not chunk:
                 break
+            if state is not None:
+                state["offset"] = state.get("offset", 0) + \
+                    len(chunk.encode("utf-8", "surrogatepass"))
             chunk = tail + chunk
             lines = chunk.split("\n")
             tail = lines.pop()
@@ -442,5 +476,23 @@ def load_compiled_trace(path: str, name: str = "") -> CompiledTrace:
 
     The fast path for big logged traces: one pass, chunked IO, interned
     names, no intermediate ``Event`` objects or whole-file string.
+
+    A file that cannot be *read* — truncated or bit-flipped gzip
+    stream, undecodable bytes, IO error mid-stream — raises
+    :class:`TraceReadError` identifying the byte offset and the number
+    of events already parsed.  A missing file stays a plain
+    ``FileNotFoundError``, and a malformed event line stays a
+    ``ParseError`` with its line number.
     """
-    return parse_compiled(_iter_std_lines(path), name=name or path)
+    import zlib
+
+    out = CompiledTrace(name or path)
+    state = {"offset": 0}
+    try:
+        parse_std_into(out, _iter_std_lines(path, state=state))
+    except FileNotFoundError:
+        raise
+    except (OSError, EOFError, zlib.error, UnicodeDecodeError) as exc:
+        raise TraceReadError(path, str(exc), byte_offset=state["offset"],
+                             events_parsed=len(out)) from exc
+    return out

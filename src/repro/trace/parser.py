@@ -86,13 +86,27 @@ def load_trace(path: str, name: str = "") -> Trace:
     :func:`repro.trace.compiled.load_compiled_trace`, which also interns
     names and op codes while streaming.
     """
-    if path.endswith(".gz"):
-        import gzip
+    try:
+        if path.endswith(".gz"):
+            import gzip
 
-        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                return Trace(parse_events(fh), name=name or path)
+        with open(path, "r", encoding="utf-8") as fh:
             return Trace(parse_events(fh), name=name or path)
-    with open(path, "r", encoding="utf-8") as fh:
-        return Trace(parse_events(fh), name=name or path)
+    except (EOFError, UnicodeDecodeError) as exc:
+        from repro.trace.compiled import TraceReadError
+
+        raise TraceReadError(path, str(exc)) from exc
+    except OSError as exc:
+        # gzip raises BadGzipFile/OSError on corrupt streams; genuine
+        # filesystem errors (missing file, permissions) have an errno
+        # and must keep their type for the CLI's usage-error mapping
+        if exc.errno is not None:
+            raise
+        from repro.trace.compiled import TraceReadError
+
+        raise TraceReadError(path, str(exc)) from exc
 
 
 def save_trace(trace: Trace, path: str) -> None:

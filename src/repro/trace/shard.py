@@ -255,24 +255,34 @@ def build_component_spines(index: TraceIndex, thread_comp: List[int],
 
 # -- spine (de)serialization --------------------------------------------------
 
-#: format marker for :func:`save_spine` files.
-_MAGIC = "repro-spine-v1"
+#: format marker for :func:`save_spine` files.  v2 added payload
+#: integrity (explicit byte length + sha256): a bit-flipped or
+#: truncated spine file is a detected ``ValueError``, not silently
+#: corrupt event columns.
+_MAGIC = "repro-spine-v2"
+_STALE_MAGIC = ("repro-spine-v1",)
 
 
 def save_spine(spine: Spine, path: str) -> None:
     """Write a spine to ``path`` in a compact, deterministic binary form.
 
     Layout: one JSON header line (format marker, name, intern-table
-    names, sparse locations, column byte lengths) followed by the raw
-    bytes of the ops / thread-id / target-id / to-orig columns.  The
-    encoding is canonical for a given spine, so the file's content
-    digest is stable across runs — the shard result cache keys on it.
+    names, sparse locations, column byte lengths, payload length +
+    sha256) followed by the raw bytes of the ops / thread-id /
+    target-id / to-orig columns.  The encoding is canonical for a
+    given spine, so the file's content digest is stable across runs —
+    the shard result cache keys on it.
     """
+    import hashlib
+
     compiled = spine.compiled
     ops_b = compiled.ops.tobytes()
-    tid_b = compiled.thread_ids.tobytes()
-    targ_b = compiled.target_ids.tobytes()
-    map_b = spine.to_orig.tobytes()
+    payload = b"".join((
+        ops_b,
+        compiled.thread_ids.tobytes(),
+        compiled.target_ids.tobytes(),
+        spine.to_orig.tobytes(),
+    ))
     header = {
         "format": _MAGIC,
         "name": compiled.name,
@@ -284,29 +294,52 @@ def save_spine(spine: Spine, path: str) -> None:
         "locs": {str(k): v for k, v in sorted(compiled.locs.items())},
         "ops_bytes": len(ops_b),
         "int_itemsize": array("i").itemsize,
+        "payload_len": len(payload),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
     }
     with open(path, "wb") as fh:
         fh.write(json.dumps(header, sort_keys=True).encode("utf-8"))
         fh.write(b"\n")
-        fh.write(ops_b)
-        fh.write(tid_b)
-        fh.write(targ_b)
-        fh.write(map_b)
+        fh.write(payload)
 
 
 def load_spine(path: str) -> Spine:
-    """Load a spine written by :func:`save_spine` (worker-side)."""
+    """Load a spine written by :func:`save_spine` (worker-side).
+
+    Raises ``ValueError`` identifying the problem for stale format
+    versions, platform mismatches, and corrupt payloads (length or
+    checksum mismatch).
+    """
+    import hashlib
+
     with open(path, "rb") as fh:
         header_line = fh.readline()
         blob = fh.read()
-    header = json.loads(header_line.decode("utf-8"))
-    if header.get("format") != _MAGIC:
+    try:
+        header = json.loads(header_line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise ValueError(f"{path}: corrupt spine header") from None
+    fmt = header.get("format")
+    if fmt in _STALE_MAGIC:
+        raise ValueError(
+            f"{path}: stale spine format {fmt!r} (current: {_MAGIC}); "
+            f"regenerate the spine"
+        )
+    if fmt != _MAGIC:
         raise ValueError(f"{path}: not a {_MAGIC} file")
     if header["int_itemsize"] != array("i").itemsize:
         raise ValueError(
             f"{path}: written with int itemsize {header['int_itemsize']}, "
             f"this platform uses {array('i').itemsize}"
         )
+    if header.get("payload_len") != len(blob):
+        raise ValueError(
+            f"{path}: spine payload is {len(blob)} bytes, header says "
+            f"{header.get('payload_len')} (truncated?)"
+        )
+    if hashlib.sha256(blob).hexdigest() != header.get("payload_sha256"):
+        raise ValueError(f"{path}: spine payload checksum mismatch "
+                         f"(corrupt file)")
     n = header["num_events"]
     ops_len = header["ops_bytes"]
     int_len = n * header["int_itemsize"]

@@ -141,54 +141,85 @@ class TRFTimestamps:
 
     # -- checkpoint / restore ------------------------------------------------
 
-    _CKPT_MAGIC = "repro-trf-v1"
+    #: v2 added payload integrity: explicit byte length + sha256, so a
+    #: bit-flipped or truncated blob is a detected ``ValueError`` (and
+    #: a recompute) rather than silently corrupt timestamps.  v1 blobs
+    #: (no checksum) are rejected as stale.
+    _CKPT_MAGIC = "repro-trf-v2"
+    _CKPT_STALE = ("repro-trf-v1",)
 
     def checkpoint(self) -> bytes:
         """Serialize the derived timestamps (not the trace).
 
         One JSON header line (format marker, thread universe, event
-        count) followed by the raw bytes of the epoch columns, the
-        per-event clock lengths, and the flattened clock components —
-        deterministic for a given trace, cheap to reload with
-        ``array.frombytes``.
+        count, payload length + sha256) followed by the raw bytes of
+        the epoch columns, the per-event clock lengths, and the
+        flattened clock components — deterministic for a given trace,
+        cheap to reload with ``array.frombytes``.
         """
+        import hashlib
         import json
 
         lens = array("i", (len(c._v) for c in self._ts))
         flat = array("i")
         for c in self._ts:
             flat.extend(c._v)
+        payload = b"".join((
+            self._slots.tobytes(), self._vals.tobytes(),
+            lens.tobytes(), flat.tobytes(),
+        ))
         header = {
             "format": self._CKPT_MAGIC,
             "threads": list(self.universe.threads()),
             "n": len(self._ts),
             "itemsize": array("i").itemsize,
+            "payload_len": len(payload),
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
         }
         return b"".join((
             json.dumps(header, sort_keys=True).encode("utf-8"), b"\n",
-            self._slots.tobytes(), self._vals.tobytes(),
-            lens.tobytes(), flat.tobytes(),
+            payload,
         ))
 
     @classmethod
     def restore(cls, trace: Trace, blob: bytes) -> "TRFTimestamps":
         """Rebuild timestamps for ``trace`` from :meth:`checkpoint` output.
 
-        Validates that the blob belongs to a trace with the same thread
-        universe and event count; raises ``ValueError`` otherwise (the
-        caller falls back to a fresh derivation).
+        Validates the format version, that the blob belongs to a trace
+        with the same thread universe and event count, and the
+        payload's length + sha256 (so bit flips and truncation are
+        detected); raises ``ValueError`` otherwise (the caller falls
+        back to a fresh derivation).
         """
+        import hashlib
         import json
 
         trace = as_trace(trace)
         head, sep, rest = blob.partition(b"\n")
         if not sep:
             raise ValueError("truncated TRF checkpoint")
-        header = json.loads(head.decode("utf-8"))
-        if header.get("format") != cls._CKPT_MAGIC:
+        try:
+            header = json.loads(head.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ValueError("corrupt TRF checkpoint header") from None
+        fmt = header.get("format")
+        if fmt in cls._CKPT_STALE:
+            raise ValueError(
+                f"stale TRF checkpoint version {fmt!r} "
+                f"(current: {cls._CKPT_MAGIC})"
+            )
+        if fmt != cls._CKPT_MAGIC:
             raise ValueError("not a TRF checkpoint")
         if header["itemsize"] != array("i").itemsize:
             raise ValueError("TRF checkpoint from a different platform")
+        if header.get("payload_len") != len(rest):
+            raise ValueError(
+                f"TRF checkpoint payload is {len(rest)} bytes, header "
+                f"says {header.get('payload_len')} (truncated?)"
+            )
+        if hashlib.sha256(rest).hexdigest() != header.get("payload_sha256"):
+            raise ValueError("TRF checkpoint payload checksum mismatch "
+                             "(corrupt blob)")
         n = header["n"]
         if n != len(trace) or header["threads"] != list(trace.threads):
             raise ValueError("TRF checkpoint is for a different trace")

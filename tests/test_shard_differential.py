@@ -343,3 +343,89 @@ class TestSpine:
         save_spine(spine, str(tmp_path / "spine2.bin"))
         with open(path, "rb") as f1, open(str(tmp_path / "spine2.bin"), "rb") as f2:
             assert f1.read() == f2.read()
+
+    def test_bitflipped_spine_detected(self, tmp_path):
+        """A flipped payload byte fails the checksum, never loads as
+        silently corrupt columns."""
+        import repro.faults as faults
+
+        spine = build_spine(as_trace(generate_random_trace(config_for(31))).index)
+        path = str(tmp_path / "spine.bin")
+        save_spine(spine, path)
+        header_len = open(path, "rb").readline().__len__()
+        faults.flip_byte(path, offset=header_len + 5)
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            load_spine(path)
+
+    def test_truncated_spine_detected(self, tmp_path):
+        import repro.faults as faults
+
+        spine = build_spine(as_trace(generate_random_trace(config_for(31))).index)
+        path = str(tmp_path / "spine.bin")
+        save_spine(spine, path)
+        faults.truncate_file(path, seed=3)
+        with pytest.raises(ValueError,
+                           match="truncated|corrupt spine header"):
+            load_spine(path)
+
+    def test_stale_spine_format_rejected(self, tmp_path):
+        path = str(tmp_path / "spine.bin")
+        with open(path, "wb") as fh:
+            fh.write(b'{"format": "repro-spine-v1"}\n' + b"junk")
+        with pytest.raises(ValueError, match="stale spine format"):
+            load_spine(path)
+
+
+class TestCheckpointVersioning:
+    """Engine checkpoints (.ckpt beside the spine): stale or corrupt
+    blobs are detected, logged, and recomputed bit-identically."""
+
+    def _spine_on_disk(self, tmp_path, seed=11):
+        trace = as_trace(generate_random_trace(config_for(seed)))
+        spine = build_spine(trace.index)
+        path = str(tmp_path / "spine.bin")
+        save_spine(spine, path)
+        loaded = load_spine(path)
+        return loaded, as_trace(loaded.compiled)
+
+    def test_bitflipped_ckpt_logged_and_recomputed(self, tmp_path, caplog):
+        import logging
+
+        import repro.faults as faults
+        from repro.exp.shard import _component_engine
+
+        spine, strace = self._spine_on_disk(tmp_path)
+        first = _component_engine(spine, strace)     # derives, writes .ckpt
+        ckpt = spine.path + ".ckpt"
+        assert os.path.exists(ckpt)
+        blob = first.checkpoint()
+
+        header_len = len(open(ckpt, "rb").readline())
+        faults.flip_byte(ckpt, offset=header_len + 2)
+        with caplog.at_level(logging.WARNING, logger="repro.exp.shard"):
+            second = _component_engine(spine, strace)
+        assert "discarding unusable engine checkpoint" in caplog.text
+        assert second.checkpoint() == blob           # bit-identical recompute
+
+        # the recompute re-wrote a valid checkpoint: a third engine
+        # restores silently
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.exp.shard"):
+            third = _component_engine(spine, strace)
+        assert "discarding" not in caplog.text
+        assert third.checkpoint() == blob
+
+    def test_stale_ckpt_version_logged_and_recomputed(self, tmp_path, caplog):
+        import logging
+
+        from repro.exp.shard import _component_engine
+
+        spine, strace = self._spine_on_disk(tmp_path, seed=13)
+        blob = _component_engine(spine, strace).checkpoint()
+        with open(spine.path + ".ckpt", "wb") as fh:
+            fh.write(b'{"format": "repro-trf-v1"}\n' + b"old payload")
+        with caplog.at_level(logging.WARNING, logger="repro.exp.shard"):
+            engine = _component_engine(spine, strace)
+        assert "discarding unusable engine checkpoint" in caplog.text
+        assert "stale TRF checkpoint" in caplog.text
+        assert engine.checkpoint() == blob
