@@ -29,7 +29,7 @@ echo "   resilience + chaos bit-identity suites: tests/test_resilience.py"
 echo "   + tests/test_chaos.py) =="
 python -m pytest -x -q
 
-echo "== perf smoke (floors skipped) + bounded-memory ceiling =="
+echo "== perf smoke + obs overhead (floors skipped) + bounded-memory ceiling =="
 python -m pytest -q benchmarks/test_perf_regression.py \
     benchmarks/test_shard_speedup.py benchmarks/test_stream_memory.py
 

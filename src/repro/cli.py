@@ -15,6 +15,10 @@ Subcommands:
 - ``bench run|report|diff`` — whole evaluation campaigns over
   detector×trace matrices (:mod:`repro.exp`), sharded across worker
   processes with ``-j N`` and cached between runs.
+- ``bench profile OUT/`` — top-k span tree + counter summary of a
+  telemetry-enabled run (or one cell with ``--trace``/``--detector``).
+- ``obs export RUN`` — convert a span log (``repro.obs``) to Chrome
+  trace-event JSON loadable in ``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
@@ -352,6 +356,25 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
 
     out_dir = args.out or os.path.join("bench_runs", campaign.name)
     os.makedirs(out_dir, exist_ok=True)
+
+    # telemetry: --obs wins, then the campaign's [obs] table, then a
+    # REPRO_OBS already in the environment.  The CLI exports the env
+    # var so pool workers (fork or spawn) inherit the activation.
+    import repro.obs as obs
+
+    obs_dir = None
+    if args.obs is not None:
+        obs_dir = args.obs or os.path.join(out_dir, "obs")
+    elif campaign.obs_enabled:
+        obs_dir = os.path.join(out_dir, "obs")
+    obs_env_before = os.environ.get(obs.ENV_VAR)
+    if obs_dir is not None:
+        obs_dir = os.path.abspath(obs_dir)
+        os.environ[obs.ENV_VAR] = obs_dir
+        obs.enable(obs_dir)
+    else:
+        obs.maybe_enable_from_env()
+
     cache = None if args.no_cache else ResultCache(os.path.join(out_dir, "cache"))
     if args.shard_contexts:
         from repro.exp.shard import ShardedCampaignRunner
@@ -385,6 +408,17 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     with open(md_path, "w", encoding="utf-8") as fh:
         fh.write(markdown)
 
+    if obs.enabled():
+        obs.finish()
+    if obs_dir is not None:
+        # the CLI turned telemetry on, so it turns it off — in-process
+        # callers (tests) must not observe a leaked global or env var
+        obs.disable()
+        if obs_env_before is None:
+            os.environ.pop(obs.ENV_VAR, None)
+        else:
+            os.environ[obs.ENV_VAR] = obs_env_before
+
     print(markdown)
     counts = run.counts()
     summary = (f"{run.num_cells} cell(s) in {run.elapsed:.2f}s "
@@ -395,6 +429,10 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     if counts["fault"]:
         summary += f", {counts['fault']} fault"
     summary += f") -> {run_path}"
+    if obs_dir is not None:
+        summary += (f"; telemetry -> {obs_dir} "
+                    f"(inspect: bench profile {out_dir}, "
+                    f"export: obs export {out_dir})")
     print(summary)
     if run.interrupted:
         print(f"interrupted: partial run journaled; resume with "
@@ -448,6 +486,35 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     diff = diff_runs(old, new)
     print(diff.markdown())
     return 0 if diff.clean else 1
+
+
+def _cmd_bench_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import render_cell_profile, render_run_profile
+
+    if bool(args.trace) != bool(args.detector):
+        print("--trace and --detector go together (one cell has both "
+              "coordinates)", file=sys.stderr)
+        return 2
+    try:
+        if args.trace:
+            text = render_cell_profile(args.out, args.trace, args.detector,
+                                       top=args.top)
+        else:
+            text = render_run_profile(args.out, top=args.top)
+    except (FileNotFoundError, KeyError) as exc:
+        detail = exc.args[0] if exc.args else str(exc)
+        print(f"bench profile: {detail}", file=sys.stderr)
+        return 2
+    sys.stdout.write(text)
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs.export import export_chrome
+
+    doc, out_path = export_chrome(args.run, out=args.out)
+    print(f"{len(doc['traceEvents'])} trace event(s) -> {out_path}")
+    return 0
 
 
 def _window_size(text: str) -> int:
@@ -580,6 +647,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "backoff; cells still failing are quarantined "
                              "(overrides the campaign's [retry] "
                              "max_attempts)")
+    p_brun.add_argument("--obs", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="enable engine telemetry (repro.obs): stream "
+                             "the span log to DIR (default OUT/obs) and "
+                             "embed per-cell wall/cpu/RSS rollups in "
+                             "run.json; also enabled by a campaign [obs] "
+                             "table or REPRO_OBS in the environment")
     p_brun.set_defaults(func=_cmd_bench_run)
 
     p_bcache = bench_sub.add_parser(
@@ -604,6 +678,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_bdiff.add_argument("old", help="baseline run.json")
     p_bdiff.add_argument("new", help="candidate run.json")
     p_bdiff.set_defaults(func=_cmd_bench_diff)
+
+    p_bprof = bench_sub.add_parser(
+        "profile", help="top-k span tree + counters of a telemetry run"
+    )
+    p_bprof.add_argument("out", help="bench-run output directory (a run "
+                                     "executed with --obs / REPRO_OBS)")
+    p_bprof.add_argument("--trace", default=None,
+                         help="render one cell instead (with --detector)")
+    p_bprof.add_argument("--detector", default=None,
+                         help="the cell's detector id (with --trace)")
+    p_bprof.add_argument("-k", "--top", type=int, default=20,
+                         help="span paths shown in the tree (default 20)")
+    p_bprof.set_defaults(func=_cmd_bench_profile)
+
+    p_obs = sub.add_parser(
+        "obs", help="telemetry tooling (span logs from repro.obs)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_oexp = obs_sub.add_parser(
+        "export", help="convert a span log to Chrome trace-event JSON"
+    )
+    p_oexp.add_argument("run", help="spans.jsonl, an obs directory, or a "
+                                    "bench-run output directory")
+    p_oexp.add_argument("-o", "--out", default=None,
+                        help="output path (default: trace_events.json "
+                             "beside the span log)")
+    p_oexp.set_defaults(func=_cmd_obs_export)
     return parser
 
 

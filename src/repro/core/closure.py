@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, Set
 
+import repro.obs as obs
 from repro.locks.history import CSHistories
 from repro.trace.trace import Trace, as_trace
 from repro.vc.clock import VectorClock
@@ -90,7 +91,9 @@ class SPClosureEngine:
         # Batched rounds: each round advances every dirty lock against
         # exactly the slots that grew last round, and the joins those
         # contribute seed the next round's dirty set.
+        rounds = 0
         while grown:
+            rounds += 1
             pend: dict = {}
             for s in grown:
                 for l2 in locks_of_slot.get(s, ()):
@@ -105,6 +108,9 @@ class SPClosureEngine:
                 if join is not None:
                     grown.extend(t_clock.join_update(join))
         self._last_vals = tuple(t_clock._v)
+        obs.count("closure.compute")
+        if rounds:
+            obs.count("closure.rounds", rounds)
         return t_clock
 
     # -- checkpoint / restore ------------------------------------------------

@@ -28,6 +28,8 @@ import os
 import tempfile
 from typing import Dict, Optional, Set, Tuple
 
+import repro.obs as obs
+
 _CODE_VERSION: Optional[str] = None
 
 
@@ -289,8 +291,10 @@ _OPTIONAL_FIELDS = {
     "output": dict,
     "error": str,
     "times": list,
+    "cpu_times": list,
     "num_events": int,
     "attempts": list,
+    "obs": dict,
 }
 
 
@@ -330,13 +334,17 @@ class ResultCache:
             with open(path, "r", encoding="utf-8") as fh:
                 record = json.load(fh)
         except FileNotFoundError:
+            obs.count("cache.miss")
             return None
         except (OSError, json.JSONDecodeError):
+            obs.count("cache.corrupt")
             self._discard(path)
             return None
         if not validate_record(record):
+            obs.count("cache.corrupt")
             self._discard(path)
             return None
+        obs.count("cache.hit")
         return record
 
     @staticmethod
@@ -352,6 +360,7 @@ class ResultCache:
         Returns ``{"scanned": n, "ok": n, "corrupt": n, "pruned": n}``
         (``repro bench cache --verify``).
         """
+        obs.count("cache.verify_scans")
         stats = {"scanned": 0, "ok": 0, "corrupt": 0, "pruned": 0}
         for dirpath, _, files in os.walk(self.root):
             for fn in sorted(files):
@@ -375,6 +384,7 @@ class ResultCache:
         return stats
 
     def put(self, key: str, record: dict) -> None:
+        obs.count("cache.put")
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")

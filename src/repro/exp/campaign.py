@@ -213,11 +213,19 @@ class Campaign:
     default_repeats: int = 1
     include_stats: bool = True          # implicit Table 1 stats cell per trace
     retry: Optional[Dict] = None        # campaign-wide RetryPolicy spec
+    obs: Optional[Dict] = None          # telemetry: {"enabled": bool}
 
     def __post_init__(self) -> None:
         if self.default_timeout is not None and self.default_timeout <= 0:
             raise CampaignError("default_timeout must be positive "
                                 "(use None for no timeout)")
+        if self.obs is not None:
+            bad = set(self.obs) - {"enabled"}
+            if bad:
+                raise CampaignError(
+                    f"unknown [obs] keys {sorted(bad)} (options: enabled)")
+            if not isinstance(self.obs.get("enabled", True), bool):
+                raise CampaignError("[obs] enabled must be a boolean")
         if self.retry is not None:
             from repro.exp.resilience import RetryPolicy
 
@@ -292,7 +300,14 @@ class Campaign:
         }
         if self.retry is not None:
             out["retry"] = self.retry
+        if self.obs is not None:
+            out["obs"] = self.obs
         return out
+
+    @property
+    def obs_enabled(self) -> bool:
+        """Does the campaign itself opt into telemetry (``[obs]``)?"""
+        return bool(self.obs) and bool(self.obs.get("enabled", True))
 
 
 def _trace_name_for_path(path: str) -> str:
@@ -412,6 +427,7 @@ def load_campaign(path: str) -> Campaign:
         default_repeats=int(data.get("default_repeats", 1)),
         include_stats=bool(data.get("include_stats", True)),
         retry=dict(data["retry"]) if "retry" in data else None,
+        obs=dict(data["obs"]) if "obs" in data else None,
     )
     if not campaign.traces:
         raise CampaignError(f"campaign {campaign.name!r} has no traces")

@@ -21,13 +21,20 @@ excluded from :func:`detector_names`.
 
 from __future__ import annotations
 
+import functools
 import time
 from typing import Callable, Dict, List
+
+import repro.obs as obs
 
 Adapter = Callable[[object, dict], dict]
 
 #: name -> adapter; see :func:`register` / :func:`get_adapter`.
 _REGISTRY: Dict[str, Adapter] = {}
+
+#: name -> telemetry wrapper around the registered adapter (memoized so
+#: repeated get_adapter calls hand back one stable callable).
+_WRAPPED: Dict[str, Adapter] = {}
 
 
 def register(name: str) -> Callable[[Adapter], Adapter]:
@@ -38,14 +45,31 @@ def register(name: str) -> Callable[[Adapter], Adapter]:
     return deco
 
 
+def _instrumented(name: str, fn: Adapter) -> Adapter:
+    """The one telemetry wrapper every detector entry point runs under:
+    a ``detector`` span around the adapter call.  ``functools.wraps``
+    keeps ``inspect.getsource`` (and with it the per-detector cache
+    versioning of :mod:`repro.exp.cache`) resolving to the adapter
+    itself."""
+    @functools.wraps(fn)
+    def adapter(trace, config: dict) -> dict:
+        with obs.span("detector", cat="detector", detector=name):
+            return fn(trace, config)
+    return adapter
+
+
 def get_adapter(name: str) -> Adapter:
     """Resolve a registry name; raises ``KeyError`` listing options."""
     try:
-        return _REGISTRY[name]
+        fn = _REGISTRY[name]
     except KeyError:
         raise KeyError(
             f"unknown detector {name!r}; options: {', '.join(detector_names())}"
         ) from None
+    wrapped = _WRAPPED.get(name)
+    if wrapped is None or wrapped.__wrapped__ is not fn:
+        wrapped = _WRAPPED[name] = _instrumented(name, fn)
+    return wrapped
 
 
 def detector_names() -> List[str]:

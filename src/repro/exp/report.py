@@ -12,6 +12,10 @@
   stable key order; :func:`diff_runs` compares two of these cell by
   cell, ignoring timing, which makes it the regression tracker —
   "same code, same traces, did any verdict move?".
+- **Profile table**: when telemetry was on (:mod:`repro.obs`), a
+  per-cell wall/cpu/peak-RSS/cache breakdown next to Table 2.  The
+  column set is identical however the run executed (inline or
+  ``-j N``) because the rollups ride the per-cell result channel.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.analysis.comparison import exclusive_bugs
 from repro.exp.cache import code_version
 from repro.exp.runner import (
@@ -55,6 +60,8 @@ def run_to_json(run: RunResult) -> dict:
         out["journal_replays"] = run.journal_replays
     if run.interrupted:
         out["interrupted"] = True
+    if obs.enabled():
+        out["obs"] = {"counters": obs.snapshot()}
     return out
 
 
@@ -127,6 +134,46 @@ def table2_markdown(cells: List[dict]) -> str:
     return _md_table(["Trace"] + detector_ids, rows)
 
 
+PROFILE_COLUMNS = ["Trace", "Detector", "wall (s)", "cpu (s)",
+                   "peak RSS (MB)", "cache"]
+
+
+def has_telemetry(cells: List[dict]) -> bool:
+    """Did any cell carry a telemetry rollup or a cpu measurement?"""
+    return any(c.get("obs") or c.get("cpu_elapsed") is not None
+               for c in cells)
+
+
+def profile_markdown(cells: List[dict]) -> str:
+    """Per-cell telemetry: wall / cpu / peak RSS / cache provenance.
+
+    The column *set* is execution-independent — an inline run and a
+    ``-j N`` pool run of the same campaign produce identically-shaped
+    tables (values differ only by measured time).
+    """
+    rows = []
+    for cell in cells:
+        rollup = cell.get("obs") or {}
+        wall = cell.get("elapsed", rollup.get("wall"))
+        cpu = cell.get("cpu_elapsed", rollup.get("cpu"))
+        rss = rollup.get("max_rss_kb")
+        if cell.get("replayed"):
+            cache = "replay"
+        elif cell.get("cached"):
+            cache = "hit"
+        else:
+            cache = "miss"
+        rows.append([
+            cell["trace"],
+            cell["detector"],
+            f"{wall:.3f}" if wall is not None else "?",
+            f"{cpu:.3f}" if cpu is not None else "?",
+            f"{rss / 1024:.1f}" if rss is not None else "?",
+            cache,
+        ])
+    return _md_table(PROFILE_COLUMNS, rows)
+
+
 def disagreements_markdown(cells: List[dict]) -> str:
     """Traces where deadlock-reporting detectors disagree on bug sets."""
     lines: List[str] = []
@@ -193,6 +240,18 @@ def render_markdown(record: dict) -> str:
         "fault.",
         "",
         table2_markdown(cells),
+    ]
+    if has_telemetry(cells):
+        head += [
+            "",
+            "## Profile — per-cell telemetry",
+            "",
+            "Cache `hit`/`replay` cells carry the timing recorded when "
+            "they originally executed.",
+            "",
+            profile_markdown(cells),
+        ]
+    head += [
         "",
         "## Detector disagreements",
         "",

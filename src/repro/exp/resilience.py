@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import repro.faults as faults
+import repro.obs as obs
 
 #: journal file name, always beside the cache under the run directory.
 JOURNAL_NAME = "journal.jsonl"
@@ -222,6 +223,8 @@ class RunJournal:
         self._fh.write(data + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())
+        obs.count("journal.writes")
+        obs.count(f"journal.{record.get('kind', 'unknown')}_records")
 
     def start(self, campaign_name: str, resumed: bool = False) -> None:
         self._append({"kind": "meta", "schema": JOURNAL_SCHEMA,
@@ -286,6 +289,8 @@ class RunJournal:
                     state.cells[rec["key"]] = rec["result"]
                 elif kind == "end":
                     state.finalized = True
+        obs.event("journal.loaded", path=path, cells=len(state.cells),
+                  torn=state.torn_lines, finalized=state.finalized)
         return state
 
 

@@ -55,6 +55,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 import repro.faults as faults
+import repro.obs as obs
 from repro.exp.cache import ResultCache, cell_key, detector_code_version
 from repro.exp.campaign import Campaign, DetectorSpec, TraceSource
 from repro.exp.detectors import get_adapter
@@ -130,15 +131,26 @@ class CellResult:
     error: Optional[str] = None
     num_events: Optional[int] = None
     times: List[float] = field(default_factory=list)
+    cpu_times: List[float] = field(default_factory=list)
     cached: bool = False
     replayed: bool = False               # served from the run journal
     attempts: List[dict] = field(default_factory=list)
     timeout_enforced: bool = True
+    #: per-cell telemetry rollup (wall/cpu/RSS, counter deltas, spans)
+    #: when :mod:`repro.obs` was enabled where the cell ran; rides the
+    #: result channel so pool and inline runs report identically.
+    obs: Optional[dict] = None
 
     @property
     def elapsed(self) -> Optional[float]:
         """Best (minimum) per-repetition wall-clock seconds."""
         return min(self.times) if self.times else None
+
+    @property
+    def cpu_elapsed(self) -> Optional[float]:
+        """Best (minimum) per-repetition CPU seconds (process time of
+        wherever the cell ran — its worker, or the inline process)."""
+        return min(self.cpu_times) if self.cpu_times else None
 
     def comparable(self) -> dict:
         """Everything except timing/caching — the determinism contract
@@ -161,6 +173,11 @@ class CellResult:
         out["error"] = self.error
         out["times"] = [round(t, 6) for t in self.times]
         out["elapsed"] = round(self.elapsed, 6) if self.times else None
+        if self.cpu_times:
+            out["cpu_times"] = [round(t, 6) for t in self.cpu_times]
+            out["cpu_elapsed"] = round(self.cpu_elapsed, 6)
+        if self.obs is not None:
+            out["obs"] = self.obs
         out["cached"] = self.cached
         if self.replayed:
             out["replayed"] = True
@@ -185,6 +202,8 @@ class CellResult:
             error=rec.get("error"),
             num_events=rec.get("num_events"),
             times=list(rec.get("times", [])),
+            cpu_times=list(rec.get("cpu_times", [])),
+            obs=rec.get("obs"),
             cached=cached,
             replayed=replayed,
             attempts=list(rec.get("attempts", [])),
@@ -256,7 +275,13 @@ class _DrainInterrupt(BaseException):
 
 
 def run_cell(task: CellTask) -> CellResult:
-    """Execute one cell in the current process (no timeout handling)."""
+    """Execute one cell in the current process (no timeout handling).
+
+    Telemetry activates from the environment (pool workers inherit
+    ``REPRO_OBS``); when active, the cell's spans plus counter/cpu/RSS
+    deltas come back as the result's ``obs`` rollup — through the same
+    per-cell channel as everything else, so crash isolation holds.
+    """
     base = dict(
         index=task.index,
         trace_name=task.trace.name,
@@ -265,20 +290,36 @@ def run_cell(task: CellTask) -> CellResult:
         detector_id=task.detector.id,
         config=task.detector.config,
     )
+    obs.maybe_enable_from_env()
+    scope = obs.cell_scope(index=task.index, trace=task.trace.name,
+                           detector=task.detector.id, attempt=task.attempt)
+    with scope:
+        res = _run_cell_inner(task, base)
+    if scope.rollup is not None:
+        res.obs = scope.rollup
+    return res
+
+
+def _run_cell_inner(task: CellTask, base: dict) -> CellResult:
     try:
         faults.fire("cell", index=task.index, attempt=task.attempt,
                     detector=task.detector.id, trace=task.trace.name)
         adapter = get_adapter(task.detector.name)
-        trace = task.trace.load()
+        with obs.span("trace.source", cat="exp", trace=task.trace.name):
+            trace = task.trace.load()
         num_events = len(trace)
         times: List[float] = []
+        cpu_times: List[float] = []
         output: Optional[dict] = None
         for _ in range(max(1, task.repeats)):
+            c0 = time.process_time()
             t0 = time.perf_counter()
             output = adapter(trace, task.detector.config)
             times.append(time.perf_counter() - t0)
+            cpu_times.append(time.process_time() - c0)
         return CellResult(status=STATUS_OK, output=output,
-                          num_events=num_events, times=times, **base)
+                          num_events=num_events, times=times,
+                          cpu_times=cpu_times, **base)
     except _CellTimeout:
         return CellResult(status=STATUS_TIMEOUT,
                           error=f"timed out after {task.timeout}s", **base)
@@ -567,6 +608,10 @@ class InlineRunner(_BaseRunner):
                     _, retry = on_result(task, res)
                     if retry is not None:
                         delay, next_task = retry
+                        obs.event("cell.retry", cell=task.index,
+                                  attempt=task.attempt, status=res.status,
+                                  delay=delay)
+                        obs.count("runner.retries")
                         if delay > 0:
                             time.sleep(delay)
                         queue.appendleft(next_task)
@@ -593,6 +638,9 @@ def _worker_main(task: CellTask, out_path: str, err_path: str) -> None:
         sys.stderr = os.fdopen(2, "w", closefd=False)
     except OSError:
         pass                        # diagnostics are best-effort
+    # Never write the parent's span log from a child: re-arm telemetry
+    # as in-memory collection; spans travel in the result's rollup.
+    obs.reset_for_worker()
     res = run_cell(task)
     tmp = out_path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
@@ -634,6 +682,14 @@ class ProcessPoolRunner(_BaseRunner):
             for sig in (signal.SIGINT, signal.SIGTERM):
                 old_handlers[sig] = signal.signal(sig, _on_signal)
         tmpdir = tempfile.mkdtemp(prefix="repro-exp-")
+        # queue-wait accounting: tasks are ready the moment they enter
+        # `pending` (or their retry backoff expires)
+        _obs_on = obs.enabled()
+        enq_ns: Dict[Tuple[int, int], int] = {}
+        if _obs_on:
+            t_ready = time.monotonic_ns()
+            for t in pending:
+                enq_ns[(t.index, t.attempt)] = t_ready
 
         def handle(task: CellTask, res: CellResult, stderr_tail: str) -> None:
             nonlocal results_done
@@ -641,6 +697,10 @@ class ProcessPoolRunner(_BaseRunner):
                                  stop=self._stop)
             if retry is not None:
                 delay, next_task = retry
+                obs.event("pool.retry", cell=task.index,
+                          attempt=task.attempt, status=res.status,
+                          delay=delay)
+                obs.count("runner.retries")
                 delayed.append((time.monotonic() + delay, next_task))
             else:
                 results_done += 1
@@ -655,6 +715,10 @@ class ProcessPoolRunner(_BaseRunner):
                     ready = [t for t in delayed if t[0] <= now]
                     if ready:
                         delayed[:] = [t for t in delayed if t[0] > now]
+                        if _obs_on:
+                            t_ready = time.monotonic_ns()
+                            for _, t in ready:
+                                enq_ns[(t.index, t.attempt)] = t_ready
                         # deterministic re-queue order: by cell index
                         pending.extend(t for _, t in
                                        sorted(ready, key=lambda r: r[1].index))
@@ -669,18 +733,29 @@ class ProcessPoolRunner(_BaseRunner):
                         daemon=True,
                     )
                     proc.start()
+                    start_ns = 0
+                    if _obs_on:
+                        start_ns = time.monotonic_ns()
+                        obs.count("pool.workers_started")
+                        ready_at = enq_ns.pop((task.index, task.attempt),
+                                              start_ns)
+                        obs.record_span("pool.queue_wait", ready_at,
+                                        start_ns, cat="pool",
+                                        cell=task.index,
+                                        attempt=task.attempt)
                     # mirror InlineRunner: non-positive = no timeout
                     deadline = (time.monotonic() + task.timeout
                                 if task.timeout is not None and task.timeout > 0
                                 else None)
-                    running[proc] = (task, deadline, out_path, err_path)
+                    running[proc] = (task, deadline, out_path, err_path,
+                                     start_ns)
 
                 faults.fire("pool_tick", done=results_done)
                 time.sleep(self.poll_interval)
                 now = time.monotonic()
                 finished = []
-                for proc, (task, deadline, out_path, err_path) in list(
-                        running.items()):
+                for proc, (task, deadline, out_path, err_path,
+                           start_ns) in list(running.items()):
                     if not proc.is_alive():
                         finished.append(proc)
                     elif deadline is not None and now >= deadline:
@@ -690,13 +765,34 @@ class ProcessPoolRunner(_BaseRunner):
                             proc.kill()
                             proc.join()
                         running.pop(proc)
+                        if start_ns:
+                            obs.record_span("pool.exec", start_ns,
+                                            time.monotonic_ns(), cat="pool",
+                                            cell=task.index, status="timeout")
+                            obs.count("pool.timeouts")
                         handle(task, _timeout_result(task),
                                _stderr_tail(err_path))
                 for proc in finished:
-                    task, _, out_path, err_path = running.pop(proc)
+                    task, _, out_path, err_path, start_ns = running.pop(proc)
                     proc.join()
                     tail = _stderr_tail(err_path)
                     res = self._collect(task, out_path, proc.exitcode, tail)
+                    if start_ns:
+                        obs.record_span("pool.exec", start_ns,
+                                        time.monotonic_ns(), cat="pool",
+                                        cell=task.index, status=res.status)
+                        if res.status == STATUS_ERROR and res.output is None:
+                            obs.count("pool.worker_crashes")
+                        if res.obs:
+                            # the worker collected in memory; fold its
+                            # spans and counter deltas into the parent's
+                            # log/snapshot so run-level telemetry covers
+                            # pool runs too
+                            if res.obs.get("spans"):
+                                obs.emit_spans(res.obs["spans"])
+                            for name, delta in (res.obs.get("counters")
+                                                or {}).items():
+                                obs.count(name, delta)
                     handle(task, res, tail)
         finally:
             for proc in running:

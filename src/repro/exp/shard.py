@@ -47,6 +47,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.core.alg import (
     alg_components,
     build_alg_ids,
@@ -257,6 +258,7 @@ def run_shard(spine: Spine, config: Dict) -> Dict:
     engine: Optional[SPClosureEngine] = None
     contexts_out: List[Dict] = []
     total_witnessed = 0
+    obs.count("shard.contexts", len(config["contexts"]))
     for ctx in config["contexts"]:
         rows = ctx["nodes"]
         gids = [row[0] for row in rows]
@@ -377,7 +379,8 @@ def spd_offline_sharded(
         )
     trace = as_trace(trace)
     start = time.perf_counter()
-    plan = split_trace(trace, jobs=jobs)
+    with obs.span("shard.split", cat="shard", trace=trace.name):
+        plan = split_trace(trace, jobs=jobs)
     if not plan.cells:
         result = SPDOfflineResult()
     else:
@@ -409,14 +412,18 @@ def spd_offline_sharded(
             if runner is None:
                 runner = (ProcessPoolRunner(jobs=jobs) if jobs > 1
                           else InlineRunner())
-            run = runner.run(campaign, cache=cache, progress=progress)
+            with obs.span("shard.map", cat="shard", cells=len(plan.cells),
+                          components=plan.num_components):
+                run = runner.run(campaign, cache=cache, progress=progress)
         bad = [r for r in run.results if r.status != STATUS_OK]
         if bad:
             raise ShardError(
                 "; ".join(f"{r.detector_id}: {r.status}" for r in bad),
                 results=run.results,
             )
-        result = merge_shard_outputs(trace, [r.output for r in run.results])
+        with obs.span("shard.merge", cat="shard", cells=len(run.results)):
+            result = merge_shard_outputs(
+                trace, [r.output for r in run.results])
     if with_witnesses:
         from repro.reorder.witness import witness_for_pattern
 

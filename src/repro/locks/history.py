@@ -203,3 +203,48 @@ class CSHistories:
             else:
                 join.join_with(entry.rel_ts)
         return join
+
+
+# -- telemetry ---------------------------------------------------------------
+#
+# advance_lock runs once per (lock, fix-point round) of every abstract
+# pattern check — hot enough that even a guarded call is unwelcome on
+# the disabled path.  Same patch-on-enable scheme as repro.vc.clock.
+
+_OBS_COUNTS = {"cs.advance": 0, "cs.contributions": 0, "cs.resets": 0}
+
+
+def _obs_install():
+    c = _OBS_COUNTS
+    orig_advance = CSHistories.advance_lock
+    orig_reset = CSHistories.reset
+
+    def advance_lock(self, lock, t_clock, slots=None):
+        c["cs.advance"] += 1
+        join = orig_advance(self, lock, t_clock, slots)
+        if join is not None:
+            c["cs.contributions"] += 1
+        return join
+
+    def reset(self):
+        c["cs.resets"] += 1
+        orig_reset(self)
+
+    CSHistories.advance_lock = advance_lock
+    CSHistories.reset = reset
+
+    def undo():
+        CSHistories.advance_lock = orig_advance
+        CSHistories.reset = orig_reset
+
+    return undo
+
+
+def _obs_register() -> None:
+    import repro.obs as obs
+
+    obs.register_probe("cs_histories", lambda: dict(_OBS_COUNTS))
+    obs.on_enable(_obs_install)
+
+
+_obs_register()

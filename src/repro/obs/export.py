@@ -1,0 +1,118 @@
+"""Convert ``repro.obs`` span logs to Chrome trace-event JSON.
+
+The output is the Trace Event Format's "JSON Object Format": a dict
+with a ``traceEvents`` list of complete (``"ph": "X"``) events plus
+trailing counter (``"ph": "C"``) samples, loadable in
+``chrome://tracing`` and Perfetto.  Timestamps are rebased to the
+earliest span and converted from monotonic nanoseconds to microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["load_records", "to_chrome", "export_chrome"]
+
+
+def load_records(path: str) -> List[dict]:
+    """Load span-log records from a ``spans.jsonl`` file, an obs
+    directory, or a run directory containing ``obs/``.
+
+    Torn trailing lines (a crash mid-write) are skipped, mirroring the
+    run journal's tolerance.
+    """
+    files = _span_files(path)
+    if not files:
+        raise FileNotFoundError(f"no span log found under {path!r}")
+    return _load_files(files)
+
+
+def _load_files(files: List[str]) -> List[dict]:
+    records: List[dict] = []
+    for fname in files:
+        with open(fname, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue  # torn tail
+                if isinstance(rec, dict):
+                    records.append(rec)
+    return records
+
+
+def _span_files(path: str) -> List[str]:
+    if os.path.isfile(path):
+        return [path]
+    # prefer the obs/ subdir: a run directory also holds journal.jsonl,
+    # which is the resilience journal, not a span log
+    for base in (os.path.join(path, "obs"), path):
+        if not os.path.isdir(base):
+            continue
+        found = sorted(
+            os.path.join(base, f) for f in os.listdir(base)
+            if f.startswith("spans") and f.endswith(".jsonl")
+        )
+        if found:
+            return found
+    return []
+
+
+def to_chrome(records: Iterable[dict]) -> Dict[str, object]:
+    """Build the Chrome ``traceEvents`` object from span-log records."""
+    spans = [r for r in records if r.get("k") == "span"]
+    counters = [r for r in records if r.get("k") == "counters"]
+    t_min = min((r["ts"] for r in spans), default=0)
+    events: List[dict] = []
+    seen_procs: Dict[Tuple[int, int], None] = {}
+    for r in spans:
+        ev = {
+            "name": r.get("name", "?"),
+            "cat": r.get("cat", "repro"),
+            "ph": "X",
+            "ts": (r["ts"] - t_min) / 1000.0,
+            "dur": r.get("dur", 0) / 1000.0,
+            "pid": r.get("pid", 0),
+            "tid": r.get("tid", 0),
+        }
+        args = dict(r.get("args") or {})
+        if "path" in r:
+            args["path"] = r["path"]
+        if "error" in r:
+            args["error"] = r["error"]
+        if args:
+            ev["args"] = args
+        events.append(ev)
+        seen_procs.setdefault((ev["pid"], ev["tid"]), None)
+    t_end = max(
+        ((r["ts"] - t_min) + r.get("dur", 0) for r in spans), default=0
+    ) / 1000.0
+    for rec in counters:
+        for name, value in sorted((rec.get("counters") or {}).items()):
+            events.append({
+                "name": name, "cat": "counters", "ph": "C", "ts": t_end,
+                "pid": 0, "tid": 0, "args": {"value": value},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome(path: str, out: Optional[str] = None) -> Tuple[dict, str]:
+    """Convert ``path`` (span log / obs dir / run dir) and write the
+    Chrome JSON next to it (or to ``out``).  Returns (doc, out_path)."""
+    files = _span_files(path)
+    if not files:
+        raise FileNotFoundError(f"no span log found under {path!r}")
+    doc = to_chrome(_load_files(files))
+    if out is None:
+        out = os.path.join(os.path.dirname(files[0]) or ".",
+                           "trace_events.json")
+    tmp = out + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    os.replace(tmp, out)
+    return doc, out

@@ -1,0 +1,197 @@
+"""Render ``repro bench profile``: top-k span trees + counter summary.
+
+Aggregates a run's span log (``OUT/obs/spans.jsonl``) by span *path*
+(the slash-joined per-thread ancestry each record carries), so the
+rendering is a tree of where wall time went, with self-time separated
+from children.  With ``--trace``/``--detector`` it instead renders one
+cell's embedded rollup from ``run.json`` — available even when the run
+streamed no span log (in-memory telemetry), because rollups ride the
+result channel.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.export import load_records
+
+__all__ = ["aggregate_spans", "render_tree", "render_counters",
+           "render_run_profile", "render_cell_profile"]
+
+
+def aggregate_spans(records) -> Dict[str, Tuple[int, int]]:
+    """path -> (count, total_ns) over span records."""
+    agg: Dict[str, List[int]] = {}
+    for r in records:
+        if r.get("k") != "span":
+            continue
+        path = r.get("path") or r.get("name", "?")
+        slot = agg.get(path)
+        if slot is None:
+            agg[path] = [1, r.get("dur", 0)]
+        else:
+            slot[0] += 1
+            slot[1] += r.get("dur", 0)
+    return {p: (c, t) for p, (c, t) in agg.items()}
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.1f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{int(ns)}ns"
+
+
+def render_tree(agg: Dict[str, Tuple[int, int]], top: int = 20) -> List[str]:
+    """Render the path aggregation as an indented tree, deepest-first
+    accounted as self-time, children sorted by total time."""
+    if not agg:
+        return ["  (no spans recorded)"]
+    children: Dict[str, List[str]] = {}
+    roots: List[str] = []
+    for path in agg:
+        parent = path.rsplit("/", 1)[0] if "/" in path else None
+        if parent is not None and parent in agg:
+            children.setdefault(parent, []).append(path)
+        else:
+            roots.append(path)
+
+    lines: List[str] = []
+    budget = [top]
+
+    def total(path: str) -> int:
+        return agg[path][1]
+
+    def walk(path: str, depth: int) -> None:
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        cnt, tot = agg[path]
+        kids = sorted(children.get(path, ()), key=total, reverse=True)
+        self_ns = tot - sum(agg[k][1] for k in kids)
+        name = path.rsplit("/", 1)[-1]
+        extra = f"  self {_fmt_ns(self_ns)}" if kids else ""
+        lines.append(
+            f"  {'  ' * depth}{name:<{max(1, 28 - 2 * depth)}}"
+            f" {cnt:>7}x  total {_fmt_ns(tot):>9}"
+            f"  avg {_fmt_ns(tot / cnt):>9}{extra}"
+        )
+        for k in kids:
+            walk(k, depth + 1)
+
+    for root in sorted(roots, key=total, reverse=True):
+        walk(root, 0)
+    if budget[0] <= 0 and len(agg) > top:
+        lines.append(f"  ... ({len(agg) - top} more span paths; raise -k)")
+    return lines
+
+
+def render_counters(counters: Dict[str, float], top: int = 40) -> List[str]:
+    """Render the ``top`` largest counters as aligned text lines."""
+    if not counters:
+        return ["  (no counters recorded)"]
+    lines = []
+    items = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+    for name, value in items[:top]:
+        val = f"{int(value)}" if float(value).is_integer() else f"{value:.3f}"
+        lines.append(f"  {name:<40} {val:>14}")
+    if len(items) > top:
+        lines.append(f"  ... ({len(items) - top} more counters)")
+    return lines
+
+
+def _load_run_json(out_dir: str) -> Optional[dict]:
+    path = os.path.join(out_dir, "run.json")
+    if not os.path.isfile(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def render_run_profile(out_dir: str, top: int = 20) -> str:
+    """The whole-run view: span tree from the log + final counters."""
+    try:
+        records = load_records(out_dir)
+    except FileNotFoundError:
+        records = []
+    counters: Dict[str, float] = {}
+    hists: Dict[str, dict] = {}
+    for rec in records:
+        if rec.get("k") == "counters":
+            counters = rec.get("counters") or {}
+            hists = rec.get("histograms") or {}
+    if not records:
+        # fall back to per-cell rollups embedded in run.json
+        run = _load_run_json(out_dir)
+        if run is None:
+            raise FileNotFoundError(
+                f"no span log or run.json under {out_dir!r}"
+            )
+        for cell in run.get("cells", []):
+            rollup = cell.get("obs")
+            if not rollup:
+                continue
+            records.extend(rollup.get("spans", []))
+            for k, v in (rollup.get("counters") or {}).items():
+                counters[k] = counters.get(k, 0) + v
+    lines = [f"# profile: {out_dir}", "", "## span tree (by wall time)"]
+    lines += render_tree(aggregate_spans(records), top=top)
+    lines += ["", "## counters"]
+    lines += render_counters(counters)
+    if hists:
+        lines += ["", "## histograms"]
+        for name in sorted(hists):
+            h = hists[name]
+            cnt = max(1, int(h.get("count", 0)))
+            lines.append(
+                f"  {name:<40} n={int(h.get('count', 0))}"
+                f" mean={h.get('sum', 0) / cnt:.6f}"
+                f" min={h.get('min', 0):.6f} max={h.get('max', 0):.6f}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_cell_profile(out_dir: str, trace: str, detector: str,
+                        top: int = 20) -> str:
+    """The single-cell view from the rollup embedded in ``run.json``."""
+    run = _load_run_json(out_dir)
+    if run is None:
+        raise FileNotFoundError(f"no run.json under {out_dir!r}")
+    matches = [
+        c for c in run.get("cells", [])
+        if c.get("trace") == trace and c.get("detector") == detector
+    ]
+    if not matches:
+        have = sorted({
+            (c.get("trace"), c.get("detector"))
+            for c in run.get("cells", [])
+        })
+        raise KeyError(
+            f"no cell {trace!r} x {detector!r} in run "
+            f"(cells: {have[:8]}{'...' if len(have) > 8 else ''})"
+        )
+    cell = matches[0]
+    rollup = cell.get("obs") or {}
+    lines = [f"# profile: cell {trace} x {detector}", ""]
+    wall = rollup.get("wall")
+    cpu = rollup.get("cpu")
+    rss = rollup.get("max_rss_kb")
+    lines.append(f"  status      {cell.get('status')}")
+    if wall is not None:
+        lines.append(f"  wall        {wall:.6f}s")
+    if cpu is not None:
+        lines.append(f"  cpu         {cpu:.6f}s")
+    if rss is not None:
+        lines.append(f"  peak rss    {rss} KB")
+    if rollup.get("spans_truncated"):
+        lines.append(f"  (spans truncated: {rollup['spans_truncated']})")
+    lines += ["", "## span tree (by wall time)"]
+    lines += render_tree(aggregate_spans(rollup.get("spans", [])), top=top)
+    lines += ["", "## counters"]
+    lines += render_counters(rollup.get("counters") or {})
+    return "\n".join(lines) + "\n"

@@ -38,9 +38,11 @@ and unbounded sessions are identical.
 
 from __future__ import annotations
 
+import time
 from array import array
 from typing import Iterable, List, Optional
 
+import repro.obs as obs
 from repro.trace.compiled import (
     CompiledTrace,
     TraceReadError,
@@ -231,6 +233,7 @@ class StreamSession:
         glen = self.base + len(self.compiled)
         if self._fed >= glen:
             return 0
+        _t0 = time.monotonic_ns() if obs.enabled() else 0
         lo = self._fed - self.base
         hi = glen - self.base
         if self.bounded:
@@ -242,6 +245,11 @@ class StreamSession:
         self._fed = glen
         if self.bounded:
             self._maybe_evict()
+        if _t0:
+            obs.record_span("stream.flush", _t0, time.monotonic_ns(),
+                            cat="stream", session=self.name, events=hi - lo)
+            obs.observe("stream.batch_events", hi - lo)
+            obs.gauge("stream.retained_events", len(self.compiled))
         return hi - lo
 
     def close(self) -> None:
@@ -321,6 +329,8 @@ class StreamSession:
         buf = len(self.compiled)
         if k <= 0 or k < self.batch_size or k < buf - k:
             return
+        obs.count("stream.eviction_sweeps")
+        obs.count("stream.evicted_events", k)
         c = self.compiled
         c.ops = c.ops[k:]
         c.thread_ids = c.thread_ids[k:]

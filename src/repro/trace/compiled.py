@@ -22,9 +22,11 @@ block) — the whole file is never resident as one string.
 
 from __future__ import annotations
 
+import time
 from array import array
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.trace.events import (
     OP_ACQUIRE,
     OP_FORK,
@@ -403,6 +405,8 @@ def _iter_std_lines(path: str, chunk_size: int = _CHUNK_SIZE,
             chunk = fh.read(chunk_size)
             if not chunk:
                 break
+            obs.count("trace.chunks")
+            obs.count("trace.chunk_chars", len(chunk))
             if state is not None:
                 state["offset"] = state.get("offset", 0) + \
                     len(chunk.encode("utf-8", "surrogatepass"))
@@ -441,6 +445,7 @@ def parse_std_into(out: CompiledTrace, lines: Iterable[str],
     """
     from repro.trace.parser import ParseError
 
+    _n0 = len(out) if obs.enabled() else 0
     op_codes = Op.CODE
     threads_tab = out.threads_tab
     append_coded = out.append_coded
@@ -468,6 +473,8 @@ def parse_std_into(out: CompiledTrace, lines: Iterable[str],
         append_coded(
             code, threads_tab.intern(head.strip()), intern_target(code, target), loc
         )
+    if obs.enabled():
+        obs.count("trace.events_parsed", len(out) - _n0)
     return lineno + 1
 
 
@@ -488,6 +495,7 @@ def load_compiled_trace(path: str, name: str = "") -> CompiledTrace:
 
     out = CompiledTrace(name or path)
     state = {"offset": 0}
+    _t0 = time.monotonic_ns() if obs.enabled() else 0
     try:
         parse_std_into(out, _iter_std_lines(path, state=state))
     except FileNotFoundError:
@@ -495,4 +503,7 @@ def load_compiled_trace(path: str, name: str = "") -> CompiledTrace:
     except (OSError, EOFError, zlib.error, UnicodeDecodeError) as exc:
         raise TraceReadError(path, str(exc), byte_offset=state["offset"],
                              events_parsed=len(out)) from exc
+    if _t0:
+        obs.record_span("trace.load_compiled", _t0, time.monotonic_ns(),
+                        cat="trace", path=path, events=len(out))
     return out

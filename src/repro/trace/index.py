@@ -37,9 +37,11 @@ tests keep the friendly string API of ``Trace``.
 
 from __future__ import annotations
 
+import time
 from array import array
 from typing import Dict, FrozenSet, List, Tuple
 
+import repro.obs as obs
 from repro.trace.compiled import CompiledTrace
 from repro.trace.events import (
     OP_ACQUIRE,
@@ -144,6 +146,9 @@ class TraceIndex:
         lo, hi = self._pos, len(ops)
         if lo >= hi:
             return 0
+        # Telemetry is per-batch, never per-event: one timestamp pair
+        # and three metric calls per extend(), zero cost when disabled.
+        _t0 = time.monotonic_ns() if obs.enabled() else 0
 
         rf_append = self.rf.append
         match = self.match
@@ -270,6 +275,11 @@ class TraceIndex:
 
         self.lock_nesting_depth = nesting
         self._pos = hi
+        if _t0:
+            obs.record_span("index.extend", _t0, time.monotonic_ns(),
+                            cat="trace", events=hi - lo)
+            obs.count("index.events", hi - lo)
+            obs.gauge("index.held_pool_stacks", len(held_offsets) - 1)
         return hi - lo
 
     @staticmethod

@@ -14,8 +14,10 @@ third field is a source location used for bug deduplication.
 from __future__ import annotations
 
 import re
+import time
 from typing import List
 
+import repro.obs as obs
 from repro.trace.events import Event
 from repro.trace.trace import Trace
 
@@ -86,14 +88,20 @@ def load_trace(path: str, name: str = "") -> Trace:
     :func:`repro.trace.compiled.load_compiled_trace`, which also interns
     names and op codes while streaming.
     """
+    _t0 = time.monotonic_ns() if obs.enabled() else 0
     try:
         if path.endswith(".gz"):
             import gzip
 
             with gzip.open(path, "rt", encoding="utf-8") as fh:
-                return Trace(parse_events(fh), name=name or path)
-        with open(path, "r", encoding="utf-8") as fh:
-            return Trace(parse_events(fh), name=name or path)
+                trace = Trace(parse_events(fh), name=name or path)
+        else:
+            with open(path, "r", encoding="utf-8") as fh:
+                trace = Trace(parse_events(fh), name=name or path)
+        if _t0:
+            obs.record_span("trace.load", _t0, time.monotonic_ns(),
+                            cat="trace", path=path, events=len(trace))
+        return trace
     except (EOFError, UnicodeDecodeError) as exc:
         from repro.trace.compiled import TraceReadError
 

@@ -10,9 +10,10 @@ predictor at a multi-million-event log.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-from repro.trace.trace import Trace
+from repro.trace.events import OP_ACQUIRE, OP_READ, OP_WRITE
+from repro.trace.trace import Trace, as_trace
 
 
 @dataclass(frozen=True)
@@ -76,56 +77,79 @@ class TraceProfile:
 
 
 def profile_trace(trace: Trace) -> TraceProfile:
-    """One-pass profile of ``trace``."""
-    profile = TraceProfile(num_events=len(trace))
-    lock_acqs: Dict[str, int] = {}
-    lock_threads: Dict[str, set] = {}
-    lock_guarded: Dict[str, int] = {}
-    lock_span: Dict[str, int] = {}
-    open_at: Dict[Tuple[str, str], int] = {}
+    """One-pass profile over the interned int columns.
 
-    thread_events: Dict[str, int] = {}
-    thread_accesses: Dict[str, int] = {}
-    thread_acqs: Dict[str, int] = {}
-    thread_nest: Dict[str, int] = {}
+    Reads the :class:`~repro.trace.compiled.CompiledTrace` op/thread/
+    target columns and the :class:`~repro.trace.index.TraceIndex`
+    held-set and ``match`` columns directly — no per-event ``Event``
+    materialization, no string-keyed held-lock tuples — and interns
+    back to names only for the final per-lock/per-thread records.
+    Critical-section spans come straight from ``match`` (acquire ->
+    matching release), which pairs exactly like the legacy
+    release-time bookkeeping did.
+    """
+    trace = as_trace(trace)
+    compiled = trace.compiled
+    index = trace.index
+    ops, tids, targs = compiled.columns()
+    held_id = index.held_id
+    held_lengths = index.held_lengths
+    match = index.match
 
-    for ev in trace:
-        thread_events[ev.thread] = thread_events.get(ev.thread, 0) + 1
-        if ev.is_access:
-            thread_accesses[ev.thread] = thread_accesses.get(ev.thread, 0) + 1
-        elif ev.is_acquire:
-            lk = ev.target
-            lock_acqs[lk] = lock_acqs.get(lk, 0) + 1
-            lock_threads.setdefault(lk, set()).add(ev.thread)
-            held = trace.held_locks(ev.idx)
+    n_threads = len(compiled.threads_tab.names)
+    n_locks = len(compiled.locks_tab.names)
+    lock_acqs = [0] * n_locks
+    lock_threads: List[set] = [set() for _ in range(n_locks)]
+    lock_guarded = [0] * n_locks
+    lock_span = [0] * n_locks
+    thread_events = [0] * n_threads
+    thread_accesses = [0] * n_threads
+    thread_acqs = [0] * n_threads
+    thread_nest = [0] * n_threads
+
+    for i in range(len(ops)):
+        op = ops[i]
+        tid = tids[i]
+        thread_events[tid] += 1
+        if op == OP_READ or op == OP_WRITE:
+            thread_accesses[tid] += 1
+        elif op == OP_ACQUIRE:
+            lk = targs[i]
+            lock_acqs[lk] += 1
+            lock_threads[lk].add(tid)
+            held = held_lengths[held_id[i]]
             if held:
-                lock_guarded[lk] = lock_guarded.get(lk, 0) + 1
-            thread_acqs[ev.thread] = thread_acqs.get(ev.thread, 0) + 1
-            thread_nest[ev.thread] = max(
-                thread_nest.get(ev.thread, 0), len(held) + 1
-            )
-            open_at[(ev.thread, lk)] = ev.idx
-        elif ev.is_release:
-            key = (ev.thread, ev.target)
-            start = open_at.pop(key, None)
-            if start is not None:
-                span = ev.idx - start
-                lock_span[ev.target] = max(lock_span.get(ev.target, 0), span)
+                lock_guarded[lk] += 1
+            thread_acqs[tid] += 1
+            if held + 1 > thread_nest[tid]:
+                thread_nest[tid] = held + 1
+            m = match[i]
+            if m >= 0 and m - i > lock_span[lk]:
+                lock_span[lk] = m - i
 
-    for lk, count in lock_acqs.items():
-        profile.locks[lk] = LockProfile(
-            lock=lk,
-            acquisitions=count,
-            threads=len(lock_threads.get(lk, ())),
-            max_held_span=lock_span.get(lk, 0),
-            guarded_acquires=lock_guarded.get(lk, 0),
+    profile = TraceProfile(num_events=len(ops))
+    lock_names = compiled.locks_tab.names
+    for lk in range(n_locks):
+        if not lock_acqs[lk]:
+            continue
+        name = lock_names[lk]
+        profile.locks[name] = LockProfile(
+            lock=name,
+            acquisitions=lock_acqs[lk],
+            threads=len(lock_threads[lk]),
+            max_held_span=lock_span[lk],
+            guarded_acquires=lock_guarded[lk],
         )
-    for t, count in thread_events.items():
-        profile.threads[t] = ThreadProfile(
-            thread=t,
-            events=count,
-            accesses=thread_accesses.get(t, 0),
-            acquisitions=thread_acqs.get(t, 0),
-            max_nesting=thread_nest.get(t, 0),
+    thread_names = compiled.threads_tab.names
+    for t in range(n_threads):
+        if not thread_events[t]:
+            continue
+        name = thread_names[t]
+        profile.threads[name] = ThreadProfile(
+            thread=name,
+            events=thread_events[t],
+            accesses=thread_accesses[t],
+            acquisitions=thread_acqs[t],
+            max_nesting=thread_nest[t],
         )
     return profile

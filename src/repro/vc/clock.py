@@ -242,6 +242,70 @@ class Epoch:
         return self.clock <= (v[t] if t < len(v) else 0)
 
 
+# -- telemetry ---------------------------------------------------------------
+#
+# Joins and COW copies are the per-event hot path of every engine, far
+# too hot even for a guarded no-op call.  Instrumentation is therefore
+# *patch-on-enable*: counting wrappers are swapped in only while
+# repro.obs is active, and the disabled path carries zero extra code.
+
+_OBS_COUNTS = {"vc.join": 0, "vc.join_grew": 0, "vc.join_update": 0,
+               "vc.copy": 0, "vc.snapshot": 0}
+
+
+def _obs_install():
+    import repro.obs as obs  # noqa: F401  (hook registration only)
+
+    c = _OBS_COUNTS
+    orig_join = VectorClock.join_with
+    orig_ju = VectorClock.join_update
+    orig_own = VectorClock._own
+    orig_snap = VectorClock.snapshot
+
+    def join_with(self, other):
+        c["vc.join"] += 1
+        changed = orig_join(self, other)
+        if changed:
+            c["vc.join_grew"] += 1
+        return changed
+
+    def join_update(self, other):
+        c["vc.join_update"] += 1
+        return orig_ju(self, other)
+
+    def _own(self):
+        if self._shared:
+            c["vc.copy"] += 1
+        orig_own(self)
+
+    def snapshot(self):
+        c["vc.snapshot"] += 1
+        return orig_snap(self)
+
+    VectorClock.join_with = join_with
+    VectorClock.join_update = join_update
+    VectorClock._own = _own
+    VectorClock.snapshot = snapshot
+
+    def undo():
+        VectorClock.join_with = orig_join
+        VectorClock.join_update = orig_ju
+        VectorClock._own = orig_own
+        VectorClock.snapshot = orig_snap
+
+    return undo
+
+
+def _obs_register() -> None:
+    import repro.obs as obs
+
+    obs.register_probe("vc", lambda: dict(_OBS_COUNTS))
+    obs.on_enable(_obs_install)
+
+
+_obs_register()
+
+
 class ThreadUniverse:
     """Interns thread names to dense integer slots."""
 

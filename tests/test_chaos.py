@@ -212,6 +212,54 @@ class TestChaosBitIdentity:
         assert all(n == 1 for n in final.attempts.values())
 
 
+    def test_worker_crash_with_telemetry_enabled(self, tmp_path,
+                                                 monkeypatch):
+        """Telemetry must not perturb recovery: an obs-enabled fault run
+        stays bit-identical to the undisturbed baseline, and the span
+        log stays well-formed — the crashed attempt loses only its own
+        telemetry (crash isolation), never corrupting the parent log."""
+        from repro import obs
+        from repro.obs.export import load_records
+
+        def build():
+            return campaign([DetectorSpec(name="spd_offline")], retry=RETRY)
+
+        baseline = ProcessPoolRunner(jobs=2).run(build())
+        obs_dir = str(tmp_path / "obs")
+        monkeypatch.setenv(obs.ENV_VAR, obs_dir)
+        monkeypatch.setenv(faults.ENV_VAR, json.dumps(
+            [{"point": "cell", "action": "crash",
+              "when": {"index": 1, "attempt": 1}}]))
+        obs.maybe_enable_from_env()
+        try:
+            injected = ProcessPoolRunner(jobs=2).run(build())
+            obs.finish()
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+            os.environ.pop(obs.ENV_VAR, None)
+
+        assert comparable(injected) == comparable(baseline)
+        hit = injected.results[1]
+        assert [a["status"] for a in hit.attempts] == ["error", "ok"]
+        assert counters["pool.worker_crashes"] == 1
+        assert counters["runner.retries"] == 1
+
+        records = load_records(obs_dir)
+        spans = [r for r in records if r.get("k") == "span"]
+        assert spans, "obs-enabled run produced no spans"
+        for s in spans:
+            assert s["dur"] >= 0 and s["ts"] > 0
+            assert s["path"].split("/")[-1] == s["name"]
+        # the surviving attempts' cell spans all made it; the crashed
+        # attempt contributes nothing (its worker died holding them)
+        cells = [s for s in spans if s["name"] == "cell"]
+        assert len(cells) == len(baseline.results)
+        # queue-wait/exec bookkeeping covers every attempt that ran to
+        # completion, crash included via its error-status exec span
+        execs = [s for s in spans if s["name"] == "pool.exec"]
+        assert len(execs) == 3                   # ok, crash, retry-ok
+
     @pytest.mark.fuzz
     def test_fuzz_seeded_fault_sweep(self, monkeypatch):
         """Nightly-style sweep: REPRO_FUZZ_ITERS seeded injections
