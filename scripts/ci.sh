@@ -24,10 +24,14 @@ fi
 echo "== tier-1 tests (includes the property-equivalence suites:"
 echo "   tests/test_perf_equivalence.py + tests/test_trace_index.py, the"
 echo "   quick shard-differential slice: tests/test_shard_differential.py,"
-echo "   the streaming-session slice: tests/test_stream.py, and the"
+echo "   the streaming-session slice: tests/test_stream.py, the"
 echo "   resilience + chaos bit-identity suites: tests/test_resilience.py"
-echo "   + tests/test_chaos.py) =="
+echo "   + tests/test_chaos.py, and the kernel-vs-python differential"
+echo "   suite: tests/test_kernels.py) =="
+echo "-- backend: auto (numpy kernels when importable) --"
 python -m pytest -x -q
+echo "-- backend: python (pure-python reference path forced) --"
+REPRO_KERNELS=python python -m pytest -x -q
 
 echo "== perf smoke + obs overhead (floors skipped) + bounded-memory ceiling =="
 python -m pytest -q benchmarks/test_perf_regression.py \
@@ -43,7 +47,7 @@ case "${REPRO_FUZZ_ITERS:-0}" in
     0)
         : ;;
     *)
-        echo "== shard-differential + streaming fuzz loops + seeded fault sweep (REPRO_FUZZ_ITERS=${REPRO_FUZZ_ITERS}) =="
+        echo "== shard-differential + streaming + kernel fuzz loops + seeded fault sweep (REPRO_FUZZ_ITERS=${REPRO_FUZZ_ITERS}) =="
         python -m pytest -q -m fuzz tests/test_shard_differential.py \
-            tests/test_stream.py tests/test_chaos.py ;;
+            tests/test_stream.py tests/test_chaos.py tests/test_kernels.py ;;
 esac

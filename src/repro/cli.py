@@ -537,6 +537,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-deadlock",
         description="Sound dynamic deadlock prediction in linear time (PLDI 2023).",
     )
+    parser.add_argument(
+        "--kernels", choices=("auto", "numpy", "python"), default=None,
+        help="kernel backend for the hot loops (default: REPRO_KERNELS "
+             "env var, else auto = numpy when importable); outputs are "
+             "bit-identical either way")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_an = sub.add_parser("analyze", help="predict deadlocks in a trace file")
@@ -716,6 +721,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     contract below.
     """
     args = build_parser().parse_args(argv)
+    if getattr(args, "kernels", None) is not None:
+        import repro.kernels as kernels
+
+        # Scoped, not global: in-process callers (tests, scripting)
+        # must not leak one invocation's backend into the next.
+        with kernels.use(args.kernels):
+            return args.func(args)
     return args.func(args)
 
 

@@ -137,15 +137,14 @@ class SPClosureEngine:
     def timestamp_of_events(self, events: Iterable[int]) -> VectorClock:
         """``TS(S) = ⨆ {TS(e)}`` for an event set."""
         out = VectorClock.bottom(len(self.timestamps.universe))
-        for idx in events:
-            out.join_with(self.timestamps.of(idx))
+        out.join_many(self.timestamps.of(idx) for idx in events)
         return out
 
     def pred_timestamp_of_events(self, events: Iterable[int]) -> VectorClock:
         """``TS(pred(S))``: join of thread-local-predecessor timestamps."""
         out = VectorClock.bottom(len(self.timestamps.universe))
-        for idx in events:
-            out.join_with(self.timestamps.pred_timestamp(idx))
+        out.join_many(self.timestamps.pred_timestamp(idx)
+                      for idx in events)
         return out
 
     def members(self, t_clock: VectorClock) -> Set[int]:

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import repro.kernels as kernels
 from repro.core.alg import abstract_deadlock_patterns
 from repro.core.closure import SPClosureEngine
 from repro.core.patterns import (
@@ -150,13 +151,34 @@ def spd_offline(
         num_concrete_patterns=sum(a.num_concrete for a in abstracts),
     )
     if abstracts:
-        engine = SPClosureEngine(trace)
-        for abstract in abstracts:
-            witness = check_abstract_pattern(engine, abstract)
-            if witness is not None:
-                result.reports.append(
-                    DeadlockReport.from_pattern(trace, witness, abstract)
-                )
+        # Phase 2: pattern checks are mutually independent, so the
+        # numpy backend checks them all in one lockstep batch (proven
+        # bit-identical to the python loop by tests/test_kernels.py).
+        witnesses = None
+        if kernels.backend() == "numpy":
+            from repro.kernels.offline_np import check_patterns_batch
+            from repro.vc.timestamps import TRFTimestamps
+
+            witnesses = check_patterns_batch(
+                trace,
+                [tuple(a.events for a in ab.acquires) for ab in abstracts],
+                TRFTimestamps(trace),
+            )
+        if witnesses is not None:
+            for abstract, events in zip(abstracts, witnesses):
+                if events is not None:
+                    result.reports.append(
+                        DeadlockReport.from_pattern(
+                            trace, DeadlockPattern(events), abstract)
+                    )
+        else:
+            engine = SPClosureEngine(trace)
+            for abstract in abstracts:
+                witness = check_abstract_pattern(engine, abstract)
+                if witness is not None:
+                    result.reports.append(
+                        DeadlockReport.from_pattern(trace, witness, abstract)
+                    )
     if with_witnesses:
         from repro.reorder.witness import witness_for_pattern
 

@@ -133,6 +133,24 @@ class _OnlineClosure:
         self._log_pos = -1
         self._pending: Set[int] = set()
 
+    def canonical_clock(self) -> List[int]:
+        """Backend-agnostic checkpoint form (see SPDOnline.checkpoint).
+
+        The closure state *is* its clock: cursors and candidates are
+        derivable (a record is consumed iff its acquire value is ≤ the
+        clock's thread component), and every consumed contribution is
+        already folded into the fix-point clock.  A closure rebuilt
+        from the clock alone self-heals bit-identically on its next
+        compute — re-joining already-absorbed releases is a ⊑-skipped
+        no-op at the fix-point.
+        """
+        return list(self.clock._v)
+
+    def seed_values(self, values: List[int]) -> None:
+        """Adopt restored clock components (rebuild-from-checkpoint)."""
+        if values:
+            self.clock.join_with(VectorClock(values))
+
     def join_seed(self, seed: VectorClock) -> None:
         """Grow the closure clock; mark locks reachable from grown slots."""
         grown = self.clock.join_update(seed)
@@ -400,6 +418,38 @@ class SPDOnline(InterningDetectorMixin):
         self._closure_iterations = 0
         self._deadlock_checks = 0
         self._evictions = 0
+        # Vectorized closure backend (repro.kernels): numpy mirrors of
+        # the critical-section history, maintained write-through by the
+        # event handlers.  Exact mode only — eviction trims history
+        # prefixes, which the stateless numpy cursors cannot track.
+        self._np = None
+        if max_memory_events is None:
+            self._init_kernel()
+
+    def _init_kernel(self) -> None:
+        import repro.kernels as kernels
+
+        np_mod = kernels.numpy_or_none()
+        if np_mod is not None:
+            from repro.kernels.online_np import NpOnlineState
+
+            self._np = NpOnlineState(np_mod)
+            kernels.record_dispatch("online_closure", "numpy")
+        else:
+            kernels.record_dispatch("online_closure", "python")
+
+    def _new_closure(self):
+        """Per-context closure of the active kernel backend.
+
+        Both implementations compute the same (unique) Algorithm 1
+        fix-point over the same shared history; reports are
+        bit-identical (tests/test_kernels.py).
+        """
+        if self._np is not None:
+            from repro.kernels.online_np import NpOnlineClosure
+
+            return NpOnlineClosure(self)
+        return _OnlineClosure(self)
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -459,6 +509,9 @@ class SPDOnline(InterningDetectorMixin):
                 rec = stack.pop()
                 rec.rel_val = clock[tid]
                 rec.rel_ts = clock.snapshot()
+                if self._np is not None:
+                    self._np.on_release(tid, target_id, rec.acq_val,
+                                        rec.rel_val, rec.rel_ts._v)
             held = self._held[tid]
             for j in range(len(held) - 1, -1, -1):
                 if held[j] == target_id:
@@ -493,6 +546,8 @@ class SPDOnline(InterningDetectorMixin):
         rec = _CSRecord(acq_idx=idx, tid=tid, acq_val=val)
         records.append(rec)
         self.cs_log.append(lid)
+        if self._np is not None:
+            self._np.on_acquire(tid, lid, val, idx)
         open_stack = self._open_cs.get(key)
         if open_stack is None:
             open_stack = self._open_cs[key] = []
@@ -537,7 +592,7 @@ class SPDOnline(InterningDetectorMixin):
                 opp_ctx: _Ctx = (u, l2, tid, lid)
                 closure = closures.get(opp_ctx)
                 if closure is None:
-                    closure = _OnlineClosure(self)
+                    closure = self._new_closure()
                     closures[opp_ctx] = closure
                 self._check_deadlock(queue, closure, opp_ctx, c_pred, entry)
 
@@ -669,6 +724,16 @@ class SPDOnline(InterningDetectorMixin):
 
         state = dict(self.__dict__)
         state.pop("_synced_tabs", None)
+        # Closures serialize as their canonical clock (a plain int
+        # list): backend-agnostic and numpy-free, so a blob written
+        # under REPRO_KERNELS=numpy restores under python and vice
+        # versa.  The numpy history mirror is likewise dropped and
+        # resynced from the canonical records on restore.
+        state.pop("_np", None)
+        state["_closures"] = {
+            ctx: closure.canonical_clock()
+            for ctx, closure in self._closures.items()
+        }
         return pickle.dumps((type(self).__name__, state),
                             protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -684,14 +749,29 @@ class SPDOnline(InterningDetectorMixin):
             )
         out = cls.__new__(cls)
         out.__dict__.update(state)
-        # Closures were pickled with an ``_owner`` backref to a shadow
-        # copy of the detector.  Its mutable containers are the same
-        # objects as ``out``'s (pickle preserves sharing within one
-        # graph), but scalars like ``cs_log_base`` would freeze on the
-        # shadow while ``out`` advances — rebind so closures track the
-        # live detector.
-        for closure in out._closures.values():
-            closure._owner = out
+        out._np = None
+        if out.max_memory_events is None:
+            out._init_kernel()
+            if out._np is not None:
+                from repro.kernels.online_np import NpOnlineState
+
+                out._np = NpOnlineState.from_history(out._np.np,
+                                                     out.cs_history)
+        # Closures checkpoint as canonical clocks (current blobs) or as
+        # pickled objects with an ``_owner`` backref to a shadow copy of
+        # the detector (legacy blobs).  Rebuild the former under the
+        # active kernel backend; rebind the latter so they track the
+        # live detector rather than the frozen shadow.
+        closures = {}
+        for ctx, closure in out._closures.items():
+            if isinstance(closure, _OnlineClosure):
+                closure._owner = out
+            else:
+                values = closure
+                closure = out._new_closure()
+                closure.seed_values(values)
+            closures[ctx] = closure
+        out._closures = closures
         for ctx in getattr(out, "_contexts", ()):
             ctx.closure._owner = out
         return out

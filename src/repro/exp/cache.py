@@ -211,6 +211,15 @@ def detector_code_version(detector_name: str) -> str:
     leaves this key — and the caches under it — intact.  Falls back to
     the whole-package digest when the adapter's source cannot be
     resolved.
+
+    Kernel backends share keys deliberately: the digest covers the
+    import closure (which pulls in the :mod:`repro.kernels` dispatch
+    sites and the ``*_np`` modules they load), but the *selected*
+    backend — ``REPRO_KERNELS``/:func:`repro.kernels.set_backend` — is
+    not part of the key.  The kernels are proven bit-identical to the
+    canonical python paths (``tests/test_kernels.py``), so a record
+    computed under either backend is valid for both; editing any
+    kernel module still invalidates, through the closure digest.
     """
     cached = _DETECTOR_VERSIONS.get(detector_name)
     if cached is not None:

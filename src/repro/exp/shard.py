@@ -47,6 +47,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import repro.kernels as kernels
 import repro.obs as obs
 from repro.core.alg import (
     alg_components,
@@ -257,6 +258,8 @@ def run_shard(spine: Spine, config: Dict) -> Dict:
 
     engine: Optional[SPClosureEngine] = None
     contexts_out: List[Dict] = []
+    #: (pattern record, spine-local sequences) awaiting phase 2
+    pending: List[Tuple[Dict, Tuple[Tuple[int, ...], ...]]] = []
     total_witnessed = 0
     obs.count("shard.contexts", len(config["contexts"]))
     for ctx in config["contexts"]:
@@ -278,26 +281,43 @@ def run_shard(spine: Spine, config: Dict) -> Dict:
                 continue
             named = tuple(nodes[i].to_named(compiled) for i in cycle)
             abstract = AbstractDeadlockPattern(named).canonical()
-            if engine is None:
-                engine = _component_engine(spine, trace)
             sequences = tuple(
                 tuple(from_orig[e] for e in a.events)
                 for a in abstract.acquires
             )
-            witness = check_pattern_sequences(engine, sequences)
-            if witness is not None:
-                total_witnessed += 1
-            patterns.append({
+            record = {
                 "start": gids[cycle[0]],
                 "nodes": [
                     {"thread": a.thread, "lock": a.lock,
                      "held": sorted(a.held), "events": list(a.events)}
                     for a in abstract.acquires
                 ],
-                "witness": [to_orig[e] for e in witness]
-                if witness is not None else None,
-            })
+                "witness": None,
+            }
+            pending.append((record, sequences))
+            patterns.append(record)
         contexts_out.append({"num_cycles": num_cycles, "patterns": patterns})
+
+    # Phase 2 over the whole cell at once: the checks are mutually
+    # independent, so the numpy backend sweeps them in one lockstep
+    # batch (the same kernel ``spd_offline`` dispatches to); the
+    # python loop checks them in discovery order, which is exactly the
+    # order the old per-cycle code used.
+    if pending:
+        if engine is None:
+            engine = _component_engine(spine, trace)
+        seqs = [s for _, s in pending]
+        witnesses = None
+        if kernels.backend() == "numpy":
+            from repro.kernels.offline_np import check_patterns_batch
+
+            witnesses = check_patterns_batch(trace, seqs, engine.timestamps)
+        if witnesses is None:
+            witnesses = [check_pattern_sequences(engine, s) for s in seqs]
+        for (record, _), witness in zip(pending, witnesses):
+            if witness is not None:
+                total_witnessed += 1
+                record["witness"] = [to_orig[e] for e in witness]
     return {"primary": total_witnessed, "contexts": contexts_out}
 
 

@@ -19,6 +19,8 @@ class DiGraph(Generic[N]):
         self._nodes: List[N] = []
         self._index: Dict[N, int] = {}
         self._succ: List[Set[int]] = []
+        self._sorted: List[List[int]] = []
+        self._sorted_valid = True
 
     def add_node(self, node: N) -> int:
         """Insert ``node`` if absent; return its dense index."""
@@ -28,12 +30,15 @@ class DiGraph(Generic[N]):
             self._index[node] = idx
             self._nodes.append(node)
             self._succ.append(set())
+            self._sorted_valid = False
         return idx
 
     def add_edge(self, src: N, dst: N) -> None:
         i = self.add_node(src)
         j = self.add_node(dst)
-        self._succ[i].add(j)
+        if j not in self._succ[i]:
+            self._succ[i].add(j)
+            self._sorted_valid = False
 
     def has_edge(self, src: N, dst: N) -> bool:
         i = self._index.get(src)
@@ -63,6 +68,19 @@ class DiGraph(Generic[N]):
     def adjacency(self) -> List[Set[int]]:
         """Successor sets by node index (shared, do not mutate)."""
         return self._succ
+
+    def sorted_adjacency(self) -> List[List[int]]:
+        """Successor lists in ascending order (shared, do not mutate).
+
+        Interned once and invalidated on mutation: cycle enumeration
+        (:mod:`repro.graph.johnson`) walks successors in sorted order
+        at every search frame, and re-sorting the same sets there
+        dominated deep searches.
+        """
+        if not self._sorted_valid:
+            self._sorted = [sorted(s) for s in self._succ]
+            self._sorted_valid = True
+        return self._sorted
 
     def edges(self) -> Iterable[Tuple[N, N]]:
         for i, succ in enumerate(self._succ):

@@ -35,6 +35,7 @@ def simple_cycles(
         max_cycles: if given, stop after yielding this many cycles.
     """
     adjacency: Sequence[Set[int]] = graph.adjacency()
+    succ_sorted = graph.sorted_adjacency()
     n = graph.num_nodes
     emitted = 0
     if max_cycles is not None and max_cycles <= 0:
@@ -47,7 +48,8 @@ def simple_cycles(
         # in sorted order) — this is the SPDOffline ``max_size=2`` hot
         # path, where phase-1 enumeration used to dominate end-to-end
         # runtime.
-        yield from _short_cycles(adjacency, n, max_length, max_cycles)
+        yield from _short_cycles(adjacency, succ_sorted, n, max_length,
+                                 max_cycles)
         return
     remaining: Set[int] = set(range(n))
 
@@ -68,7 +70,7 @@ def simple_cycles(
         start = min(comp)
         comp_set = set(comp)
 
-        for cycle in _cycles_from(start, adjacency, comp_set, max_length):
+        for cycle in _cycles_from(start, succ_sorted, comp_set, max_length):
             yield cycle
             emitted += 1
             if max_cycles is not None and emitted >= max_cycles:
@@ -78,6 +80,7 @@ def simple_cycles(
 
 def _short_cycles(
     adjacency: Sequence[Set[int]],
+    succ_sorted: Sequence[Sequence[int]],
     n: int,
     max_length: int,
     max_cycles: Optional[int],
@@ -96,7 +99,7 @@ def _short_cycles(
     emitted = 0
     pairs = max_length >= 2
     for s in range(n):
-        for v in sorted(adjacency[s]):
+        for v in succ_sorted[s]:
             if v == s:
                 yield [s]
             elif pairs and v > s and s in adjacency[v]:
@@ -110,20 +113,25 @@ def _short_cycles(
 
 def _cycles_from(
     start: int,
-    adjacency: Sequence[Set[int]],
+    succ_sorted: Sequence[Sequence[int]],
     allowed: Set[int],
     max_length: Optional[int],
 ) -> Iterator[List[int]]:
     """All elementary cycles through ``start`` within ``allowed``.
 
     Iterative version of Johnson's CIRCUIT procedure with the blocked
-    set / B-list unblocking machinery.
+    set / B-list unblocking machinery.  Successor order comes from the
+    graph's interned sorted arrays, restricted to the component once
+    up front — the textbook per-frame ``sorted(adjacency[v] & allowed)``
+    re-sorted the same sets at every visit.
     """
+    succ = {v: [w for w in succ_sorted[v] if w in allowed]
+            for v in allowed}
     blocked: Set[int] = set()
     b_lists: dict = {v: set() for v in allowed}
     path: List[int] = [start]
     blocked.add(start)
-    succ_iters = [iter(sorted(adjacency[start] & allowed))]
+    succ_iters = [iter(succ[start])]
     found_flags = [False]
 
     def unblock(v: int) -> None:
@@ -154,7 +162,7 @@ def _cycles_from(
                     continue
                 path.append(nxt)
                 blocked.add(nxt)
-                succ_iters.append(iter(sorted(adjacency[nxt] & allowed)))
+                succ_iters.append(iter(succ[nxt]))
                 found_flags.append(False)
                 advanced = True
                 break
@@ -169,6 +177,6 @@ def _cycles_from(
             if found_flags:
                 found_flags[-1] = True
         else:
-            for w in adjacency[node] & allowed:
+            for w in succ[node]:
                 b_lists[w].add(node)
     return

@@ -1,0 +1,119 @@
+"""Run-batched FastTrack stepping.
+
+FastTrack's per-event state machine is inherently sequential — every
+access ticks the acting thread's clock — but real traces are full of
+*runs*: maximal stretches of consecutive events with the same
+(op, thread, variable) triple, produced by tight loops.  Inside a
+read run or a write run the detector's trajectory is closed-form:
+
+- the WW/WR/RW epoch checks compare against clock components the run
+  never changes, so their outcome is decided by the first event (and
+  race reports deduplicate per ``(variable, kind)`` anyway);
+- after the first event the variable state is in the run's fixed
+  point (exclusive read/write epoch of this thread, or SHARED with
+  this thread's slot live), so the remaining ``k - 1`` events collapse
+  to O(1) arithmetic: advance the clock by ``k - 1`` ticks and rewrite
+  the epoch/slot to the final tick value.
+
+The kernel finds run boundaries with a handful of whole-column numpy
+comparisons, replays the first event of every run through the
+canonical ``_step_coded`` machine, and applies the closed form for the
+tail.  Telemetry counters (``epoch_ops``/``vector_ops``) are advanced
+by exactly what the skipped events would have added, so results are
+bit-identical to the python loop (proven by ``tests/test_kernels.py``).
+
+Adaptive dispatch: on run-free traces (mean run length ~1) collapsing
+buys nothing and the boundary scan is pure overhead, so the kernel
+declines — cheaply, before touching any state — and the python loop
+runs instead.
+"""
+
+from __future__ import annotations
+
+import repro.kernels as kernels
+from repro.trace.events import OP_READ, OP_WRITE
+from repro.vc.clock import Epoch
+
+#: below this batch size the boundary scan costs more than it saves
+MIN_BATCH = 512
+
+#: decline unless at least this fraction of events is collapsible
+MIN_COLLAPSIBLE = 0.25
+
+
+def feed_batch_runs(ft, compiled, lo: int, hi: int, base: int, np) -> bool:
+    """Feed ``compiled[lo:hi]`` into detector ``ft`` run-batched.
+
+    Returns False (no side effects) to decline: batch too small, trace
+    not pre-interned, or not enough runs to pay for the scan.
+    """
+    n = hi - lo
+    if n < MIN_BATCH or not ft._sync_tables(compiled):
+        return False
+    ops_a, tids_a, targs_a = compiled.columns()
+    ops = np.frombuffer(ops_a, dtype=np.int8)[lo:hi]
+    tids = np.frombuffer(tids_a, dtype=np.intc)[lo:hi]
+    targs = np.frombuffer(targs_a, dtype=np.intc)[lo:hi]
+
+    # Run boundaries: only read/write events may continue a run, so
+    # every sync event is its own length-1 run and falls through to
+    # the canonical per-event step.
+    rw = (ops == OP_READ) | (ops == OP_WRITE)
+    brk = np.empty(n, dtype=bool)
+    brk[0] = True
+    np.logical_or(ops[1:] != ops[:-1], tids[1:] != tids[:-1], out=brk[1:])
+    brk[1:] |= targs[1:] != targs[:-1]
+    brk[1:] |= ~rw[1:]
+    starts = np.flatnonzero(brk)
+    collapsed = n - len(starts)
+    if collapsed < n * MIN_COLLAPSIBLE:
+        return False
+
+    starts_l = starts.tolist()
+    ends_l = starts_l[1:] + [n]
+    ops_l = ops[starts].tolist()
+    tids_l = tids[starts].tolist()
+    targs_l = targs[starts].tolist()
+    step_coded = ft._step_coded
+    clocks = ft._clocks
+    materialized = ft._materialized
+    variables = ft._vars
+    res = ft.result
+    for s, e, op, tid, target in zip(starts_l, ends_l, ops_l, tids_l,
+                                     targs_l):
+        idx = base + lo + s
+        k = e - s
+        if k == 1:
+            step_coded(op, tid, target, idx)
+            continue
+        # The run's first event takes the canonical step; afterwards
+        # the variable state is in the run's fixed point and each
+        # remaining event is one tick plus an epoch rewrite.
+        step_coded(op, tid, target, idx)
+        last = idx + k - 1
+        c = clocks[tid]
+        materialized[tid] = True
+        vs = variables[target]
+        if op == OP_WRITE:
+            # Tail writes: WW check hits the own-slot fast path, RW
+            # check repeats the first event's (deduplicated) outcome.
+            res.epoch_ops += 2 * (k - 1)
+            c[tid] += k - 1
+            vs.write = Epoch(c[tid] - 1, tid)
+            vs.write_event = last
+        elif vs.shared_reads is not None:
+            # Tail reads in SHARED state: one slot update each.
+            res.epoch_ops += k - 1
+            c[tid] += k - 1
+            sr = vs.shared_reads
+            sr._ensure(tid + 1)
+            sr[tid] = c[tid] - 1
+            vs.shared_events[tid] = last
+        else:
+            # Tail reads stay exclusive: this thread owns the epoch.
+            res.epoch_ops += 2 * (k - 1)
+            c[tid] += k - 1
+            vs.read = Epoch(c[tid] - 1, tid)
+            vs.read_event = last
+    kernels.record_dispatch("fasttrack_runs", "numpy", events=n)
+    return True

@@ -1,0 +1,62 @@
+"""2-D ndarray clock pool and bulk vector-clock operations.
+
+The columnar engines store timestamps as canonical COW snapshots
+(:class:`~repro.vc.clock.VectorClock`).  For the vectorized kernels the
+same data is materialized once as a dense ``[n_events, n_threads]``
+int64 matrix — row ``i`` is ``TS(e_i)`` zero-padded to the full thread
+universe — so joins become row-wise ``np.maximum`` reductions and
+``⊑`` tests become fancy-indexed comparisons.
+
+This module never imports numpy at module level: callers hand in the
+module object obtained from :func:`repro.kernels.numpy_or_none`.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import List, Sequence
+
+#: cache attribute for :func:`timestamp_matrix` on TRFTimestamps
+_MATRIX_ATTR = "_np_matrix"
+
+
+def pack_rows(np, rows: Sequence[Sequence[int]], width: int):
+    """Variable-length int rows -> zero-padded ``[len(rows), width]`` int64.
+
+    One C-speed flattening pass (``np.fromiter`` over a chained
+    iterator) plus a single scatter — no per-row ndarray construction.
+    """
+    n = len(rows)
+    out = np.zeros((n, width), dtype=np.int64)
+    if n == 0:
+        return out
+    lens = np.fromiter((len(r) for r in rows), dtype=np.int64, count=n)
+    total = int(lens.sum())
+    if total == 0:
+        return out
+    flat = np.fromiter(chain.from_iterable(rows), dtype=np.int64, count=total)
+    starts = np.cumsum(lens) - lens
+    out[np.repeat(np.arange(n), lens),
+        np.arange(total) - np.repeat(starts, lens)] = flat
+    return out
+
+
+def timestamp_matrix(np, timestamps):
+    """The ``[n_events, n_threads]`` clock-pool matrix of a
+    :class:`~repro.vc.timestamps.TRFTimestamps` (cached on the
+    instance — timestamps are immutable once derived)."""
+    cached = getattr(timestamps, _MATRIX_ATTR, None)
+    if cached is not None:
+        return cached
+    matrix = pack_rows(
+        np,
+        [c._v for c in timestamps._ts],
+        len(timestamps.universe),
+    )
+    setattr(timestamps, _MATRIX_ATTR, matrix)
+    return matrix
+
+
+def join_values(np, rows: Sequence[Sequence[int]]) -> List[int]:
+    """Pointwise ``⨆`` of variable-length component lists."""
+    return pack_rows(np, rows, max(len(r) for r in rows)).max(axis=0).tolist()

@@ -223,7 +223,15 @@ def reset_for_worker() -> None:
         _state._fh = None
         _state = None
         for pair in _hooks:
-            pair[1] = None
+            if pair[1] is not None:
+                # Unwind inherited patch wrappers before re-enabling —
+                # method swaps are process-local and safe in a forked
+                # child; skipping this would stack a second wrapper on
+                # re-enable (and leak one layer past the next disable),
+                # double-counting every patched call.
+                if pair[1] is not _NO_UNDO:
+                    pair[1]()
+                pair[1] = None
     val = os.environ.get(ENV_VAR, "").strip()
     if val and val != "0" and val.lower() not in ("false", "no", "off"):
         enable(None)

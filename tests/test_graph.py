@@ -193,3 +193,56 @@ class TestBoundedFastPathRegression:
             assert fast == general
             short_total += len(fast)
         assert short_total > 0, "vacuous sweep: no ALG ever had a short cycle"
+
+
+class TestCycleOrderRegression:
+    """Pin the canonical enumeration order.
+
+    The interned sorted-successor arrays (``DiGraph.sorted_adjacency``)
+    must preserve the exact order the per-frame ``sorted(adj & allowed)``
+    of the textbook search produced: cycles start at their minimum
+    node, start nodes ascend, and within a start the search explores
+    successors in ascending index order.  Downstream consumers
+    (abstract-pattern ids, report ordering, ``max_cycles`` prefixes)
+    all depend on this order being stable.
+    """
+
+    def test_k4_exact_order(self):
+        g = DiGraph()
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    g.add_edge(a, b)
+        assert [tuple(c) for c in simple_cycles(g)] == [
+            (0, 1), (0, 1, 2), (0, 1, 2, 3), (0, 1, 3), (0, 1, 3, 2),
+            (0, 2), (0, 2, 1), (0, 2, 1, 3), (0, 2, 3), (0, 2, 3, 1),
+            (0, 3), (0, 3, 1), (0, 3, 1, 2), (0, 3, 2), (0, 3, 2, 1),
+            (1, 2), (1, 2, 3), (1, 3), (1, 3, 2),
+            (2, 3),
+        ]
+
+    def test_figure_eight_order(self):
+        # Nodes intern in edge order: 1->0, 0->1, 2->2, 3->3.
+        g = graph_from_edges([(1, 0), (0, 1), (0, 2), (2, 0), (3, 0)])
+        assert [tuple(c) for c in simple_cycles(g)] == [(0, 1), (1, 2)]
+
+    def test_mutation_invalidates_interned_order(self):
+        # Enumerate, then add an edge that creates an earlier cycle:
+        # the re-sorted arrays must reflect it (stale interning would
+        # either miss the new cycle or break the canonical order).
+        g = graph_from_edges([(0, 2), (2, 0)])   # interns 0->0, 2->1
+        assert [tuple(c) for c in simple_cycles(g)] == [(0, 1)]
+        g.add_edge(0, 1)                          # interns 1->2
+        g.add_edge(1, 0)
+        assert [tuple(c) for c in simple_cycles(g)] == [(0, 1), (0, 2)]
+        assert [tuple(c) for c in simple_cycles(g, max_length=2)] == [
+            (0, 1), (0, 2)]
+
+    def test_bounded_and_general_agree_on_order(self):
+        g = graph_from_edges(
+            [(0, 1), (1, 0), (0, 0), (1, 2), (2, 1), (2, 2), (3, 1),
+             (1, 3), (3, 3)])
+        general = [tuple(c) for c in simple_cycles(g) if len(c) <= 2]
+        fast = [tuple(c) for c in simple_cycles(g, max_length=2)]
+        assert fast == general == [
+            (0,), (0, 1), (1, 2), (1, 3), (2,), (3,)]

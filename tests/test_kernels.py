@@ -1,0 +1,406 @@
+"""Kernel-vs-python differential suite (:mod:`repro.kernels`).
+
+The pure-python implementations are the canonical semantics; the numpy
+kernels must be *bit-identical* to them — same reports, same stats,
+same derived columns, same checkpoint round-trips.  This suite proves
+it corpus-wide and over seeded random traces, and separately proves
+the python path works with numpy absent (the import is mocked away),
+so numpy stays an optional extra rather than a hard dependency.
+
+The long fuzz loop is opt-in: ``REPRO_FUZZ_ITERS=2000 pytest -m fuzz
+tests/test_kernels.py``.
+"""
+
+import os
+import random
+
+import pytest
+
+import repro.kernels as kernels
+from repro.core.spd_offline import spd_offline
+from repro.core.spd_online import SPDOnline
+from repro.hb.fasttrack import FastTrack
+from repro.synth.random_traces import RandomTraceConfig, generate_random_trace
+from repro.trace.compiled import CompiledTrace, compile_trace
+from repro.trace.index import TraceIndex
+from repro.trace.parser import load_trace
+
+CORPUS = os.path.join(os.path.dirname(__file__), os.pardir, "corpus")
+CORPUS_TRACES = sorted(f for f in os.listdir(CORPUS) if f.endswith(".std"))
+
+HAVE_NUMPY = kernels._import_numpy() is not None
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="differential needs the numpy backend")
+
+
+# -- signatures: everything observable about a run ---------------------------
+
+
+def offline_sig(trace, **kw):
+    res = spd_offline(trace, **kw)
+    return (
+        res.num_cycles, res.num_abstract_patterns, res.num_concrete_patterns,
+        [(r.pattern.events, r.locations, r.bug_id) for r in res.reports],
+    )
+
+
+def online_sig(trace):
+    det = SPDOnline()
+    det.run(trace)
+    return ([(r.first_event, r.second_event, r.context, r.locations)
+             for r in det.reports], det.stats())
+
+
+def fasttrack_sig(trace):
+    ft = FastTrack()
+    res = ft.run(trace)
+    vars_fp = [
+        ((vs.write.clock, vs.write.slot), vs.write_event,
+         (vs.read.clock, vs.read.slot), vs.read_event,
+         tuple(vs.shared_reads._v) if vs.shared_reads is not None else None,
+         tuple(sorted(vs.shared_events.items())))
+        for vs in ft._vars
+    ]
+    return (res.races, res.epoch_ops, res.vector_ops,
+            [tuple(c._v) for c in ft._clocks], vars_fp)
+
+
+def index_sig(compiled):
+    ix = TraceIndex(compiled)
+    return dict(
+        rf=list(ix.rf), match=list(ix.match),
+        thread_pos=list(ix.thread_pos), thread_pred=list(ix.thread_pred),
+        held_id=list(ix.held_id), held_pool=list(ix.held_pool),
+        held_offsets=list(ix.held_offsets),
+        held_lengths=list(ix.held_lengths),
+        thread_order=ix.thread_order, lock_order=ix.lock_order,
+        var_order=ix.var_order, events_by_thread=ix.events_by_thread,
+        acquires_by_lock=[list(a) for a in ix.acquires_by_lock],
+        fork_of=ix.fork_of,
+        num_acquires=ix.num_acquires, num_requests=ix.num_requests,
+        nesting=ix.lock_nesting_depth, pool_ids=dict(ix._pool_ids),
+        open_acq={k: list(v) for k, v in ix._open_acq.items()},
+        held_stack=[list(s) for s in ix._held_stack],
+        cur_held=list(ix._cur_held), last_write=list(ix._last_write),
+    )
+
+
+def both_backends(fn, *args, **kw):
+    with kernels.use("python"):
+        ref = fn(*args, **kw)
+    with kernels.use("numpy"):
+        got = fn(*args, **kw)
+    return ref, got
+
+
+def runify(comp, seed, reps=(1, 1, 2, 3, 8, 16)):
+    """Expand each r/w event into a run — the FastTrack kernel's food."""
+    from repro.trace.events import OP_READ, OP_WRITE
+
+    rng = random.Random(seed)
+    out = CompiledTrace(name=comp.name)
+    ops, _, _ = comp.columns()
+    for i in range(len(comp)):
+        ev = comp.event(i)
+        r = rng.choice(reps) if ops[i] in (OP_READ, OP_WRITE) else 1
+        for _ in range(r):
+            out.append(ev.thread, ev.op, ev.target)
+    return out
+
+
+def fuzz_config(seed):
+    """A deterministic, varied generator config for one fuzz iteration."""
+    return RandomTraceConfig(
+        num_threads=1 + seed % 7,
+        num_locks=1 + seed % 5,
+        num_vars=1 + seed % 9,
+        num_events=200 + (seed % 4) * 150,
+        max_nesting=1 + seed % 4,
+        acquire_prob=0.25 + (seed % 3) * 0.1,
+        release_prob=0.3,
+        write_prob=0.3 + (seed % 4) * 0.15,
+        fork_join=(seed % 2 == 0),
+        release_any_prob=0.4 if seed % 3 == 0 else 0.0,
+        seed=seed,
+    )
+
+
+def check_seed(seed):
+    trace = generate_random_trace(fuzz_config(seed))
+    comp = compile_trace(trace)
+    # Unbounded cycle enumeration is exponential on dense random ALGs
+    # (Theorem 3.1), so most seeds check the size-2 scope and every
+    # fifth seed additionally checks all sizes under a cycle cap.
+    checks = [
+        (index_sig, (comp,), {}),
+        (online_sig, (trace,), {}),
+        (offline_sig, (trace,), {"max_size": 2}),
+        (fasttrack_sig, (comp,), {}),
+        (fasttrack_sig, (runify(comp, seed + 10_000),), {}),
+    ]
+    if seed % 5 == 0:
+        checks.append((offline_sig, (trace,), {"max_cycles": 2000}))
+    for fn, args, kw in checks:
+        ref, got = both_backends(fn, *args, **kw)
+        assert ref == got, (
+            f"seed {seed}: {fn.__name__} {kw} differs between backends")
+
+
+# -- corpus-wide bit-identity ------------------------------------------------
+
+
+@needs_numpy
+class TestCorpusDifferential:
+    @pytest.mark.parametrize("name", CORPUS_TRACES)
+    def test_offline_all_sizes(self, name):
+        trace = load_trace(os.path.join(CORPUS, name))
+        for max_size in (None, 2, 3):
+            ref, got = both_backends(offline_sig, trace, max_size=max_size)
+            assert ref == got, f"{name} max_size={max_size}"
+
+    @pytest.mark.parametrize("name", CORPUS_TRACES)
+    def test_online(self, name):
+        trace = load_trace(os.path.join(CORPUS, name))
+        ref, got = both_backends(online_sig, trace)
+        assert ref == got, name
+
+    @pytest.mark.parametrize("name", CORPUS_TRACES)
+    def test_fasttrack(self, name):
+        comp = compile_trace(load_trace(os.path.join(CORPUS, name)))
+        ref, got = both_backends(fasttrack_sig, comp)
+        assert ref == got, name
+
+    @pytest.mark.parametrize("name", CORPUS_TRACES)
+    def test_index(self, name):
+        comp = compile_trace(load_trace(os.path.join(CORPUS, name)))
+        ref, got = both_backends(index_sig, comp)
+        assert ref == got, name
+
+
+# -- seeded random-trace differential (200 base cases) -----------------------
+
+
+@needs_numpy
+class TestRandomDifferential:
+    @pytest.mark.parametrize("chunk", range(20))
+    def test_seeded_configs(self, chunk):
+        for seed in range(chunk * 10, chunk * 10 + 10):
+            check_seed(seed)
+
+    @pytest.mark.fuzz
+    def test_fuzz_long_loop(self):
+        """Nightly-style loop: REPRO_FUZZ_ITERS=N pytest -m fuzz ..."""
+        iters = int(os.environ.get("REPRO_FUZZ_ITERS", "0"))
+        if iters <= 0:
+            pytest.skip("set REPRO_FUZZ_ITERS to run the long fuzz loop")
+        for seed in range(200, 200 + iters):
+            check_seed(seed)
+
+
+# -- incremental / streaming paths -------------------------------------------
+
+
+@needs_numpy
+class TestIncrementalDifferential:
+    def test_index_extend_batch_split(self):
+        """Chunked extend() ≡ one-shot, across chunk-size mixes."""
+        cfg = RandomTraceConfig(num_threads=6, num_locks=8, num_vars=10,
+                                num_events=4000, max_nesting=3,
+                                acquire_prob=0.3, release_prob=0.3, seed=3)
+        comp = compile_trace(generate_random_trace(cfg))
+        with kernels.use("python"):
+            ref = index_sig(comp)
+        with kernels.use("numpy"):
+            grow = CompiledTrace()
+            ix = TraceIndex(grow)
+            rng = random.Random(0)
+            i, n = 0, len(comp)
+            while i < n:
+                step = rng.choice([1, 7, 100, 513, 2000])
+                for j in range(i, min(i + step, n)):
+                    ev = comp.event(j)
+                    grow.append(ev.thread, ev.op, ev.target)
+                ix.extend()
+                i += step
+            with kernels.use("python"):
+                got = index_sig(comp)     # fresh reference object
+        assert ref == got
+
+    def test_online_checkpoint_cross_backend(self):
+        """Save under either backend, restore under either: all four
+        combinations equal the uninterrupted run."""
+        cfg = RandomTraceConfig(num_threads=8, num_locks=12, num_vars=16,
+                                num_events=3000, max_nesting=3,
+                                acquire_prob=0.35, release_prob=0.3, seed=7)
+        events = list(generate_random_trace(cfg))
+        half = len(events) // 2
+
+        def sig(det):
+            return ([(r.first_event, r.second_event, r.context, r.locations)
+                     for r in det.reports], det.stats())
+
+        refs = {}
+        for b in ("python", "numpy"):
+            with kernels.use(b):
+                det = SPDOnline()
+                for ev in events:
+                    det.step(ev)
+                refs[b] = sig(det)
+        assert refs["python"] == refs["numpy"]
+
+        for b_save in ("python", "numpy"):
+            with kernels.use(b_save):
+                det = SPDOnline()
+                for ev in events[:half]:
+                    det.step(ev)
+                blob = det.checkpoint()
+            for b_load in ("python", "numpy"):
+                with kernels.use(b_load):
+                    out = SPDOnline.restore(blob)
+                    for ev in events[half:]:
+                        out.step(ev)
+                    assert sig(out) == refs["python"], \
+                        f"save={b_save} load={b_load}"
+
+
+# -- dispatch accounting ------------------------------------------------------
+
+
+@needs_numpy
+class TestDispatchAccounting:
+    """Bit-identity alone could pass with kernels that never engage;
+    pin that the numpy paths actually run."""
+
+    def test_detectors_dispatch_numpy(self):
+        cfg = RandomTraceConfig(num_threads=6, num_locks=8, num_vars=10,
+                                num_events=2000, max_nesting=3,
+                                acquire_prob=0.35, release_prob=0.3, seed=11)
+        trace = generate_random_trace(cfg)
+        comp = compile_trace(trace)
+        before = kernels.counters()
+        with kernels.use("numpy"):
+            TraceIndex(comp)
+            SPDOnline().run(trace)
+            spd_offline(trace, max_size=2)
+            FastTrack().run(runify(comp, 1))
+        after = kernels.counters()
+
+        def grew(key):
+            return after.get(key, 0) > before.get(key, 0)
+
+        assert grew("kernels.index_extend.numpy")
+        assert grew("kernels.online_closure.numpy")
+        assert grew("kernels.offline_check.numpy")
+        assert grew("kernels.fasttrack_runs.numpy")
+
+    def test_fasttrack_declines_runless_traces(self):
+        """Adaptive dispatch: no runs -> the boundary scan declines and
+        the canonical loop runs (recorded as a python dispatch)."""
+        cfg = RandomTraceConfig(num_threads=8, num_locks=8, num_vars=16,
+                                num_events=2000, acquire_prob=0.1,
+                                release_prob=0.15, seed=13)
+        comp = compile_trace(generate_random_trace(cfg))
+        before = kernels.counters().get("kernels.fasttrack_runs.python", 0)
+        with kernels.use("numpy"):
+            FastTrack().run(comp)
+        after = kernels.counters().get("kernels.fasttrack_runs.python", 0)
+        assert after > before
+
+
+# -- forced fallback: numpy absent -------------------------------------------
+
+
+class TestNumpyAbsent:
+    """REPRO_KERNELS=python and auto-without-numpy must work with numpy
+    uninstalled; an explicit numpy request must fail loudly."""
+
+    @pytest.fixture()
+    def no_numpy(self, monkeypatch):
+        import builtins
+
+        real_import = builtins.__import__
+
+        def blocked(name, *args, **kw):
+            if name == "numpy" or name.startswith("numpy."):
+                raise ImportError("numpy is mocked away")
+            return real_import(name, *args, **kw)
+
+        monkeypatch.setattr(builtins, "__import__", blocked)
+        monkeypatch.setattr(kernels, "_NUMPY", None)
+        monkeypatch.setattr(kernels, "_NUMPY_CHECKED", False)
+        yield
+        # memoization must not leak the mocked probe into later tests
+        kernels._NUMPY_CHECKED = False
+        kernels._NUMPY = None
+
+    def test_auto_resolves_to_python(self, no_numpy):
+        with kernels.use("auto"):
+            assert kernels.backend() == "python"
+            assert kernels.numpy_or_none() is None
+
+    def test_explicit_numpy_request_raises(self, no_numpy):
+        with kernels.use("numpy"):
+            with pytest.raises(kernels.KernelsError):
+                kernels.backend()
+
+    def test_detectors_run_without_numpy(self, no_numpy):
+        trace = load_trace(os.path.join(CORPUS, "sigma2.std"))
+        comp = compile_trace(trace)
+        from repro.vc.clock import VectorClock
+
+        with kernels.use("auto"):
+            assert offline_sig(trace)[3], "sigma2 has a deadlock"
+            online_sig(trace)
+            fasttrack_sig(comp)
+            index_sig(comp)
+            out = VectorClock(4)
+            out.join_many([VectorClock([i, 2 * i, 0, 1])
+                           for i in range(10)])
+        assert out.values() == (9, 18, 0, 1)
+
+    def test_auto_fallback_matches_forced_python(self, no_numpy):
+        # auto-without-numpy goes through every dispatch site with
+        # numpy_or_none() == None; forced python short-circuits before
+        # the probe.  Both must land on the identical canonical result.
+        trace = load_trace(os.path.join(CORPUS, "transfer.std"))
+        with kernels.use("auto"):
+            fell_back = offline_sig(trace)
+        with kernels.use("python"):
+            assert offline_sig(trace) == fell_back
+
+
+# -- vc bulk join ------------------------------------------------------------
+
+
+class TestJoinMany:
+    def test_matches_fold(self):
+        from repro.vc.clock import VectorClock
+
+        rng = random.Random(5)
+        for trial in range(50):
+            width = rng.randint(1, 6)
+            clocks = [VectorClock([rng.randint(0, 9)
+                                   for _ in range(rng.randint(0, width))])
+                      for _ in range(rng.randint(0, 12))]
+            base = [rng.randint(0, 9) for _ in range(width)]
+            a = VectorClock(list(base))
+            changed_fold = False
+            for c in clocks:
+                changed_fold = a.join_with(c) or changed_fold
+            b = VectorClock(list(base))
+            changed_many = b.join_many(clocks)
+            assert a.values() == b.values()
+            assert changed_fold == changed_many
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+    def test_large_batch_dispatches_numpy(self):
+        from repro.vc.clock import VectorClock
+
+        before = kernels.counters().get("kernels.vc_join_many.numpy", 0)
+        out = VectorClock(4)
+        with kernels.use("numpy"):
+            out.join_many([VectorClock([i, 1]) for i in range(20)])
+        assert out.values() == (19, 1, 0, 0)
+        after = kernels.counters().get("kernels.vc_join_many.numpy", 0)
+        assert after > before

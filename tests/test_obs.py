@@ -450,3 +450,60 @@ class TestCLI:
     def test_profile_missing_run(self, tmp_path, capsys):
         rc = main(["bench", "profile", str(tmp_path / "nope")])
         assert rc == 2
+
+
+class TestKernelTelemetryComposition:
+    """Satellite of the kernels PR: obs's patch-on-enable wrappers and
+    the numpy kernel dispatch must compose — enabling telemetry never
+    silently forces the python path, and the wrapped VectorClock
+    methods still count when a kernel-backed bulk join runs."""
+
+    numpy = pytest.importorskip("numpy", reason="kernel path needs numpy")
+
+    def test_join_many_counts_through_wrappers_on_numpy_path(self):
+        import repro.kernels as kernels
+        from repro.vc.clock import VectorClock
+
+        obs.enable(None)
+        k0 = kernels.counters().get("kernels.vc_join_many.numpy", 0)
+        j0 = obs.snapshot()["counters"].get("vc.join", 0)
+        out = VectorClock(4)
+        with kernels.use("numpy"):
+            changed = out.join_many(
+                [VectorClock([i, 1]) for i in range(16)])
+        assert changed and out.values() == (15, 1, 0, 0)
+        c = obs.snapshot()["counters"]
+        # numpy dispatch happened with telemetry ON ...
+        assert kernels.counters()["kernels.vc_join_many.numpy"] == k0 + 1
+        # ... and the patched join_with wrapper observed the merge.
+        assert c["vc.join"] == j0 + 1
+        assert c["vc.join_grew"] >= 1
+
+    def test_enable_disable_cycle_keeps_kernel_dispatch(self):
+        """Lifecycle: enabled -> disabled -> re-enabled, the online
+        engine keeps dispatching its numpy closure kernel and its
+        reports stay identical to the python oracle."""
+        import repro.kernels as kernels
+        from repro.core.spd_online import SPDOnline
+        from repro.trace.parser import load_trace
+
+        trace = load_trace(os.path.join(CORPUS, "dining_phil5.std"))
+
+        def reports(backend):
+            with kernels.use(backend):
+                det = SPDOnline()
+                det.run(trace)
+            return [(r.first_event, r.second_event, r.context, r.locations)
+                    for r in det.reports]
+
+        baseline = reports("python")
+        for _cycle in range(2):
+            obs.enable(None)
+            k0 = kernels.counters().get("kernels.online_closure.numpy", 0)
+            assert reports("numpy") == baseline
+            assert kernels.counters()["kernels.online_closure.numpy"] > k0
+            obs.disable()
+        # wrappers unwound: one more run, still numpy, still identical
+        k0 = kernels.counters().get("kernels.online_closure.numpy", 0)
+        assert reports("numpy") == baseline
+        assert kernels.counters()["kernels.online_closure.numpy"] > k0
