@@ -26,7 +26,10 @@ echo "   tests/test_perf_equivalence.py + tests/test_trace_index.py, the"
 echo "   quick shard-differential slice: tests/test_shard_differential.py,"
 echo "   the streaming-session slice: tests/test_stream.py, the"
 echo "   resilience + chaos bit-identity suites: tests/test_resilience.py"
-echo "   + tests/test_chaos.py, and the kernel-vs-python differential"
+echo "   + tests/test_chaos.py (incl. the fleet transport fault classes:"
+echo "   killed worker mid-lease, expired-lease re-dispatch, duplicate"
+echo "   delivery, torn queue record), the fleet queue/runner suite:"
+echo "   tests/test_fleet.py, and the kernel-vs-python differential"
 echo "   suite: tests/test_kernels.py) =="
 echo "-- backend: auto (numpy kernels when importable) --"
 python -m pytest -x -q
@@ -47,7 +50,7 @@ case "${REPRO_FUZZ_ITERS:-0}" in
     0)
         : ;;
     *)
-        echo "== shard-differential + streaming + kernel fuzz loops + seeded fault sweep (REPRO_FUZZ_ITERS=${REPRO_FUZZ_ITERS}) =="
+        echo "== shard-differential + streaming + kernel fuzz loops + seeded fault sweeps (detector + fleet transport; REPRO_FUZZ_ITERS=${REPRO_FUZZ_ITERS}) =="
         python -m pytest -q -m fuzz tests/test_shard_differential.py \
             tests/test_stream.py tests/test_chaos.py tests/test_kernels.py ;;
 esac

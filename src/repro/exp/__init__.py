@@ -19,7 +19,11 @@ this package runs such matrices as *campaigns*:
   (Markdown + JSON) and a run-to-run diff;
 - :mod:`repro.exp.resilience` — the fault-tolerance layer: crash-safe
   run journal + resume, declarative retry/backoff policies, and
-  quarantine for cells that exhaust their retries.
+  quarantine for cells that exhaust their retries;
+- :mod:`repro.exp.fleet` — the multi-machine runner: cells dispatched
+  through a shared-directory work queue (:mod:`repro.exp.fleet_queue`)
+  to ``repro fleet worker`` loops, results folded back through the
+  same journal/retry path, bit-identical to the local runners.
 
 The CLI front door is ``repro-deadlock bench run|report|diff``.
 """
@@ -55,12 +59,20 @@ _SHARD_EXPORTS = frozenset({
     "split_trace",
 })
 
+#: same deferral for the fleet (it pulls in subprocess/multiprocessing
+#: plumbing no in-process campaign needs).
+_FLEET_EXPORTS = frozenset({"RemoteRunner", "FleetQueue"})
+
 
 def __getattr__(name):
     if name in _SHARD_EXPORTS:
         from repro.exp import shard
 
         return getattr(shard, name)
+    if name in _FLEET_EXPORTS:
+        from repro.exp import fleet, fleet_queue
+
+        return getattr(fleet, name, None) or getattr(fleet_queue, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -70,9 +82,11 @@ __all__ = [
     "CellResult",
     "CellTask",
     "DetectorSpec",
+    "FleetQueue",
     "InlineRunner",
     "JournalState",
     "ProcessPoolRunner",
+    "RemoteRunner",
     "ResultCache",
     "RetryPolicy",
     "RunJournal",

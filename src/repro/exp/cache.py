@@ -13,10 +13,16 @@ A cell's key digests everything that can change its output:
   invalidates exactly the cells that could change; cells of untouched
   detectors stay warm across commits.
 
-Records are JSON files under ``<root>/<key[:2]>/<key>.json``, written
+Storage is pluggable: :class:`ResultCache` keeps the schema validation
+and corruption handling and delegates the byte storage to a
+:class:`CacheBackend`.  The default :class:`LocalDirBackend` keeps
+records as JSON files under ``<root>/<key[:2]>/<key>.json``, written
 atomically (tmp + rename) so a crashed run never leaves a torn record
-for the next run to trust.  Only ``ok`` and ``timeout`` cells are
-cached; ``error`` cells (crashed workers) always re-run.
+for the next run to trust; pointing it at a shared filesystem turns it
+into the fleet's blob store (:mod:`repro.exp.fleet`), where workers on
+other machines warm-start exactly like local pool workers.  Only
+``ok`` and ``timeout`` cells are cached; ``error`` cells (crashed
+workers) always re-run.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Iterator, Optional, Set, Tuple
 
 import repro.obs as obs
 
@@ -168,6 +174,38 @@ def dependency_closure(roots) -> Tuple[str, ...]:
     return tuple(sorted(seen))
 
 
+def closure_with_shims(roots, modules: Dict[str, bytes],
+                       graph: Dict[str, Set[str]]) -> Set[str]:
+    """The module set a detector version digests: the transitive
+    closure of ``roots`` plus ancestor packages and their re-exports.
+
+    Ancestor packages' ``__init__`` modules run on import, so their
+    digests are included — and because such modules are typically pure
+    re-export *shims* (``from repro.x.impl import thing``), their
+    **direct** imports are included too (one level, not transitively:
+    following a top-level ``__init__`` transitively would drag the
+    whole package into every closure).  Without that one level, moving
+    an implementation behind an unchanged shim would leave stale cache
+    entries live.
+    """
+    closure: Set[str] = set()
+    work = [r for r in roots if r in graph]
+    while work:
+        mod = work.pop()
+        if mod in closure:
+            continue
+        closure.add(mod)
+        work.extend(graph.get(mod, ()))
+    for mod in tuple(closure):
+        while "." in mod:
+            mod = mod.rpartition(".")[0]
+            if mod in modules and mod not in closure:
+                closure.add(mod)
+                # one level of the shim's own re-export imports
+                closure |= {d for d in graph.get(mod, ()) if d in modules}
+    return closure
+
+
 def _registry_scaffold_digest(module_name: str) -> bytes:
     """Digest of a registry module's *shared* code.
 
@@ -242,15 +280,11 @@ def detector_code_version(detector_name: str) -> str:
             raise ValueError(f"unknown pipeline root modules: {missing}")
         roots = _repro_imports(tree, modules) | set(_PIPELINE_ROOTS)
         scaffold = _registry_scaffold_digest(adapter.__module__)
-        closure = set(dependency_closure(roots))
-        # Ancestor packages' __init__ modules run on import; hash their
-        # digests too, but without following their (re-export) imports
-        # — that would drag the whole package into every closure.
-        for mod in tuple(closure):
-            while "." in mod:
-                mod = mod.rpartition(".")[0]
-                if mod in modules:
-                    closure.add(mod)
+        # Transitive closure of the roots, plus ancestor __init__
+        # shims and — one level deep — the modules those shims
+        # re-export (see closure_with_shims): moving an implementation
+        # behind an unchanged shim must still invalidate.
+        closure = closure_with_shims(roots, modules, _module_import_graph())
         h = hashlib.sha256()
         h.update(source.encode())
         h.update(scaffold)
@@ -321,8 +355,48 @@ def validate_record(record) -> bool:
     return True
 
 
-class ResultCache:
-    """Filesystem-backed cell-result store."""
+class CacheBackend:
+    """The byte-storage protocol behind :class:`ResultCache`.
+
+    A backend is a keyed blob store; everything *about* the blobs —
+    JSON encoding, schema validation, corruption handling, telemetry —
+    lives in :class:`ResultCache`, so every backend (local directory
+    today, an object store or cache daemon tomorrow) serves exactly
+    the same validated records.  Remote backends for the analysis
+    fleet (:mod:`repro.exp.fleet`) implement this interface; workers
+    on other machines then warm-start exactly like local pool workers.
+
+    Contract: :meth:`load` returns ``None`` for a missing key and may
+    raise ``OSError`` for an unreadable one (the cache maps both to a
+    miss); :meth:`store` must be atomic — a concurrent reader sees the
+    old bytes or the new bytes, never a torn write; :meth:`discard` is
+    idempotent and ignores missing keys.
+    """
+
+    def load(self, key: str) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def store(self, key: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def discard(self, key: str) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class LocalDirBackend(CacheBackend):
+    """The default backend: one file per key under a root directory.
+
+    Records live at ``<root>/<key[:2]>/<key>.json`` and are written
+    atomically (tmp + rename), so readers — including fleet workers
+    sharing the directory over a network filesystem — never observe a
+    torn record.
+    """
 
     def __init__(self, root: str) -> None:
         self.root = root
@@ -330,38 +404,91 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
 
+    def load(self, key: str) -> Optional[bytes]:
+        try:
+            with open(self._path(key), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return None
+
+    def store(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def discard(self, key: str) -> None:
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            pass
+
+    def keys(self) -> Iterator[str]:
+        for dirpath, _, files in os.walk(self.root):
+            for fn in sorted(files):
+                if fn.endswith(".json"):
+                    yield fn[: -len(".json")]
+
+    def describe(self) -> str:
+        return f"dir:{self.root}"
+
+
+class ResultCache:
+    """Schema-validated cell-result store over a :class:`CacheBackend`.
+
+    ``ResultCache("path")`` keeps the historical local-directory form;
+    pass any :class:`CacheBackend` to swap the storage (the fleet's
+    shared blob store does).
+    """
+
+    def __init__(self, root) -> None:
+        if isinstance(root, CacheBackend):
+            self.backend = root
+            self.root = getattr(root, "root", None)
+        else:
+            self.backend = LocalDirBackend(root)
+            self.root = root
+
+    def _path(self, key: str) -> str:
+        """Filesystem location of ``key`` (local-dir backends only)."""
+        return self.backend._path(key)
+
     def get(self, key: str) -> Optional[dict]:
         """The record under ``key``, or None.
 
-        Corruption degrades to a miss: unreadable files, invalid JSON,
+        Corruption degrades to a miss: unreadable blobs, invalid JSON,
         and schema-invalid records (a torn write that still parses, a
         record from a future schema) all return None — and the bad
-        entry is deleted so the re-computed result can replace it.
+        entry is discarded so the re-computed result can replace it.
         """
-        path = self._path(key)
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                record = json.load(fh)
-        except FileNotFoundError:
+            data = self.backend.load(key)
+        except OSError:
+            data = b"\xff"                      # unreadable == corrupt
+        if data is None:
             obs.count("cache.miss")
             return None
-        except (OSError, json.JSONDecodeError):
+        try:
+            record = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
             obs.count("cache.corrupt")
-            self._discard(path)
+            self.backend.discard(key)
             return None
         if not validate_record(record):
             obs.count("cache.corrupt")
-            self._discard(path)
+            self.backend.discard(key)
             return None
         obs.count("cache.hit")
         return record
-
-    @staticmethod
-    def _discard(path: str) -> None:
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
 
     def verify(self, prune: bool = True) -> Dict[str, int]:
         """Scan every entry; optionally prune the corrupt ones.
@@ -371,45 +498,27 @@ class ResultCache:
         """
         obs.count("cache.verify_scans")
         stats = {"scanned": 0, "ok": 0, "corrupt": 0, "pruned": 0}
-        for dirpath, _, files in os.walk(self.root):
-            for fn in sorted(files):
-                if not fn.endswith(".json"):
-                    continue
-                stats["scanned"] += 1
-                path = os.path.join(dirpath, fn)
-                try:
-                    with open(path, "r", encoding="utf-8") as fh:
-                        record = json.load(fh)
-                    good = validate_record(record)
-                except (OSError, json.JSONDecodeError):
-                    good = False
-                if good:
-                    stats["ok"] += 1
-                    continue
-                stats["corrupt"] += 1
-                if prune:
-                    self._discard(path)
-                    stats["pruned"] += 1
+        for key in self.backend.keys():
+            stats["scanned"] += 1
+            try:
+                data = self.backend.load(key)
+                record = json.loads((data or b"").decode("utf-8"))
+                good = validate_record(record)
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+                good = False
+            if good:
+                stats["ok"] += 1
+                continue
+            stats["corrupt"] += 1
+            if prune:
+                self.backend.discard(key)
+                stats["pruned"] += 1
         return stats
 
     def put(self, key: str, record: dict) -> None:
         obs.count("cache.put")
-        path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(record, fh, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self.backend.store(
+            key, json.dumps(record, sort_keys=True).encode("utf-8"))
 
     def __len__(self) -> int:
-        count = 0
-        for _, _, files in os.walk(self.root):
-            count += sum(1 for f in files if f.endswith(".json"))
-        return count
+        return sum(1 for _ in self.backend.keys())

@@ -1,0 +1,440 @@
+"""Multi-machine fleet runner: cells over a shared work queue.
+
+:class:`RemoteRunner` is the third point of the runner split
+(InlineRunner / ProcessPoolRunner / RemoteRunner, mirroring
+instrumentation-infra's local-pool / cluster-pool shape): it plugs into
+the same :meth:`~repro.exp.runner._BaseRunner.run_tasks` seam, so
+caching, journal replay, retry/backoff/quarantine, ``--resume``, and
+drain-on-SIGINT all behave exactly as they do for the local runners —
+the only thing that changes is *where* a cell executes.
+
+Dispatch goes through a :class:`~repro.exp.fleet_queue.FleetQueue`
+directory (tasks / leases / per-worker results channels — see that
+module for the protocol) that ``repro fleet worker DIR`` loops consume.
+Workers can be anywhere the directory is visible: the coordinator
+spawns loopback subprocess workers by default (``workers=N``), and
+external workers on other machines attach to the same directory and
+are indistinguishable.  Results are folded back through ``on_result``
+in the coordinator, so the result cache, the run journal, and the obs
+rollup channel see remote cells exactly like pool cells.
+
+Failure semantics:
+
+- a worker that dies mid-cell stops heartbeating its lease; after
+  ``lease_ttl`` seconds of silence the coordinator synthesizes the
+  same ``status="error"`` a dead pool worker produces and the cell
+  re-enters the normal retry path (locally spawned workers are reaped
+  faster: a dead pid expires its lease immediately);
+- duplicate result delivery (a retransmitting worker, an expired lease
+  whose original result arrives late) is deduplicated by
+  ``(cell index, attempt)`` — first record wins;
+- a torn result line (worker died mid-append) is never consumed —
+  per-worker channels mean it cannot corrupt other workers' records —
+  and surfaces as the lease expiry it accompanies;
+- SIGINT/SIGTERM drain: leased cells finish and are journaled,
+  unleased task files are withdrawn, and ``--resume`` picks up the
+  rest — bit-identical to an undisturbed run, which
+  ``tests/test_chaos.py`` pins for every one of these fault classes.
+
+Workers warm-start from the shared result cache
+(:class:`~repro.exp.cache.ResultCache` over the blob-store root in
+``queue.json``): a cell another run already computed is served from
+the cache inside the worker, and fresh ``ok``/``timeout`` results are
+written back, so a fleet over a shared filesystem accumulates one
+content-addressed result store for all machines.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+import repro.faults as faults
+import repro.obs as obs
+from repro.exp.cache import ResultCache
+from repro.exp.fleet_queue import (
+    FleetQueue,
+    QueueError,
+    ResultsReader,
+    ResultsWriter,
+    default_worker_id,
+    task_name,
+)
+from repro.exp.runner import (
+    _CACHEABLE,
+    CellResult,
+    CellTask,
+    ProcessPoolRunner,
+    _BaseRunner,
+    _can_trap_signals,
+    _crash_result,
+    _stderr_tail,
+    _timeout_result,
+    _worker_main,
+)
+
+__all__ = ["RemoteRunner", "run_worker", "queue_status"]
+
+
+# -- worker side --------------------------------------------------------------
+
+
+def _run_leased_cell(task: CellTask, tmpdir: str, poll: float,
+                     heartbeat) -> Tuple[dict, str]:
+    """Execute one leased cell in a child process (full crash isolation
+    + enforceable timeout, identical to one pool worker), calling
+    ``heartbeat`` every poll while it runs.  Returns ``(result record,
+    stderr tail)``."""
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    stem = os.path.join(tmpdir, f"{task_name(task.index, task.attempt)}")
+    out_path, err_path = stem + ".json", stem + ".stderr"
+    proc = ctx.Process(target=_worker_main, args=(task, out_path, err_path),
+                       daemon=True)
+    proc.start()
+    deadline = (time.monotonic() + task.timeout
+                if task.timeout is not None and task.timeout > 0 else None)
+    timed_out = False
+    while proc.is_alive():
+        if deadline is not None and time.monotonic() >= deadline:
+            proc.terminate()
+            proc.join(1.0)
+            if proc.is_alive():
+                proc.kill()
+            timed_out = True
+            break
+        time.sleep(poll)
+        heartbeat()
+    proc.join()
+    tail = _stderr_tail(err_path)
+    if timed_out:
+        res = _timeout_result(task)
+    else:
+        res = ProcessPoolRunner._collect(task, out_path, proc.exitcode, tail)
+    for p in (out_path, err_path):
+        try:
+            os.unlink(p)
+        except OSError:
+            pass
+    return res.to_json(), tail
+
+
+def run_worker(root: str, worker_id: Optional[str] = None,
+               poll: float = 0.05, idle_exit: Optional[float] = None,
+               max_cells: Optional[int] = None) -> int:
+    """The ``repro fleet worker DIR`` loop: claim, execute, report.
+
+    Runs until the queue's stop marker appears (or ``idle_exit``
+    seconds pass with nothing claimable, or ``max_cells`` cells ran).
+    Cells execute in per-cell child processes; the loop heartbeats the
+    lease while a cell runs and appends the result to this worker's
+    fsync'd results channel.  Returns the number of cells executed.
+    """
+    queue = FleetQueue(root)
+    meta = queue.meta()                    # raises QueueError if not a queue
+    worker_id = worker_id or default_worker_id()
+    writer = ResultsWriter(queue, worker_id)
+    cache_root = meta.get("cache")
+    cache = ResultCache(cache_root) if cache_root else None
+    obs.maybe_enable_from_env()
+    cells = 0
+    idle_since = time.monotonic()
+    tmpdir = tempfile.mkdtemp(prefix=f"repro-fleet-{worker_id}-")
+    try:
+        while not queue.stopped():
+            claimed_any = False
+            for name in queue.list_tasks():
+                if queue.stopped() or (max_cells is not None
+                                       and cells >= max_cells):
+                    break
+                if not queue.try_claim(name, worker_id):
+                    continue
+                task = queue.load_task(name)
+                if task is None:
+                    # consumed/withdrawn between listing and claim
+                    queue.release_lease(name)
+                    continue
+                claimed_any = True
+                record = None
+                if cache is not None:
+                    hit = cache.get(task.key())
+                    if hit is not None and hit.get("status") in _CACHEABLE:
+                        obs.count("fleet.worker_cache_hits")
+                        record, tail = hit, ""
+                if record is None:
+                    record, tail = _run_leased_cell(
+                        task, tmpdir, poll, lambda: queue.heartbeat(name))
+                    if (cache is not None
+                            and record.get("status") in _CACHEABLE):
+                        cache.put(task.key(), record)
+                queue.heartbeat(name)      # result imminent: stay fresh
+                writer.append(name, task.index, task.attempt, record, tail)
+                cells += 1
+                obs.count("fleet.worker_cells")
+            if max_cells is not None and cells >= max_cells:
+                break
+            if claimed_any:
+                idle_since = time.monotonic()
+            else:
+                if (idle_exit is not None
+                        and time.monotonic() - idle_since >= idle_exit):
+                    break
+                time.sleep(poll)
+    finally:
+        writer.close()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return cells
+
+
+# -- coordinator side ---------------------------------------------------------
+
+
+class RemoteRunner(_BaseRunner):
+    """Dispatch cells through a shared work queue + blob store.
+
+    Args:
+        queue_dir: the queue directory (any filesystem the workers can
+            see).  ``None`` creates a private temp directory — the
+            loopback mode — and removes it afterwards; an explicit
+            directory is left in place so external workers can attach
+            and so a crashed run can be inspected.
+        workers: loopback worker subprocesses to spawn (0 = rely
+            entirely on externally attached ``repro fleet worker``
+            loops).  Dead spawned workers are respawned while
+            undispatched work remains.
+        lease_ttl: seconds of heartbeat silence after which a leased
+            cell is declared lost and re-enters the retry path.
+        cache_dir: result-cache root advertised to workers via
+            ``queue.json`` (the shared blob store).  Usually the same
+            directory the coordinator's own :class:`ResultCache` uses.
+        worker_poll: poll/heartbeat cadence passed to spawned workers.
+    """
+
+    poll_interval = 0.05
+
+    #: hard ceiling on worker respawns per run (a crash-looping worker
+    #: binary must not fork-bomb the coordinator).
+    max_respawns = 16
+
+    def __init__(self, queue_dir: Optional[str] = None, workers: int = 2,
+                 lease_ttl: float = 10.0, cache_dir: Optional[str] = None,
+                 worker_poll: float = 0.02) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        self.queue_dir = queue_dir
+        self.workers = workers
+        self.lease_ttl = lease_ttl
+        self.cache_dir = cache_dir
+        self.worker_poll = worker_poll
+        self._stop = False
+
+    # one worker subprocess, stdout/stderr to a log in the queue dir
+    def _spawn_worker(self, root: str, wid: str) -> subprocess.Popen:
+        log_dir = os.path.join(root, "workers")
+        os.makedirs(log_dir, exist_ok=True)
+        log = open(os.path.join(log_dir, f"{wid}.log"), "ab")
+        cmd = [sys.executable, "-m", "repro", "fleet", "worker", root,
+               "--id", wid, "--poll", str(self.worker_poll)]
+        try:
+            proc = subprocess.Popen(cmd, stdout=log, stderr=log,
+                                    stdin=subprocess.DEVNULL)
+        finally:
+            log.close()
+        obs.count("fleet.workers_spawned")
+        return proc
+
+    def _execute(self, tasks: List[CellTask], on_result) -> bool:
+        results_done = 0
+        self._stop = False
+        old_handlers = {}
+        if _can_trap_signals():
+            def _on_signal(signum, frame):
+                if self._stop:             # second signal: force-abort
+                    raise KeyboardInterrupt
+                self._stop = True
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                old_handlers[sig] = signal.signal(sig, _on_signal)
+
+        private_dir = self.queue_dir is None
+        root = self.queue_dir or tempfile.mkdtemp(prefix="repro-fleet-")
+        queue = FleetQueue(root)
+        queue.init(meta={
+            "cache": os.path.abspath(self.cache_dir) if self.cache_dir
+            else None,
+            "coordinator_pid": os.getpid(),
+        })
+        reader = ResultsReader(queue)
+        #: (index, attempt) -> (task, task name); what's on the wire
+        outstanding: Dict[Tuple[int, int], Tuple[CellTask, str]] = {}
+        #: attempts already folded (result consumed OR lease expired) —
+        #: the dedup set that absorbs duplicate/late deliveries
+        handled: Set[Tuple[int, int]] = set()
+        delayed: List[Tuple[float, CellTask]] = []   # (ready time, task)
+        for task in tasks:
+            outstanding[(task.index, task.attempt)] = (
+                task, queue.enqueue(task))
+
+        spawned: List[subprocess.Popen] = []
+        respawns = 0
+        _obs_on = obs.enabled()
+
+        def handle(task: CellTask, res: CellResult, tail: str) -> None:
+            nonlocal results_done
+            _, retry = on_result(task, res, stderr_tail=tail,
+                                 stop=self._stop)
+            if retry is not None:
+                delay, next_task = retry
+                obs.event("fleet.retry", cell=task.index,
+                          attempt=task.attempt, status=res.status,
+                          delay=delay)
+                obs.count("runner.retries")
+                delayed.append((time.monotonic() + delay, next_task))
+            else:
+                results_done += 1
+
+        def fold(task: CellTask, name: str, res: CellResult,
+                 tail: str) -> None:
+            handled.add((task.index, task.attempt))
+            outstanding.pop((task.index, task.attempt), None)
+            queue.release_lease(name)
+            queue.remove_task(name)
+            if _obs_on and res.obs:
+                # fold the worker's in-memory telemetry into the
+                # coordinator's log/snapshot, exactly like the pool
+                if res.obs.get("spans"):
+                    obs.emit_spans(res.obs["spans"])
+                for cname, delta in (res.obs.get("counters") or {}).items():
+                    obs.count(cname, delta)
+            handle(task, res, tail)
+
+        try:
+            while outstanding or delayed:
+                if self._stop:
+                    # drain: the stop marker keeps workers from
+                    # claiming anything new, unleased cells are
+                    # withdrawn (resume re-runs them), leased cells
+                    # finish and are journaled
+                    if not queue.stopped():
+                        queue.post_stop()
+                    delayed.clear()
+                    for key, (task, name) in list(outstanding.items()):
+                        if queue.lease_age(name) is None:
+                            queue.remove_task(name)
+                            outstanding.pop(key)
+                now = time.monotonic()
+                if delayed:
+                    ready = [d for d in delayed if d[0] <= now]
+                    if ready:
+                        delayed[:] = [d for d in delayed if d[0] > now]
+                        for _, task in sorted(ready,
+                                              key=lambda d: d[1].index):
+                            outstanding[(task.index, task.attempt)] = (
+                                task, queue.enqueue(task))
+
+                # 1) consume completed results (before expiry: a result
+                # that made it to disk always beats a stale lease)
+                for _, rec in reader.poll():
+                    key = (rec.get("index"), rec.get("attempt"))
+                    if key in handled or key not in outstanding:
+                        obs.count("fleet.duplicate_results")
+                        continue
+                    task, name = outstanding[key]
+                    try:
+                        res = CellResult.from_json(task.index, rec["result"])
+                    except (KeyError, TypeError):
+                        res = _crash_result(task, None,
+                                            rec.get("stderr_tail", ""))
+                    fold(task, name, res, rec.get("stderr_tail", ""))
+
+                # 2) reap lost workers: expired heartbeats, dead pids
+                for key, (task, name) in list(outstanding.items()):
+                    age = queue.lease_age(name)
+                    if age is None:
+                        continue           # not claimed yet
+                    expired = age >= self.lease_ttl
+                    if not expired and spawned:
+                        owner = queue.lease_owner(name)
+                        pid = owner.get("pid") if owner else None
+                        dead = {p.pid for p in spawned
+                                if p.poll() is not None}
+                        expired = pid in dead
+                    if not expired:
+                        continue
+                    obs.count("fleet.lease_expiries")
+                    detail = (f"worker lease expired after "
+                              f"{age:.1f}s without a heartbeat "
+                              f"(ttl {self.lease_ttl}s)")
+                    res = _crash_result(task, None)
+                    res.error = detail
+                    fold(task, name, res, "")
+
+                # 3) keep the loopback fleet at strength
+                if self.workers and not self._stop and outstanding:
+                    spawned = [p for p in spawned if p.poll() is None] + [
+                        p for p in spawned if p.poll() is not None]
+                    alive = [p for p in spawned if p.poll() is None]
+                    want = min(self.workers, len(outstanding))
+                    while (len(alive) < want
+                           and len(spawned) - len(alive)
+                           <= self.max_respawns):
+                        wid = f"w{len(spawned)}"
+                        proc = self._spawn_worker(root, wid)
+                        spawned.append(proc)
+                        alive.append(proc)
+
+                faults.fire("pool_tick", done=results_done)
+                if outstanding or delayed:
+                    time.sleep(self.poll_interval)
+        finally:
+            queue.post_stop()
+            deadline = time.monotonic() + 5.0
+            for proc in spawned:
+                remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    proc.wait(timeout=remaining)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+            if private_dir:
+                shutil.rmtree(root, ignore_errors=True)
+            for sig, handler in old_handlers.items():
+                signal.signal(sig, handler)
+        return self._stop
+
+
+def queue_status(root: str) -> dict:
+    """A point-in-time summary of a queue directory (``repro fleet
+    status DIR``)."""
+    queue = FleetQueue(root)
+    meta = queue.meta()
+    tasks = queue.list_tasks()
+    leases = queue.list_leases()
+    results = 0
+    try:
+        for fn in os.listdir(queue.results_dir):
+            if not fn.endswith(".jsonl"):
+                continue
+            with open(os.path.join(queue.results_dir, fn), "rb") as fh:
+                results += sum(1 for line in fh if line.endswith(b"\n"))
+    except OSError:
+        pass
+    return {
+        "root": root,
+        "cache": meta.get("cache"),
+        "stopped": queue.stopped(),
+        "tasks_pending": len(tasks),
+        "tasks_leased": sum(1 for t in tasks if t in set(leases)),
+        "results_delivered": results,
+    }

@@ -1,0 +1,363 @@
+"""Filesystem work queue for the analysis fleet (:mod:`repro.exp.fleet`).
+
+The fleet's wire protocol is a directory — any filesystem both sides
+can see (a local path for loopback workers, NFS or a synced mount for
+other machines) is the transport.  No daemon, no sockets, no library
+dependencies; every primitive is a POSIX file operation whose crash
+semantics are well understood:
+
+- ``queue.json`` — run metadata the coordinator writes once at open
+  (campaign name, result-cache root, schema version);
+- ``tasks/t{index:06d}-a{attempt}.json`` — one file per dispatched
+  cell attempt, written atomically (tmp + rename); the JSON payload is
+  the picklable :class:`~repro.exp.runner.CellTask` minus its
+  coordinator-only retry policy (retries are coordinator decisions —
+  a worker executes exactly one attempt);
+- ``leases/<task>.lease`` — claim markers.  A worker claims a task
+  with ``O_CREAT | O_EXCL`` (atomic on POSIX — exactly one winner per
+  task, no coordination), then *heartbeats* by bumping the lease's
+  mtime while the cell runs.  The coordinator treats a lease whose
+  mtime is older than the TTL as a dead worker: the attempt is folded
+  into the retry path and the task is re-dispatched.  Late results
+  from a worker that was merely slow are deduplicated by
+  ``(index, attempt)``;
+- ``results/<worker>.jsonl`` — per-worker append-only results
+  channels, one record per line, flushed + fsync'd per append exactly
+  like the run journal.  One file per writer means no cross-worker
+  interleaving: a torn trailing line (worker died mid-append) damages
+  only that worker's tail, and the reader only consumes
+  ``\\n``-terminated lines, so a torn tail is invisible until the
+  retransmit;
+- ``stop`` — a marker file; workers exit their poll loop when it
+  appears.
+
+Fault points (:mod:`repro.faults`): workers fire ``queue_lease`` right
+after claiming and route result appends through the writer-cooperative
+``queue_result`` point, so chaos tests can kill a worker mid-lease,
+tear a result record, or deliver one twice — deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import repro.faults as faults
+import repro.obs as obs
+
+QUEUE_SCHEMA = 1
+
+META_NAME = "queue.json"
+TASKS_DIR = "tasks"
+LEASES_DIR = "leases"
+RESULTS_DIR = "results"
+STOP_NAME = "stop"
+
+
+class QueueError(RuntimeError):
+    """The queue directory is missing or malformed."""
+
+
+def task_name(index: int, attempt: int) -> str:
+    """Canonical task id: sorts by cell index, unique per attempt."""
+    return f"t{index:06d}-a{attempt}"
+
+
+def task_to_json(task) -> dict:
+    """The wire form of a :class:`~repro.exp.runner.CellTask`.
+
+    The retry policy deliberately stays behind: the coordinator owns
+    retry/backoff/quarantine decisions, a worker runs one attempt.
+    """
+    return {
+        "schema": QUEUE_SCHEMA,
+        "index": task.index,
+        "attempt": task.attempt,
+        "trace": task.trace.to_json(),
+        "trace_digest": task.trace_digest,
+        "detector": {"name": task.detector.name, "id": task.detector.id,
+                     "config": task.detector.config},
+        "timeout": task.timeout,
+        "repeats": task.repeats,
+    }
+
+
+def task_from_json(data: dict):
+    """Reconstruct a worker-side :class:`~repro.exp.runner.CellTask`."""
+    from repro.exp.campaign import DetectorSpec, TraceSource
+    from repro.exp.runner import CellTask
+
+    t = data["trace"]
+    det = data["detector"]
+    return CellTask(
+        index=data["index"],
+        trace=TraceSource(kind=t["kind"], name=t["name"],
+                          path=t.get("path"), benchmark=t.get("benchmark"),
+                          params=t.get("params", {})),
+        trace_digest=data["trace_digest"],
+        detector=DetectorSpec(name=det["name"], id=det.get("id", ""),
+                              config=det.get("config", {})),
+        timeout=data["timeout"],
+        repeats=data["repeats"],
+        attempt=data["attempt"],
+    )
+
+
+def default_worker_id() -> str:
+    """hostname-pid: unique per worker process across a shared mount."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class FleetQueue:
+    """Coordinator- and worker-side handle on one queue directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.tasks_dir = os.path.join(root, TASKS_DIR)
+        self.leases_dir = os.path.join(root, LEASES_DIR)
+        self.results_dir = os.path.join(root, RESULTS_DIR)
+        self.stop_path = os.path.join(root, STOP_NAME)
+        self.meta_path = os.path.join(root, META_NAME)
+
+    # -- lifecycle (coordinator) ------------------------------------------
+
+    def init(self, meta: Optional[dict] = None) -> None:
+        """Create the layout; clears a stale stop marker so a queue
+        directory can host successive runs."""
+        for d in (self.root, self.tasks_dir, self.leases_dir,
+                  self.results_dir):
+            os.makedirs(d, exist_ok=True)
+        try:
+            os.unlink(self.stop_path)
+        except OSError:
+            pass
+        record = {"schema": QUEUE_SCHEMA}
+        record.update(meta or {})
+        _atomic_write(self.meta_path,
+                      json.dumps(record, sort_keys=True).encode("utf-8"))
+
+    def meta(self) -> dict:
+        try:
+            with open(self.meta_path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            raise QueueError(f"{self.root}: not a fleet queue "
+                             f"(missing {META_NAME})") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise QueueError(f"{self.root}: unreadable {META_NAME}: {exc}"
+                             ) from None
+
+    def post_stop(self) -> None:
+        _atomic_write(self.stop_path, b"stop\n")
+
+    def stopped(self) -> bool:
+        return os.path.exists(self.stop_path)
+
+    # -- tasks -------------------------------------------------------------
+
+    def _task_path(self, name: str) -> str:
+        return os.path.join(self.tasks_dir, f"{name}.json")
+
+    def enqueue(self, task) -> str:
+        name = task_name(task.index, task.attempt)
+        _atomic_write(self._task_path(name),
+                      json.dumps(task_to_json(task),
+                                 sort_keys=True).encode("utf-8"))
+        obs.count("fleet.tasks_enqueued")
+        return name
+
+    def remove_task(self, name: str) -> None:
+        try:
+            os.unlink(self._task_path(name))
+        except OSError:
+            pass
+
+    def list_tasks(self) -> List[str]:
+        """Posted task names in cell-index order."""
+        try:
+            entries = os.listdir(self.tasks_dir)
+        except OSError:
+            return []
+        return sorted(e[:-len(".json")] for e in entries
+                      if e.endswith(".json"))
+
+    def load_task(self, name: str):
+        """The task payload, or None if the file vanished (consumed or
+        withdrawn by the coordinator) or is torn mid-rename."""
+        try:
+            with open(self._task_path(name), "r", encoding="utf-8") as fh:
+                return task_from_json(json.load(fh))
+        except (OSError, json.JSONDecodeError, KeyError):
+            return None
+
+    # -- leases ------------------------------------------------------------
+
+    def _lease_path(self, name: str) -> str:
+        return os.path.join(self.leases_dir, f"{name}.lease")
+
+    def try_claim(self, name: str, worker_id: str) -> bool:
+        """Atomically claim ``name``; exactly one caller wins."""
+        payload = json.dumps({"worker": worker_id, "pid": os.getpid()},
+                             sort_keys=True).encode("utf-8")
+        try:
+            fd = os.open(self._lease_path(name),
+                         os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+        obs.count("fleet.leases_claimed")
+        faults.fire("queue_lease", task=name, worker=worker_id)
+        return True
+
+    def heartbeat(self, name: str) -> None:
+        try:
+            os.utime(self._lease_path(name))
+        except OSError:
+            pass                # lease reaped by the coordinator
+
+    def release_lease(self, name: str) -> None:
+        try:
+            os.unlink(self._lease_path(name))
+        except OSError:
+            pass
+
+    def lease_age(self, name: str) -> Optional[float]:
+        """Seconds since the lease's last heartbeat, or None."""
+        import time
+
+        try:
+            return max(0.0, time.time()
+                       - os.stat(self._lease_path(name)).st_mtime)
+        except OSError:
+            return None
+
+    def lease_owner(self, name: str) -> Optional[dict]:
+        try:
+            with open(self._lease_path(name), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def list_leases(self) -> List[str]:
+        try:
+            entries = os.listdir(self.leases_dir)
+        except OSError:
+            return []
+        return sorted(e[:-len(".lease")] for e in entries
+                      if e.endswith(".lease"))
+
+
+class ResultsWriter:
+    """One worker's append-only results channel (JSONL, fsync'd).
+
+    Mirrors :class:`~repro.exp.resilience.RunJournal` byte semantics:
+    flush + fsync per record, so a crash tears at most the final line —
+    which, having no ``\\n``, the reader never consumes.
+    """
+
+    def __init__(self, queue: FleetQueue, worker_id: str) -> None:
+        self.path = os.path.join(queue.results_dir, f"{worker_id}.jsonl")
+        self.worker_id = worker_id
+        self._fh = None
+
+    def append(self, name: str, index: int, attempt: int, record: dict,
+               stderr_tail: str = "") -> None:
+        rec = {"task": name, "index": index, "attempt": attempt,
+               "worker": self.worker_id, "result": record}
+        if stderr_tail:
+            rec["stderr_tail"] = stderr_tail
+        data = json.dumps(rec, sort_keys=True, separators=(",", ":"))
+        ctx = {"index": index, "attempt": attempt, "worker": self.worker_id}
+        torn = faults.spec_for("queue_result", "torn", ctx)
+        dup = None if torn else faults.spec_for("queue_result", "dup", ctx)
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        if torn is not None:
+            keep = int(torn.get("keep", max(1, len(data) // 2)))
+            self._fh.write(data[:keep])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            os._exit(int(torn.get("exit_code", 23)))
+        faults.fire("queue_result", **ctx)
+        copies = 2 if dup is not None else 1
+        for _ in range(copies):
+            self._fh.write(data + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        obs.count("fleet.results_written", copies)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class ResultsReader:
+    """Coordinator-side tail over every worker's results channel.
+
+    Tracks a byte offset per file and hands back only records whose
+    line arrived complete (``\\n``-terminated): a torn tail is simply
+    not there yet, and stays invisible forever if the writer died —
+    exactly the signal the lease TTL recovers from.  Unparsable
+    complete lines are counted and skipped.
+    """
+
+    def __init__(self, queue: FleetQueue) -> None:
+        self.dir = queue.results_dir
+        self._offsets: Dict[str, int] = {}
+        self.bad_lines = 0
+
+    def poll(self) -> Iterator[Tuple[str, dict]]:
+        try:
+            files = sorted(f for f in os.listdir(self.dir)
+                           if f.endswith(".jsonl"))
+        except OSError:
+            return
+        for fn in files:
+            path = os.path.join(self.dir, fn)
+            offset = self._offsets.get(fn, 0)
+            try:
+                with open(path, "rb") as fh:
+                    fh.seek(offset)
+                    chunk = fh.read()
+            except OSError:
+                continue
+            if not chunk:
+                continue
+            # consume only complete lines; a torn tail stays pending
+            end = chunk.rfind(b"\n")
+            if end < 0:
+                continue
+            self._offsets[fn] = offset + end + 1
+            for line in chunk[:end + 1].splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    rec = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    self.bad_lines += 1
+                    obs.count("fleet.bad_result_lines")
+                    continue
+                if not isinstance(rec, dict) or "index" not in rec:
+                    self.bad_lines += 1
+                    obs.count("fleet.bad_result_lines")
+                    continue
+                yield fn, rec

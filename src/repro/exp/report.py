@@ -58,6 +58,8 @@ def run_to_json(run: RunResult) -> dict:
     }
     if run.journal_replays:
         out["journal_replays"] = run.journal_replays
+    if run.cache_backfills:
+        out["cache_backfills"] = run.cache_backfills
     if run.interrupted:
         out["interrupted"] = True
     if obs.enabled():

@@ -217,6 +217,10 @@ class RunStats:
 
     cache_hits: int = 0
     journal_replays: int = 0
+    #: journal replays whose record was missing from the result cache
+    #: and got written back — a resumed run against a cold (or remote)
+    #: cache leaves it warm, not holey.
+    cache_backfills: int = 0
     interrupted: bool = False
 
 
@@ -234,6 +238,7 @@ class RunResult:
     elapsed: float = 0.0
     cache_hits: int = 0
     journal_replays: int = 0
+    cache_backfills: int = 0
     interrupted: bool = False
 
     @property
@@ -427,6 +432,7 @@ class _BaseRunner:
                          elapsed=time.perf_counter() - start,
                          cache_hits=stats.cache_hits,
                          journal_replays=stats.journal_replays,
+                         cache_backfills=stats.cache_backfills,
                          interrupted=stats.interrupted)
 
     def run_tasks(self, tasks: List[CellTask],
@@ -461,6 +467,18 @@ class _BaseRunner:
                     hit = CellResult.from_json(task.index, rec, replayed=True)
                     results[task.index] = _restamp(hit, task)
                     stats.journal_replays += 1
+                    if cache is not None and hit.status in _CACHEABLE:
+                        # Backfill: a replayed cell never reaches the
+                        # fresh-execution cache.put below, so resuming
+                        # against a cold/remote cache would leave its
+                        # record permanently missing.
+                        key = keys[task.index] = task.key()
+                        if cache.get(key) is None:
+                            clean = replace(hit, cached=False,
+                                            replayed=False).to_json()
+                            cache.put(key, clean)
+                            stats.cache_backfills += 1
+                            obs.count("cache.backfills")
                     if journal is not None and resume.path != journal.path:
                         journal.record_cell(jkey, hit.to_json())
                     if progress is not None:

@@ -44,7 +44,7 @@ from __future__ import annotations
 import os
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import repro.kernels as kernels
@@ -273,10 +273,20 @@ def run_shard(spine: Spine, config: Dict) -> Dict:
         edges = [tuple(e) for e in ctx["edges"]]
 
         num_cycles = 0
+        # per-start cycle counts, in enumeration order.  Starts ascend
+        # globally in the serial engine and every start is unique to
+        # one context, so the coordinator can reconstruct the *global*
+        # enumeration prefix from these counts and cut a `max_cycles`
+        # cap at merge time — workers never see the cap, keeping shard
+        # cells cache-warm across different cap values.
+        start_counts: Dict[int, int] = {}
         patterns: List[Dict] = []
         for cycle in enumerate_subgraph_cycles(len(nodes), edges,
                                                max_length=max_size):
             num_cycles += 1
+            start_gid = gids[cycle[0]]
+            ordinal = start_counts.get(start_gid, 0)
+            start_counts[start_gid] = ordinal + 1
             if not cycle_is_abstract_pattern([nodes[i] for i in cycle]):
                 continue
             named = tuple(nodes[i].to_named(compiled) for i in cycle)
@@ -286,7 +296,8 @@ def run_shard(spine: Spine, config: Dict) -> Dict:
                 for a in abstract.acquires
             )
             record = {
-                "start": gids[cycle[0]],
+                "start": start_gid,
+                "cycle": ordinal,        # within-start enumeration index
                 "nodes": [
                     {"thread": a.thread, "lock": a.lock,
                      "held": sorted(a.held), "events": list(a.events)}
@@ -296,7 +307,11 @@ def run_shard(spine: Spine, config: Dict) -> Dict:
             }
             pending.append((record, sequences))
             patterns.append(record)
-        contexts_out.append({"num_cycles": num_cycles, "patterns": patterns})
+        contexts_out.append({
+            "num_cycles": num_cycles,
+            "starts": [[s, n] for s, n in sorted(start_counts.items())],
+            "patterns": patterns,
+        })
 
     # Phase 2 over the whole cell at once: the checks are mutually
     # independent, so the numpy backend sweeps them in one lockstep
@@ -324,7 +339,8 @@ def run_shard(spine: Spine, config: Dict) -> Dict:
 # -- reduce -------------------------------------------------------------------
 
 
-def merge_shard_outputs(trace, outputs: Sequence[Dict]) -> SPDOfflineResult:
+def merge_shard_outputs(trace, outputs: Sequence[Dict],
+                        max_cycles: Optional[int] = None) -> SPDOfflineResult:
     """Merge shard cell outputs into one canonical result.
 
     Pattern records are sorted by ``(cycle start node, per-context
@@ -332,15 +348,34 @@ def merge_shard_outputs(trace, outputs: Sequence[Dict]) -> SPDOfflineResult:
     ascending order and every start is unique to one context, so this
     merge is exactly the serial enumeration order — reports come out
     cell-for-cell identical to :func:`~repro.core.spd_offline.spd_offline`.
+
+    ``max_cycles`` caps the *global* enumeration prefix exactly as the
+    serial engine's cap does: workers report per-start cycle counts
+    (``ctx["starts"]``) and a within-start ordinal per pattern, so the
+    global position of any cycle is ``cycles_before[its start] + its
+    ordinal`` — patterns at or past position ``max_cycles`` are cut
+    here, and ``num_cycles`` clamps to the cap.
     """
     trace = as_trace(trace)
     contexts = [ctx for out in outputs for ctx in out["contexts"]]
-    result = SPDOfflineResult(
-        num_cycles=sum(c["num_cycles"] for c in contexts)
-    )
+    total_cycles = sum(c["num_cycles"] for c in contexts)
+    cycles_before: Dict[int, int] = {}
+    if max_cycles is not None:
+        acc = 0
+        for start, count in sorted(
+                (pair[0], pair[1])
+                for ctx in contexts for pair in ctx["starts"]):
+            cycles_before[start] = acc
+            acc += count
+        total_cycles = min(total_cycles, max_cycles)
+    result = SPDOfflineResult(num_cycles=total_cycles)
     records: List[Tuple[int, int, Dict]] = []
     for ctx in contexts:
         for seq, rec in enumerate(ctx["patterns"]):
+            if (max_cycles is not None
+                    and cycles_before[rec["start"]] + rec["cycle"]
+                    >= max_cycles):
+                continue            # past the serial enumeration prefix
             records.append((rec["start"], seq, rec))
     records.sort(key=lambda r: (r[0], r[1]))
     for _, _, rec in records:
@@ -378,9 +413,12 @@ def spd_offline_sharded(
     Args:
         trace: the input trace (any form :func:`as_trace` accepts).
         max_size: optional cap on deadlock size, as in the serial engine.
-        max_cycles: unsupported — it caps the *global* enumeration
-            prefix, which per-context workers cannot see; raises
-            :class:`ShardError` when set.
+        max_cycles: optional cap on the *global* enumeration prefix, as
+            in the serial engine.  Workers enumerate uncapped (so shard
+            cells stay cache-warm across cap values) and report
+            per-start cycle counts; the merge step cuts the prefix
+            (:func:`merge_shard_outputs`), keeping Table-1 ``|Cyc|``
+            cells bit-identical to the serial engine.
         jobs: worker processes (1 = in-process, still shard-by-shard).
         runner: override the runner (e.g. a shared pool); defaults to
             :class:`ProcessPoolRunner` for ``jobs > 1``.
@@ -392,11 +430,6 @@ def spd_offline_sharded(
             serial engine.
         progress: per-shard-cell callback (``repro bench`` progress).
     """
-    if max_cycles is not None:
-        raise ShardError(
-            "max_cycles caps the global cycle-enumeration prefix and "
-            "cannot be distributed; use the serial spd_offline for it"
-        )
     trace = as_trace(trace)
     start = time.perf_counter()
     with obs.span("shard.split", cat="shard", trace=trace.name):
@@ -443,7 +476,8 @@ def spd_offline_sharded(
             )
         with obs.span("shard.merge", cat="shard", cells=len(run.results)):
             result = merge_shard_outputs(
-                trace, [r.output for r in run.results])
+                trace, [r.output for r in run.results],
+                max_cycles=max_cycles)
     if with_witnesses:
         from repro.reorder.witness import witness_for_pattern
 
@@ -474,8 +508,9 @@ class ShardedCampaignRunner:
     cache under their own spine-digest keys.  The cell's ``timeout``
     becomes the per-shard
     budget; ``repeats`` is ignored for rerouted cells (one pipeline
-    wall-clock is recorded).  Cells with ``max_cycles`` set stay on the
-    serial path — the cap is global and cannot be distributed.
+    wall-clock is recorded).  ``max_cycles`` cells shard too: workers
+    report per-start cycle counts and the merge step cuts the global
+    enumeration prefix, pinned sharded ≡ serial.
     """
 
     def __init__(self, jobs: int = 2,
@@ -485,8 +520,7 @@ class ShardedCampaignRunner:
         self.detectors = tuple(detectors)
 
     def _shardable(self, task) -> bool:
-        return (task.detector.name in self.detectors
-                and task.detector.config.get("max_cycles") is None)
+        return task.detector.name in self.detectors
 
     @staticmethod
     def _sharded_key(task) -> str:
@@ -533,6 +567,16 @@ class ShardedCampaignRunner:
                     hit.detector_id = task.detector.id
                     results[task.index] = hit
                     stats.journal_replays += 1
+                    if (cache is not None
+                            and hit.status in (STATUS_OK, STATUS_TIMEOUT)):
+                        # same backfill as _BaseRunner.run_tasks, under
+                        # the shard pipeline's write-side key
+                        skey = self._sharded_key(task)
+                        if cache.get(skey) is None:
+                            cache.put(skey, replace(
+                                hit, cached=False, replayed=False).to_json())
+                            stats.cache_backfills += 1
+                            obs.count("cache.backfills")
                     if journal is not None and resume.path != journal.path:
                         journal.record_cell(jkey, hit.to_json())
                     if progress is not None:
@@ -551,6 +595,7 @@ class ShardedCampaignRunner:
                          elapsed=time.perf_counter() - start,
                          cache_hits=stats.cache_hits,
                          journal_replays=stats.journal_replays,
+                         cache_backfills=stats.cache_backfills,
                          interrupted=stats.interrupted)
 
     def _run_sharded_cell(self, task, cache: Optional[ResultCache],
@@ -589,6 +634,7 @@ class ShardedCampaignRunner:
             res = spd_offline_sharded(
                 trace,
                 max_size=task.detector.config.get("max_size"),
+                max_cycles=task.detector.config.get("max_cycles"),
                 jobs=self.jobs,
                 runner=self.pool,
                 cache=cache,

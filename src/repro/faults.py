@@ -24,8 +24,14 @@ Fire points currently instrumented:
 - ``journal_write`` — before a :class:`repro.exp.resilience.RunJournal`
   record is appended, context ``kind`` (and ``cells`` for final
   records);
-- ``pool_tick`` — each scheduler pass of the process-pool runner,
-  context ``done`` (completed cell count).
+- ``pool_tick`` — each scheduler pass of the process-pool runner *and*
+  the fleet coordinator, context ``done`` (completed cell count);
+- ``queue_lease`` — right after a fleet worker claims a task lease
+  (:mod:`repro.exp.fleet`), context ``task`` / ``worker`` — a ``crash``
+  here is a worker dying mid-lease, recovered by lease expiry;
+- ``queue_result`` — before a fleet worker appends a record to its
+  results channel, context ``index`` / ``attempt`` / ``worker`` —
+  supports the writer-cooperative ``torn`` and ``dup`` actions.
 
 Actions:
 
@@ -37,9 +43,12 @@ Actions:
   enough to trip any configured wall-clock timeout;
 - ``sigint`` / ``sigterm`` — deliver the signal to the current
   process, exercising the drain-and-finalize path;
-- ``torn`` — used by the journal: write only ``spec["keep"]`` bytes
-  (default half) of the record, then ``os._exit`` — a torn tail the
-  loader must tolerate.
+- ``torn`` — used by the journal and the fleet results channel: write
+  only ``spec["keep"]`` bytes (default half) of the record, then
+  ``os._exit`` — a torn tail the loader must tolerate;
+- ``dup`` — used by the fleet results channel: append the record
+  *twice* (byte-identical), simulating at-least-once delivery after a
+  worker retransmit — the consumer must deduplicate.
 
 A spec fires when its ``point`` matches and every key of its ``when``
 dict equals the corresponding :func:`fire` context value, at most
@@ -65,7 +74,12 @@ class FaultSpecError(ValueError):
     """Malformed :data:`ENV_VAR` contents."""
 
 
-_VALID_ACTIONS = ("raise", "crash", "stall", "sigint", "sigterm", "torn")
+#: actions a writer must cooperate with (the fault needs the record
+#: bytes); :func:`spec_for` serves them, :func:`fire` rejects them.
+_WRITER_ACTIONS = ("torn", "dup")
+
+_VALID_ACTIONS = ("raise", "crash", "stall", "sigint", "sigterm") \
+    + _WRITER_ACTIONS
 
 #: parsed spec cache: (env string) -> spec list; fire counts ride along
 #: so a changed env (tests monkeypatching) resets both.
@@ -168,28 +182,36 @@ def _act(spec: dict, point: str, ctx: Dict) -> None:
         sig = signal.SIGINT if action == "sigint" else signal.SIGTERM
         os.kill(os.getpid(), sig)
         return
-    if action == "torn":
-        # handled by the journal writer (it needs the record bytes);
-        # reaching here means a torn spec matched a point that cannot
-        # tear — treat as a plain injected fault so the test notices.
-        raise InjectedFault(f"torn-write fault matched non-journal point {point}")
+    if action in _WRITER_ACTIONS:
+        # handled by a cooperating writer (it needs the record bytes);
+        # reaching here means the spec matched a point that cannot
+        # tear/duplicate — a plain injected fault so the test notices.
+        raise InjectedFault(
+            f"writer-cooperative {action!r} fault matched "
+            f"non-writer point {point}")
 
 
-def torn_spec_for(point: str, ctx: Dict) -> Optional[dict]:
-    """The matching ``torn`` spec for a write about to happen, if any
-    (consumes a fire).  Writers that support torn output call this
-    instead of :func:`fire` so they can emit the partial bytes
-    themselves before exiting."""
+def spec_for(point: str, action: str, ctx: Dict) -> Optional[dict]:
+    """The matching spec with ``action`` for a write about to happen,
+    if any (consumes a fire).  Writers that support writer-cooperative
+    actions (``torn``, ``dup``) call this instead of :func:`fire` so
+    they can emit the partial/duplicated bytes themselves."""
     active = _active()
     if active is None:
         return None
     specs, fired = active
     for i, spec in enumerate(specs):
-        if (spec.get("point") == point and spec.get("action") == "torn"
+        if (spec.get("point") == point and spec.get("action") == action
                 and fired[i] < spec.get("count", 1) and _matches(spec, ctx)):
             fired[i] += 1
             return spec
     return None
+
+
+def torn_spec_for(point: str, ctx: Dict) -> Optional[dict]:
+    """The matching ``torn`` spec for a write about to happen, if any
+    (consumes a fire)."""
+    return spec_for(point, "torn", ctx)
 
 
 # -- deterministic file corruption helpers (chaos tests) ----------------------

@@ -130,6 +130,44 @@ class TestDetectorScopedVersions:
 
         assert detector_code_version("no-such-detector") == code_version()
 
+    def test_shim_reexports_join_the_closure_one_level_deep(self):
+        """Regression: a detector importing ``pkg.mod`` must also be
+        versioned by what ``pkg``'s ``__init__`` shim statically
+        re-exports (``from pkg.impl import thing``) — one level only,
+        so the whole package doesn't ride into every closure.  Before
+        the fix, moving an implementation behind an unchanged shim
+        left stale cache entries live."""
+        from repro.exp.cache import closure_with_shims
+
+        modules = {m: b"" for m in
+                   ("pkg", "pkg.mod", "pkg.impl", "pkg.impl.deep",
+                    "pkg.other")}
+        graph = {
+            "pkg.mod": set(),
+            "pkg": {"pkg.impl"},             # the __init__ shim re-export
+            "pkg.impl": {"pkg.impl.deep"},
+            "pkg.other": set(),
+        }
+        closure = closure_with_shims({"pkg.mod"}, modules, graph)
+        assert "pkg" in closure              # ancestor __init__ runs
+        assert "pkg.impl" in closure         # its re-export, one level
+        assert "pkg.impl.deep" not in closure   # ...but not transitively
+        assert "pkg.other" not in closure
+
+    def test_shim_follow_reaches_real_reexported_impls(self):
+        """The live import graph agrees: ``repro.vc``'s ``__init__``
+        re-exports the timestamp implementation, so every detector
+        whose closure contains the package also digests the module."""
+        from repro.exp.cache import (_module_digests, _module_import_graph,
+                                     closure_with_shims)
+
+        graph = _module_import_graph()
+        modules = _module_digests()
+        closure = closure_with_shims({"repro.core.spd_offline"},
+                                     modules, graph)
+        assert "repro.vc" in closure
+        assert "repro.vc.timestamps" in closure
+
     def test_scaffold_digest_covers_helpers_not_sibling_adapters(self, tmp_path, monkeypatch):
         """Editing a shared module-level helper (e.g. ``_bug_list``)
         must change the scaffold digest; editing another adapter's body
@@ -240,6 +278,95 @@ class TestResultCache:
         assert r1.results[0].status == "error"
         r2 = InlineRunner().run(c, cache=cache)
         assert r2.cache_hits == 0
+
+    def test_journal_replay_backfills_a_cold_cache(self, tmp_path):
+        """Resuming against a cold/remote cache must not leave the
+        replayed cells permanently missing from it: journal replays
+        are written back (counted in RunStats and run.json), so the
+        next run over that cache hits instead of re-executing."""
+        from repro.exp.resilience import RunJournal
+
+        def build():
+            return tiny_campaign([DetectorSpec(name="spd_offline")])
+
+        jpath = str(tmp_path / "journal.jsonl")
+        with RunJournal(jpath) as j:
+            j.start("t")
+            first = InlineRunner().run(build(), journal=j)  # no cache
+            j.finalize(cells=first.num_cells)
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        state = RunJournal.load(jpath)
+        second = InlineRunner().run(build(), cache=cache, resume=state)
+        assert second.journal_replays == second.num_cells == 2
+        assert second.cache_backfills == 2
+        assert len(cache) == 2
+        rec = run_to_json(second)
+        assert rec["cache_backfills"] == 2
+        # backfilled records look like fresh-execution records
+        for task in build().cells():
+            stored = cache.get(task.key())
+            assert stored is not None
+            assert not stored.get("cached") and not stored.get("replayed")
+
+        third = InlineRunner().run(build(), cache=cache)
+        assert third.cache_hits == 3 - 1     # stats + detector cells
+        assert third.cache_hits == third.num_cells
+        assert third.cache_backfills == 0
+        # an idempotent resume doesn't re-backfill a warm cache
+        fourth = InlineRunner().run(build(), cache=cache, resume=state)
+        assert fourth.cache_backfills == 0
+
+
+class TestCacheKeyPortability:
+    """Cell and journal keys are content-addressed: the same trace
+    bytes and campaign shape must produce identical keys on two
+    machines whose files live under different roots — the property
+    the fleet's shared blob store rests on."""
+
+    def test_same_content_under_two_roots_shares_keys(self, tmp_path):
+        import shutil
+
+        from repro.exp.resilience import journal_key
+
+        src = os.path.join(CORPUS, "sigma2.std")
+        roots = []
+        for fake in ("machine-a/home/alice/work",
+                     "machine-b/scratch/nfs/bob"):
+            root = tmp_path / fake
+            root.mkdir(parents=True)
+            shutil.copy(src, root / "trace.std")
+            roots.append(str(root / "trace.std"))
+
+        def cells(path):
+            return Campaign(
+                name="portable",
+                traces=[TraceSource(kind="file", name="t", path=path)],
+                detectors=[DetectorSpec(name="spd_offline",
+                                        config={"max_size": 3})],
+                include_stats=False,
+            ).cells()
+
+        (a,), (b,) = cells(roots[0]), cells(roots[1])
+        assert a.trace.path != b.trace.path
+        assert a.trace_digest == b.trace_digest
+        assert a.key() == b.key()
+        assert journal_key(a) == journal_key(b)
+
+    def test_changed_content_changes_the_key(self, tmp_path):
+        src = os.path.join(CORPUS, "sigma2.std")
+        copy = tmp_path / "trace.std"
+        copy.write_bytes(open(src, "rb").read() + b"\n")
+
+        def cell(path):
+            return Campaign(
+                name="portable",
+                traces=[TraceSource(kind="file", name="t", path=path)],
+                detectors=[DetectorSpec(name="spd_offline")],
+                include_stats=False,
+            ).cells()[0]
+
+        assert cell(src).key() != cell(str(copy)).key()
 
 
 class TestCampaignSpec:

@@ -1,0 +1,252 @@
+"""Fleet runner (repro.exp.fleet): queue protocol + bit-identity.
+
+The fault-injection chaos cases (killed worker mid-lease, expired
+lease re-dispatch, duplicate delivery, torn result record) live in
+tests/test_chaos.py beside the other recovery proofs; this file covers
+the transport protocol itself and the determinism contract of the
+happy paths.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.exp.cache import ResultCache
+from repro.exp.campaign import Campaign, DetectorSpec, TraceSource
+from repro.exp.fleet import RemoteRunner, queue_status, run_worker
+from repro.exp.fleet_queue import (
+    FleetQueue,
+    QueueError,
+    ResultsReader,
+    ResultsWriter,
+    task_from_json,
+    task_name,
+    task_to_json,
+)
+from repro.exp.resilience import RetryPolicy
+from repro.exp.runner import CellTask, InlineRunner
+
+CORPUS = os.path.join(os.path.dirname(__file__), "..", "corpus")
+
+
+def corpus_source(name: str) -> TraceSource:
+    return TraceSource(kind="file", name=name,
+                       path=os.path.join(CORPUS, f"{name}.std"))
+
+
+def campaign(detectors, traces=("sigma2", "non_well_nested"), **kwargs):
+    return Campaign(
+        name="fleet",
+        traces=[corpus_source(n) for n in traces],
+        detectors=detectors,
+        include_stats=kwargs.pop("include_stats", False),
+        **kwargs,
+    )
+
+
+def comparable(run):
+    return [r.comparable() for r in run.results]
+
+
+def sample_task(index=3, attempt=2) -> CellTask:
+    c = campaign([DetectorSpec(name="spd_offline",
+                               config={"max_cycles": 7})])
+    task = c.cells()[0]
+    return CellTask(index=index, trace=task.trace,
+                    trace_digest=task.trace_digest, detector=task.detector,
+                    timeout=12.5, repeats=2,
+                    retry=RetryPolicy(max_attempts=3), attempt=attempt)
+
+
+class TestWireFormat:
+    def test_task_roundtrip_preserves_cell_identity(self):
+        task = sample_task()
+        back = task_from_json(json.loads(json.dumps(task_to_json(task))))
+        assert (back.index, back.attempt) == (task.index, task.attempt)
+        assert back.trace == task.trace
+        assert back.trace_digest == task.trace_digest
+        assert back.detector.name == task.detector.name
+        assert back.detector.config == task.detector.config
+        assert (back.timeout, back.repeats) == (task.timeout, task.repeats)
+        # the cache key is computed from wire fields only, so a worker
+        # on another machine addresses the same blob-store entry
+        assert back.key() == task.key()
+
+    def test_retry_policy_stays_with_the_coordinator(self):
+        task = sample_task()
+        back = task_from_json(task_to_json(task))
+        assert back.retry is None           # workers run exactly one attempt
+
+    def test_task_names_sort_by_cell_index(self):
+        names = [task_name(i, a) for i in (0, 2, 10, 100) for a in (1, 2)]
+        assert sorted(names) == names
+
+
+class TestFleetQueue:
+    def test_claim_is_exclusive(self, tmp_path):
+        q = FleetQueue(str(tmp_path / "q"))
+        q.init()
+        name = q.enqueue(sample_task())
+        assert q.try_claim(name, "w0")
+        assert not q.try_claim(name, "w1")
+        assert q.lease_owner(name)["worker"] == "w0"
+        q.release_lease(name)
+        assert q.try_claim(name, "w1")
+
+    def test_meta_rejects_a_non_queue_directory(self, tmp_path):
+        with pytest.raises(QueueError):
+            FleetQueue(str(tmp_path)).meta()
+
+    def test_load_task_roundtrip_and_withdrawal(self, tmp_path):
+        q = FleetQueue(str(tmp_path / "q"))
+        q.init(meta={"cache": "/tmp/cache"})
+        task = sample_task()
+        name = q.enqueue(task)
+        assert q.list_tasks() == [name]
+        assert q.meta()["cache"] == "/tmp/cache"
+        loaded = q.load_task(name)
+        assert loaded.key() == task.key()
+        q.remove_task(name)
+        assert q.load_task(name) is None
+        assert q.list_tasks() == []
+
+    def test_results_reader_skips_torn_tail_until_complete(self, tmp_path):
+        q = FleetQueue(str(tmp_path / "q"))
+        q.init()
+        reader = ResultsReader(q)
+        path = os.path.join(q.results_dir, "w0.jsonl")
+        full = json.dumps({"task": "t000000-a1", "index": 0, "attempt": 1,
+                           "worker": "w0", "result": {}})
+        with open(path, "w") as fh:          # one complete + one torn line
+            fh.write(full + "\n")
+            fh.write(full[:9])
+        got = list(reader.poll())
+        assert [rec["index"] for _, rec in got] == [0]
+        assert list(reader.poll()) == []     # torn tail stays pending
+        with open(path, "a") as fh:          # writer finishes the line
+            fh.write(full[9:] + "\n")
+        got = list(reader.poll())
+        assert [rec["index"] for _, rec in got] == [0]
+
+    def test_results_reader_counts_garbage_lines(self, tmp_path):
+        q = FleetQueue(str(tmp_path / "q"))
+        q.init()
+        reader = ResultsReader(q)
+        with open(os.path.join(q.results_dir, "w0.jsonl"), "w") as fh:
+            fh.write("not json\n")
+            fh.write('["a", "list"]\n')
+            fh.write(json.dumps({"index": 4, "attempt": 1,
+                                 "result": {}}) + "\n")
+        got = list(reader.poll())
+        assert [rec["index"] for _, rec in got] == [4]
+        assert reader.bad_lines == 2
+
+    def test_writer_appends_are_fsynced_jsonl(self, tmp_path):
+        q = FleetQueue(str(tmp_path / "q"))
+        q.init()
+        writer = ResultsWriter(q, "w9")
+        writer.append("t000001-a1", 1, 1, {"status": "ok"}, "tail text")
+        writer.append("t000002-a1", 2, 1, {"status": "ok"})
+        writer.close()
+        recs = [rec for _, rec in ResultsReader(q).poll()]
+        assert [r["index"] for r in recs] == [1, 2]
+        assert recs[0]["stderr_tail"] == "tail text"
+        assert "stderr_tail" not in recs[1]
+        assert all(r["worker"] == "w9" for r in recs)
+
+
+class TestRemoteRunnerLoopback:
+    def test_matches_inline_runner(self):
+        c = campaign([DetectorSpec(name="spd_offline"),
+                      DetectorSpec(name="goodlock")])
+        base = InlineRunner().run(c)
+        fleet = RemoteRunner(workers=2).run(c)
+        assert not fleet.interrupted
+        assert comparable(fleet) == comparable(base)
+        assert [r.status for r in fleet.results] == ["ok"] * 4
+
+    def test_private_queue_dir_is_cleaned_up(self, tmp_path):
+        c = campaign([DetectorSpec(name="goodlock")], traces=("sigma2",))
+        runner = RemoteRunner(workers=1)
+        seen = {}
+        orig = runner._spawn_worker
+
+        def spy(root, wid):
+            seen["root"] = root
+            return orig(root, wid)
+
+        runner._spawn_worker = spy
+        runner.run(c)
+        assert not os.path.exists(seen["root"])
+
+    def test_explicit_queue_dir_is_kept(self, tmp_path):
+        qdir = str(tmp_path / "queue")
+        c = campaign([DetectorSpec(name="goodlock")], traces=("sigma2",))
+        RemoteRunner(queue_dir=qdir, workers=1).run(c)
+        status = queue_status(qdir)
+        assert status["stopped"]
+        assert status["tasks_pending"] == 0
+        assert status["results_delivered"] == 1
+
+    def test_external_worker_only_no_spawned_processes(self, tmp_path):
+        """workers=0 is the multi-machine mode: the coordinator only
+        tends the queue; an externally attached run_worker loop (here:
+        a thread, standing in for another machine) does the work."""
+        qdir = str(tmp_path / "queue")
+        c = campaign([DetectorSpec(name="spd_offline")])
+        base = InlineRunner().run(c)
+
+        done = threading.Event()
+        counts = {}
+
+        def external():
+            # waits for queue.json, then drains until the stop marker
+            while not os.path.exists(os.path.join(qdir, "queue.json")):
+                if done.wait(0.01):
+                    return
+            counts["cells"] = run_worker(qdir, worker_id="ext-1", poll=0.01)
+
+        t = threading.Thread(target=external, daemon=True)
+        t.start()
+        try:
+            fleet = RemoteRunner(queue_dir=qdir, workers=0).run(c)
+        finally:
+            done.set()
+            t.join(timeout=30)
+        assert not t.is_alive()
+        assert comparable(fleet) == comparable(base)
+        assert counts["cells"] == len(base.results)
+
+    def test_workers_share_the_blob_store(self, tmp_path):
+        """A result another run already cached is served inside the
+        worker (no recomputation), and fresh results land in the shared
+        cache for the next machine."""
+        cache_dir = str(tmp_path / "blobs")
+        c = campaign([DetectorSpec(name="spd_offline")], traces=("sigma2",))
+
+        cache = ResultCache(cache_dir)
+        first = RemoteRunner(workers=1, cache_dir=cache_dir).run(
+            c, cache=cache)
+        assert [r.status for r in first.results] == ["ok"]
+        assert len(cache) == 1               # worker wrote the blob store
+
+        # tamper with the stored record: if the worker warm-starts from
+        # the shared store (rather than recomputing), the marker shows
+        # up in the second run's results
+        key = c.cells()[0].key()
+        rec = cache.get(key)
+        rec["output"]["warm_marker"] = True
+        cache.put(key, rec)
+
+        # a second coordinator with *no* cache of its own: the worker
+        # still serves the cell from the shared store
+        second = RemoteRunner(workers=1, cache_dir=cache_dir).run(c)
+        assert second.results[0].output["warm_marker"] is True
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RemoteRunner(workers=-1)
+        with pytest.raises(ValueError):
+            RemoteRunner(lease_ttl=0)

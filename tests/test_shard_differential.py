@@ -169,10 +169,26 @@ class TestProcessPoolDifferential:
 
 
 class TestShardedSemantics:
-    def test_max_cycles_rejected(self):
-        trace = load_trace(CORPUS[0])
-        with pytest.raises(ShardError):
-            spd_offline_sharded(trace, max_cycles=10)
+    def test_max_cycles_prefix_matches_serial(self):
+        """The global enumeration-prefix cap, distributed: workers
+        report per-start cycle counts, the merge cuts the prefix —
+        bit-identical to the serial cap for every cap value (Table-1
+        ``|Cyc|`` cells can shard)."""
+        for seed in (3, 17, 42):
+            trace = as_trace(generate_random_trace(config_for(seed)))
+            total = spd_offline(trace).num_cycles
+            for cap in (0, 1, 2, max(total - 1, 0), total, total + 5):
+                serial = spd_offline(trace, max_cycles=cap)
+                sharded = spd_offline_sharded(trace, max_cycles=cap)
+                assert result_key(serial) == result_key(sharded), (seed, cap)
+
+    def test_max_cycles_composes_with_max_size(self):
+        trace = load_trace(os.path.join(os.path.dirname(__file__), "..",
+                                        "corpus", "picklock.std"))
+        for cap in (0, 1, 3):
+            serial = spd_offline(trace, max_size=2, max_cycles=cap)
+            sharded = spd_offline_sharded(trace, max_size=2, max_cycles=cap)
+            assert result_key(serial) == result_key(sharded), cap
 
     def test_with_witnesses_matches_serial(self):
         trace = load_trace(os.path.join(os.path.dirname(__file__), "..",
@@ -265,24 +281,28 @@ class TestShardedCampaignRunner:
         assert ([r.comparable() for r in plain.results]
                 == [r.comparable() for r in sharded.results])
 
-    def test_max_cycles_cells_stay_on_the_serial_path(self):
+    def test_max_cycles_cells_shard_and_match_serial(self):
         from repro.exp.campaign import Campaign, DetectorSpec, TraceSource
         from repro.exp.runner import InlineRunner
         from repro.exp.shard import ShardedCampaignRunner
 
         corpus = os.path.join(os.path.dirname(__file__), "..", "corpus")
         campaign = Campaign(
-            name="serial-fallback",
+            name="capped-shards",
             traces=[TraceSource(kind="file", name="picklock",
                                 path=os.path.join(corpus, "picklock.std"))],
             detectors=[DetectorSpec(name="spd_offline",
                                     config={"max_cycles": 1})],
         )
         plain = InlineRunner().run(campaign)
-        sharded = ShardedCampaignRunner(jobs=1).run(campaign)
+        seen = []
+        sharded = ShardedCampaignRunner(jobs=1).run(
+            campaign, progress=lambda r: seen.append(r.detector_id))
         assert ([r.comparable() for r in plain.results]
                 == [r.comparable() for r in sharded.results])
         assert all(r.status == "ok" for r in sharded.results)
+        # the capped cell really went through the shard pipeline
+        assert any(d.startswith("shard") for d in seen)
 
     def test_shard_timeout_surfaces(self):
         # A shard cell that cannot finish inside the budget must come
