@@ -47,6 +47,8 @@ from repro.synth.random_traces import RandomTraceConfig
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_spd.json")
 OBS_BENCH_PATH = os.path.join(os.path.dirname(__file__), "..",
                               "BENCH_obs.json")
+CYCLES_BENCH_PATH = os.path.join(os.path.dirname(__file__), "..",
+                                 "BENCH_cycles.json")
 
 # Deadlock-dense workload for the streaming detectors.
 ONLINE_CFG = RandomTraceConfig(num_threads=8, num_locks=12, num_vars=16,
@@ -231,6 +233,89 @@ def test_throughput_and_record():
             f"throughput ({PR7_PYTHON_BASELINE['spd_online']} ev/s); "
             f"need >= {MIN_NUMPY_ONLINE_SPEEDUP}x"
         )
+
+
+# -- unbounded cycle enumeration (round-2 incremental SCC) --------------
+
+#: wall seconds of one unbounded ``abstract_deadlock_patterns`` pass on
+#: the cycles workload under the pre-round-2 enumeration (full SCC
+#: recomputation after every start-node deletion), measured on the
+#: round-2 container.  A recorded constant, like the other baselines:
+#: re-measure via ``tests.test_kernels_round2.reference_simple_cycles``
+#: if the reference hardware changes.
+SEED_CYCLES_WALL = 0.627
+#: round-2 acceptance bar: the incremental-SCC sweep must hold >= 2x.
+MIN_CYCLES_SPEEDUP = 2.0
+#: bit-stability: the workload's |Cyc| and abstract-pattern counts.
+EXPECTED_CYCLES = {"cycles": 240, "abstract_patterns": 200}
+
+
+def _cycles_workload():
+    from repro.synth.suite import BenchmarkSpec, build_benchmark
+
+    spec = BenchmarkSpec(
+        name="cycles-bench", paper_events=30000, paper_threads=24,
+        paper_vars=64, paper_locks=48, paper_acquires=0, paper_cycles=0,
+        paper_abstract=0, paper_concrete=0, paper_dirk=None,
+        paper_dirk_status="ok", paper_seqcheck=None, paper_spd=0,
+        sp_bugs=120, dead_patterns=80, pseudo_cycles=40, rounds=2, seed=17)
+    return spec, build_benchmark(spec)
+
+
+def test_cycles_enumeration_and_record():
+    """Unbounded |Cyc| enumeration: bit-stable counts on both
+    backends, plus the incremental-SCC throughput floor."""
+    import time
+
+    from repro.core.alg import abstract_deadlock_patterns
+
+    have_numpy = kernels._import_numpy() is not None
+    spec, trace = _cycles_workload()
+
+    walls = {}
+    for backend in ("python",) + (("numpy",) if have_numpy else ()):
+        with kernels.use(backend):
+            best = None
+            for _ in range(3):
+                t0 = time.perf_counter()
+                num_cycles, patterns = abstract_deadlock_patterns(trace)
+                wall = time.perf_counter() - t0
+                best = wall if best is None else min(best, wall)
+            got = {"cycles": num_cycles, "abstract_patterns": len(patterns)}
+            assert got == EXPECTED_CYCLES, (backend, got)
+            walls[backend] = round(best, 4)
+
+    if os.environ.get("REPRO_BENCH_SKIP_PERF") == "1":
+        pytest.skip("REPRO_BENCH_SKIP_PERF=1: cycle counts verified "
+                    "(both kernel backends), machine-relative perf "
+                    "floors skipped")
+
+    payload = {
+        "description": "wall seconds of one unbounded "
+                       "abstract_deadlock_patterns pass (phase-1 cycle "
+                       "enumeration; see benchmarks/test_perf_regression.py)",
+        "workload": {
+            "spec": {k: (sorted(v) if isinstance(v, (set, frozenset)) else v)
+                     for k, v in spec.__dict__.items()},
+            "events": len(trace.compiled),
+        },
+        "seed_wall_seconds": SEED_CYCLES_WALL,
+        "current_wall_seconds": walls,
+        "speedup_vs_seed": {
+            b: round(SEED_CYCLES_WALL / w, 1) for b, w in walls.items()
+        },
+        "counts": EXPECTED_CYCLES,
+    }
+    with open(CYCLES_BENCH_PATH, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    speedup = SEED_CYCLES_WALL / walls["python"]
+    assert speedup >= MIN_CYCLES_SPEEDUP, (
+        f"incremental-SCC enumeration regressed: {walls['python']:.3f}s "
+        f"is only {speedup:.1f}x the recorded per-start-SCC wall "
+        f"({SEED_CYCLES_WALL}s); need >= {MIN_CYCLES_SPEEDUP}x"
+    )
 
 
 # -- repro.obs overhead (PR-7 acceptance bar) ---------------------------

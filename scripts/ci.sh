@@ -52,5 +52,6 @@ case "${REPRO_FUZZ_ITERS:-0}" in
     *)
         echo "== shard-differential + streaming + kernel fuzz loops + seeded fault sweeps (detector + fleet transport; REPRO_FUZZ_ITERS=${REPRO_FUZZ_ITERS}) =="
         python -m pytest -q -m fuzz tests/test_shard_differential.py \
-            tests/test_stream.py tests/test_chaos.py tests/test_kernels.py ;;
+            tests/test_stream.py tests/test_chaos.py tests/test_kernels.py \
+            tests/test_kernels_round2.py ;;
 esac

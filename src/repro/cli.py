@@ -813,6 +813,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Scoped, not global: in-process callers (tests, scripting)
         # must not leak one invocation's backend into the next.
         with kernels.use(args.kernels):
+            # Resolve eagerly: "--kernels numpy" on a box without numpy
+            # is a usage error at startup, not a KernelsError surfacing
+            # from a hot loop halfway through a long run.
+            kernels.backend()
             return args.func(args)
     return args.func(args)
 
@@ -821,11 +825,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _usage_error_types():
     from repro.exp.campaign import CampaignError
     from repro.faults import FaultSpecError
+    from repro.kernels import KernelsError
     from repro.trace.compiled import TraceReadError
     from repro.trace.parser import ParseError
 
     return (FileNotFoundError, IsADirectoryError, PermissionError,
-            ParseError, TraceReadError, CampaignError, FaultSpecError)
+            ParseError, TraceReadError, CampaignError, FaultSpecError,
+            KernelsError)
 
 
 def entry(argv: Optional[List[str]] = None) -> int:

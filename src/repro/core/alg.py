@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+import repro.kernels as kernels
 from repro.core.patterns import AbstractDeadlockPattern
 from repro.graph.digraph import DiGraph
 from repro.graph.johnson import simple_cycles
@@ -31,6 +32,13 @@ from repro.trace.trace import Trace, as_trace
 
 def _build_alg_edges(acquires: Sequence[AbstractAcquireIds]) -> DiGraph:
     """``ALG`` over node indices ``0..len(acquires)-1`` (int ids)."""
+    if kernels.backend() == "numpy":
+        from repro.kernels.alg_np import build_alg_edges_np
+
+        graph = build_alg_edges_np(acquires)
+        if graph is not None:
+            return graph
+    kernels.record_dispatch("alg_edges", "python", events=len(acquires))
     graph: DiGraph = DiGraph()
     for i in range(len(acquires)):
         graph.add_node(i)

@@ -49,6 +49,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+import repro.kernels as kernels
 from repro.core.patterns import DeadlockPattern, DeadlockReport
 from repro.trace.compiled import CompiledTrace, InterningDetectorMixin
 from repro.trace.events import (
@@ -105,6 +106,9 @@ class _AcqEntry:
 # Context key: the ordered abstract pattern ⟨u, l', {l}⟩ vs ⟨t, l, {l'}⟩,
 # as interned ids.
 _Ctx = Tuple[int, int, int, int]
+
+#: deferred checkDeadlock calls buffered before a forced flush
+_MB_LIMIT = 64
 
 
 class _OnlineClosure:
@@ -425,10 +429,15 @@ class SPDOnline(InterningDetectorMixin):
         self._np = None
         if max_memory_events is None:
             self._init_kernel()
+        # Per-event micro-batch deferral (exact mode + numpy only):
+        # non-batchable checkDeadlock calls queue here and replay at
+        # flush boundaries — consecutive no-op checks of one context
+        # collapse into a single folded seed join, and the python path
+        # stays the inline differential oracle.
+        self._mb: Optional[List[tuple]] = (
+            [] if self._np is not None else None)
 
     def _init_kernel(self) -> None:
-        import repro.kernels as kernels
-
         np_mod = kernels.numpy_or_none()
         if np_mod is not None:
             from repro.kernels.online_np import NpOnlineState
@@ -482,7 +491,15 @@ class SPDOnline(InterningDetectorMixin):
         before = len(self.reports)
         op, tid, target_id = self._intern_event(event)
         self._step_coded(op, tid, target_id, event.loc)
+        if self._mb:
+            self._flush_checks()
         return self.reports[before:]
+
+    def feed_batch(self, compiled: CompiledTrace, lo: int, hi: int,
+                   base: int = 0) -> None:
+        super().feed_batch(compiled, lo, hi, base)
+        if self._mb:
+            self._flush_checks()
 
     def _step_coded(self, op: int, tid: int, target_id: int,
                     loc: Optional[str]) -> None:
@@ -582,6 +599,7 @@ class SPDOnline(InterningDetectorMixin):
 
         # Check against queued opposing acquires: u acquired l2 holding lid.
         closures = self._closures
+        mb = self._mb
         for l2 in held_before:
             for u in pair_threads.get((l2, lid), ()):
                 if u == tid:
@@ -594,11 +612,23 @@ class SPDOnline(InterningDetectorMixin):
                 if closure is None:
                     closure = self._new_closure()
                     closures[opp_ctx] = closure
-                self._check_deadlock(queue, closure, opp_ctx, c_pred, entry)
+                if mb is None:
+                    self._check_deadlock(queue, len(queue), closure,
+                                         opp_ctx, c_pred, entry)
+                else:
+                    # Defer: capture the queue length now — entries
+                    # appended later are invisible to this check (their
+                    # acquire values postdate every timestamp the
+                    # closure can reach from this event's seeds).
+                    mb.append((queue, len(queue), closure, opp_ctx,
+                               c_pred, entry))
+        if mb is not None and len(mb) >= _MB_LIMIT:
+            self._flush_checks()
 
     def _check_deadlock(
         self,
         queue: List[_AcqEntry],
+        n: int,
         closure: _OnlineClosure,
         ctx: _Ctx,
         c_pred: VectorClock,
@@ -606,14 +636,16 @@ class SPDOnline(InterningDetectorMixin):
     ) -> None:
         """The ``checkDeadlock`` helper of Algorithm 4.
 
-        Walks the opposing acquire list from this context's cursor.
+        Walks the first ``n`` entries of the opposing acquire list from
+        this context's cursor (``n`` is the queue length at the
+        triggering event — the micro-batch replay passes the captured
+        length so deferred checks see exactly the event-time queue).
         Entries swallowed by the closure are skipped forever
         (Corollary 4.5); the first entry that survives the closure is a
         sync-preserving deadlock with ``new_entry``.
         """
         closure.join_seed(c_pred)
         cursor = self._ctx_cursor.get(ctx, 0)
-        n = len(queue)
         while cursor < n:
             old = queue[cursor]
             self._deadlock_checks += 1
@@ -635,6 +667,49 @@ class SPDOnline(InterningDetectorMixin):
                 break
             cursor += 1
         self._ctx_cursor[ctx] = cursor
+
+    def _flush_checks(self) -> None:
+        """Replay deferred checkDeadlock calls in arrival order.
+
+        Exactness: each deferred call replays against the queue prefix
+        captured at its event (``qn``), and the closure state it sees
+        is what the inline run would have seen — extra history recorded
+        between the event and the flush is either unreachable (a later
+        acquire's value exceeds every component any event-time seed can
+        produce) or redundant (a consumable candidate's release was
+        already recorded when its successor's acquire entered the
+        history).  Consecutive calls on one context with nothing left
+        to walk are pure seed joins, and sequential joins equal one
+        join of the folded seed — that collapse is the micro-batch
+        saving.
+        """
+        buf = self._mb
+        if not buf:
+            return
+        self._mb = []
+        kernels.record_dispatch("online_microbatch", "numpy",
+                                events=len(buf))
+        cursors = self._ctx_cursor
+        i = 0
+        n = len(buf)
+        while i < n:
+            queue, qn, closure, ctx, c_pred, entry = buf[i]
+            cursor = cursors.get(ctx, 0)
+            if cursor >= qn:
+                j = i + 1
+                while j < n and buf[j][2] is closure and buf[j][1] <= cursor:
+                    j += 1
+                if j - i == 1:
+                    closure.join_seed(c_pred)
+                else:
+                    acc = c_pred.copy()
+                    for t in range(i + 1, j):
+                        acc.join_with(buf[t][4])
+                    closure.join_seed(acc)
+                i = j
+                continue
+            self._check_deadlock(queue, qn, closure, ctx, c_pred, entry)
+            i += 1
 
     # -- bounded-memory eviction (Corollary 4.5 + summary clocks) -----------
 
@@ -722,6 +797,8 @@ class SPDOnline(InterningDetectorMixin):
         """
         import pickle
 
+        if self._mb:
+            self._flush_checks()
         state = dict(self.__dict__)
         state.pop("_synced_tabs", None)
         # Closures serialize as their canonical clock (a plain int
@@ -730,12 +807,17 @@ class SPDOnline(InterningDetectorMixin):
         # versa.  The numpy history mirror is likewise dropped and
         # resynced from the canonical records on restore.
         state.pop("_np", None)
+        state.pop("_mb", None)
         state["_closures"] = {
             ctx: closure.canonical_clock()
             for ctx, closure in self._closures.items()
         }
+        self._checkpoint_extra(state)
         return pickle.dumps((type(self).__name__, state),
                             protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _checkpoint_extra(self, state: Dict) -> None:
+        """Subclass hook: rewrite derived state before pickling."""
 
     @classmethod
     def restore(cls, blob: bytes) -> "SPDOnline":
@@ -772,9 +854,12 @@ class SPDOnline(InterningDetectorMixin):
                 closure.seed_values(values)
             closures[ctx] = closure
         out._closures = closures
-        for ctx in getattr(out, "_contexts", ()):
-            ctx.closure._owner = out
+        out._mb = [] if out._np is not None else None
+        out._restore_extra()
         return out
+
+    def _restore_extra(self) -> None:
+        """Subclass hook: rebuild derived state after unpickling."""
 
     # -- introspection -----------------------------------------------------
 
@@ -791,6 +876,8 @@ class SPDOnline(InterningDetectorMixin):
           eviction keeps O(horizon); asserted by the memory benchmark.
         - ``evictions``: eviction sweeps performed.
         """
+        if self._mb:
+            self._flush_checks()
         cs_records = sum(len(v) for v in self.cs_history.values())
         acquire_entries = sum(len(v) for v in self._acq_seq.values())
         return {

@@ -12,8 +12,10 @@ that Theorem 3.1 makes unavoidable.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Set
+import heapq
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro import kernels
 from repro.graph.digraph import DiGraph
 from repro.graph.scc import strongly_connected_components
 
@@ -51,31 +53,45 @@ def simple_cycles(
         yield from _short_cycles(adjacency, succ_sorted, n, max_length,
                                  max_cycles)
         return
-    remaining: Set[int] = set(range(n))
+    # Incremental SCC maintenance across start-node deletions.  One full
+    # Tarjan pass seeds a min-keyed heap of cycle-bearing components;
+    # after the cycles through a component's minimum node are emitted,
+    # only that component (minus its start) is re-decomposed.  Deleting
+    # a node can never merge or grow another SCC — any remaining-graph
+    # path between two of its members that detoured through an outside
+    # node would have placed that node in the same original component —
+    # so the candidate set, and the min-of-min processing order the
+    # canonical output depends on, match the per-start full
+    # recomputation exactly.
+    heap: List[Tuple[int, List[int]]] = []
+    scc_nodes_scanned = n
+    for comp in strongly_connected_components(adjacency):
+        if len(comp) > 1 or comp[0] in adjacency[comp[0]]:
+            heap.append((min(comp), comp))
+    heapq.heapify(heap)
+    try:
+        while heap:
+            start, comp = heapq.heappop(heap)
+            comp_set = set(comp)
 
-    while remaining:
-        # Find the SCC containing the least remaining node that has a cycle.
-        sccs = [c for c in strongly_connected_components(adjacency, remaining) if c]
-        candidates = []
-        for comp in sccs:
-            if len(comp) > 1:
-                candidates.append(comp)
-            else:
-                v = comp[0]
-                if v in adjacency[v]:  # self-loop
-                    candidates.append(comp)
-        if not candidates:
-            break
-        comp = min(candidates, key=min)
-        start = min(comp)
-        comp_set = set(comp)
-
-        for cycle in _cycles_from(start, succ_sorted, comp_set, max_length):
-            yield cycle
-            emitted += 1
-            if max_cycles is not None and emitted >= max_cycles:
-                return
-        remaining.discard(start)
+            for cycle in _cycles_from(start, succ_sorted, comp_set, max_length):
+                yield cycle
+                emitted += 1
+                if max_cycles is not None and emitted >= max_cycles:
+                    return
+            comp_set.discard(start)
+            if len(comp_set) > 1:
+                scc_nodes_scanned += len(comp_set)
+                for sub in strongly_connected_components(adjacency, comp_set):
+                    if len(sub) > 1 or sub[0] in adjacency[sub[0]]:
+                        heapq.heappush(heap, (min(sub), sub))
+            elif comp_set:
+                (v,) = comp_set
+                if v in adjacency[v]:
+                    heapq.heappush(heap, (v, [v]))
+    finally:
+        kernels.record_dispatch("johnson_scc", "incremental",
+                                events=scc_nodes_scanned)
 
 
 def _short_cycles(

@@ -1,0 +1,111 @@
+"""Baseline-detector inner loops as array passes.
+
+Goodlock's lock-order-graph construction is a per-event scan over the
+held-lock pool — one python iteration per (held, acquired) pair.  The
+kernel here expands the same pairs with ``np.repeat`` gathers, dedupes
+edges with one sort, and rebuilds the exact :class:`DiGraph` the python
+loop would have built: node interning follows first appearance in the
+interleaved ``(held, target)`` stream, and the per-edge witness-event
+lists stay in ascending event order (a stable sort of an already
+event-ordered stream).  Returns ``None`` to decline (no numpy, or a
+trace too small to amortize the array setup); the caller then runs the
+canonical python loop.
+
+The naive baseline needs no kernel of its own: a concrete deadlock
+pattern is a batch of singleton event sequences, so it rides
+:func:`repro.kernels.offline_np.check_patterns_batch` directly (see
+``repro.baselines.naive``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import repro.kernels as kernels
+from repro.graph.digraph import DiGraph
+from repro.trace.events import OP_ACQUIRE
+from repro.trace.trace import Trace
+
+#: below this acquire count the python loop wins on constant factors
+MIN_ACQUIRES = 64
+
+
+def build_lock_graph_np(
+    trace: Trace,
+) -> Optional[Tuple[DiGraph, Dict[Tuple[int, int], List[int]]]]:
+    """``(lock-order graph, edge -> witness acquires)``, or ``None``."""
+    np = kernels.numpy_or_none()
+    if np is None:
+        return None
+    ops, _, targs = trace.compiled.columns()
+    ops = np.frombuffer(ops, dtype=np.int8)
+    acq = np.flatnonzero(ops == OP_ACQUIRE)
+    if acq.size < MIN_ACQUIRES:
+        return None
+    index = trace.index
+    targs = np.frombuffer(targs, dtype=np.intc).astype(np.int64)
+    held_id = np.frombuffer(index.held_id, dtype=np.intc).astype(np.int64)
+    held_offsets = np.frombuffer(
+        index.held_offsets, dtype=np.intc).astype(np.int64)
+    held_lengths = np.frombuffer(
+        index.held_lengths, dtype=np.intc).astype(np.int64)
+    held_pool = np.frombuffer(index.held_pool, dtype=np.intc).astype(np.int64)
+
+    # Expand each acquire into its (held, target, event) pair rows, in
+    # event order with pool order within an event — the python scan's
+    # exact emission order.
+    hid = held_id[acq]
+    lens = held_lengths[hid]
+    total = int(lens.sum())
+    kernels.record_dispatch("goodlock", "numpy", events=total)
+    graph: DiGraph = DiGraph()
+    edge_events: Dict[Tuple[int, int], List[int]] = {}
+    if not total:
+        return graph, edge_events
+    starts = np.cumsum(lens) - lens
+    gather = np.arange(total) - np.repeat(starts, lens) + np.repeat(
+        held_offsets[hid], lens)
+    src = held_pool[gather]
+    dst = np.repeat(targs[acq], lens)
+    evt = np.repeat(acq, lens)
+    keep = src != dst
+    src, dst, evt = src[keep], dst[keep], evt[keep]
+    if not src.size:
+        return graph, edge_events
+
+    # Node interning order = first appearance in the interleaved
+    # (src, dst) stream, exactly as repeated add_edge calls would see.
+    inter = np.empty(2 * src.size, dtype=np.int64)
+    inter[0::2] = src
+    inter[1::2] = dst
+    vals, first = np.unique(inter, return_index=True)
+    by_first = np.argsort(first)
+    for lock in vals[by_first].tolist():
+        graph.add_node(lock)
+    node_of_val = np.empty(vals.size, dtype=np.int64)
+    node_of_val[by_first] = np.arange(vals.size)
+    src_idx = node_of_val[np.searchsorted(vals, src)]
+    dst_idx = node_of_val[np.searchsorted(vals, dst)]
+
+    # One stable sort groups the witness lists: the stream is already
+    # ascending in event id, so within each (src, dst) group the order
+    # is preserved.
+    n_nodes = vals.size
+    enc = src_idx * n_nodes + dst_idx
+    order = np.argsort(enc, kind="stable")
+    enc_sorted = enc[order]
+    evt_sorted = evt[order]
+    bounds = np.flatnonzero(np.diff(enc_sorted)) + 1
+    group_enc = enc_sorted[np.concatenate(([0], bounds))]
+    usrc = (group_enc // n_nodes).tolist()
+    udst = (group_enc % n_nodes).tolist()
+    run_src: List[List] = []
+    for i, j, evts in zip(usrc, udst, np.split(evt_sorted, bounds)):
+        edge_events[(graph.node_at(i), graph.node_at(j))] = evts.tolist()
+        if run_src and run_src[-1][0] == i:
+            run_src[-1][1].append(j)
+        else:
+            run_src.append([i, [j]])
+    for i, js in run_src:
+        graph.add_successors_sorted(i, js)
+    return graph, edge_events

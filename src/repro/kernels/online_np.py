@@ -234,7 +234,7 @@ class NpOnlineClosure:
     """Drop-in ``_OnlineClosure`` backed by :class:`NpOnlineState`."""
 
     __slots__ = ("_owner", "_cl", "_clock", "_dirty", "_cursor", "_pos",
-                 "_last", "_nq", "_lgen")
+                 "_nq", "_lgen")
 
     def __init__(self, owner) -> None:
         self._owner = owner
@@ -247,7 +247,6 @@ class NpOnlineClosure:
         self._dirty = False
         self._cursor = None
         self._pos = None
-        self._last = None
         self._nq = 0
         self._lgen = st.layout_gen
 
@@ -303,7 +302,6 @@ class NpOnlineClosure:
         clock = self._clock
         cursor = self._cursor
         pos = self._pos
-        last = self._last
         q_tid = st.q_tid[:nq]
         q_lid = st.q_lid
         enc = st.f_enc[:nq * st.cap]
@@ -321,7 +319,6 @@ class NpOnlineClosure:
             nc = np.searchsorted(enc, bound + moved * _STRIDE, side="right")
             cursor[moved] = nc - st.qoff.take(moved)
             pos[moved] = nc
-            last[:, moved] = st.f_cand[:, nc - 1]
             # Candidate step for every lock a cursor moved on, batched
             # through the padded lock table: a consumed record
             # contributes its release clock when it is not the
@@ -332,8 +329,15 @@ class NpOnlineClosure:
             lids = lids if len(lids) == 1 else sorted(set(lids))
             qs = st.lock_table()[lids]
             qsc = np.maximum(qs, 0)
-            lv = last[:, qsc]
-            ai = np.where(qs >= 0, lv[0], -1)
+            # Each queue's last consumed record sits at slot
+            # ``cursor-1``; gather its candidate row *fresh* from the
+            # shared columns — a record can be consumed while its
+            # critical section is still open, and the release lands in
+            # ``f_cand`` only afterwards, so any copy taken at
+            # consumption time would miss it forever.
+            cur = cursor.take(qsc)
+            lv = st.f_cand[:, st.qoff.take(qsc) + np.maximum(cur - 1, 0)]
+            ai = np.where((qs >= 0) & (cur > 0), lv[0], -1)
             valid = ai >= 0
             contrib = valid & (valid.sum(axis=1) >= 2)[:, None]
             contrib[np.arange(len(lids)), ai.argmax(axis=1)] = False
@@ -370,14 +374,9 @@ class NpOnlineClosure:
             self._clock = clock
         if nq > self._nq:
             cursor = np.zeros(nq, dtype=np.int64)
-            last = np.zeros((3, nq), dtype=np.int64)
-            last[0] = -1
-            last[2] = -1
             if self._cursor is not None:
                 cursor[:self._nq] = self._cursor[:self._nq]
-                last[:, :self._nq] = self._last[:, :self._nq]
             self._cursor = cursor
-            self._last = last
             self._nq = nq
             self._pos = st.qoff[:nq] + cursor
             self._lgen = st.layout_gen

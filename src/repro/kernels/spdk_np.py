@@ -1,0 +1,102 @@
+"""SPDOnlineK's per-context swallow sweep over flat columns.
+
+The python sweep (:meth:`repro.core.spd_online_k.SPDOnlineK._check_context`)
+walks each free coordinate's signature queue one entry at a time,
+skipping acquires swallowed by the context closure (Corollary 4.5).
+Within one signature queue every entry belongs to the same thread (the
+signature fixes it) and carries a strictly increasing ``ts_val`` (the
+thread ticks at every event), so the walk from cursor ``i`` under bound
+``b = T[tid]`` stops exactly at ``max(i, bisect_right(vals, b))``.
+
+This mirror keeps the queues as one flat fixed-stride encoded column —
+``enc[slot] = ts_val + qid * stride``, pad slots ``qid * stride + pad``
+— the layout of :mod:`repro.kernels.online_np`, globally sorted by
+construction, so *one* ``np.searchsorted`` resolves every free
+coordinate of a context check at once.  Maintained write-through from
+the acquire handler; rebuilt wholesale from the canonical
+``_sig_entries`` lists after a checkpoint restore (queue ids follow
+insertion order — they are never serialized and never affect results).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.kernels.online_np import _CAP0, _NQ0, _PAD, _STRIDE
+
+
+class NpSigState:
+    """Numpy mirror of one detector's per-signature acquire queues."""
+
+    def __init__(self, np) -> None:
+        self.np = np
+        self.qid_of: Dict[Tuple, int] = {}
+        self.nq = 0
+        self.cap = _CAP0
+        self.maxq = _NQ0
+        self.q_len: List[int] = []
+        self.qoff = np.arange(_NQ0, dtype=np.int64) * self.cap
+        self.f_enc = self._pad_layout(_NQ0, self.cap)
+
+    def _pad_layout(self, maxq: int, cap: int):
+        """A fresh all-pad encoded column: sorted for any fill state."""
+        np = self.np
+        return (np.arange(maxq * cap, dtype=np.int64) // cap) * _STRIDE + _PAD
+
+    def append(self, sig, ts_val: int) -> None:
+        qid = self.qid_of.get(sig)
+        if qid is None:
+            qid = self.nq
+            self.qid_of[sig] = qid
+            if qid == self.maxq:
+                self._grow_queues()
+            self.q_len.append(0)
+            self.nq += 1
+        n = self.q_len[qid]
+        if n == self.cap:
+            self._relayout(2 * self.cap)
+        self.f_enc[qid * self.cap + n] = ts_val + qid * _STRIDE
+        self.q_len[qid] = n + 1
+
+    def _grow_queues(self) -> None:
+        np = self.np
+        old_size = self.maxq * self.cap
+        self.maxq *= 2
+        arr = self._pad_layout(self.maxq, self.cap)
+        arr[:old_size] = self.f_enc
+        self.f_enc = arr
+        self.qoff = np.arange(self.maxq, dtype=np.int64) * self.cap
+
+    def _relayout(self, cap: int) -> None:
+        """Double the uniform per-queue capacity (rare: O(log N) times)."""
+        np = self.np
+        old = self.cap
+        arr = self._pad_layout(self.maxq, cap)
+        for q in range(self.nq):
+            n = self.q_len[q]
+            arr[q * cap:q * cap + n] = self.f_enc[q * old:q * old + n]
+        self.f_enc = arr
+        self.cap = cap
+        self.qoff = np.arange(self.maxq, dtype=np.int64) * cap
+
+    def sweep(self, sigs: Sequence, cursors: Sequence[int],
+              bounds: Sequence[int]) -> List[int]:
+        """Swallow positions for one context check, all coordinates at
+        once: ``max(cursor, bisect_right(queue vals, bound))`` each."""
+        np = self.np
+        q = np.fromiter((self.qid_of[s] for s in sigs), np.int64,
+                        count=len(sigs))
+        enc = np.fromiter(bounds, np.int64, count=len(sigs)) + q * _STRIDE
+        nc = np.searchsorted(self.f_enc, enc, side="right") - self.qoff.take(q)
+        return np.maximum(
+            np.fromiter(cursors, np.int64, count=len(sigs)), nc).tolist()
+
+    @classmethod
+    def from_entries(cls, np, sig_entries) -> "NpSigState":
+        """Full resync from the canonical ``SPDOnlineK._sig_entries``
+        (after checkpoint restore)."""
+        out = cls(np)
+        for sig, entries in sig_entries.items():
+            for entry in entries:
+                out.append(sig, entry.ts_val)
+        return out

@@ -152,3 +152,48 @@ class TestExplainCommand:
         assert main(["explain", sigma1_file, "1", "7"]) == 1
         out = capsys.readouterr().out
         assert "NOT a sync-preserving deadlock" in out
+
+
+class TestKernelsBackendExitCodes:
+    """``--kernels numpy`` without numpy is a *usage* error (exit 2,
+    one line) raised at startup — not a KernelsError surfacing as an
+    internal error (exit 3) halfway through a long run.  Subprocess
+    tests: the numpy availability probe is import-level state."""
+
+    @staticmethod
+    def _run(tmp_path, sigma2_file, backend):
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        fake = tmp_path / "fakenp"
+        fake.mkdir(exist_ok=True)
+        (fake / "numpy.py").write_text(
+            "raise ImportError('numpy is mocked away')\n")
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join([str(fake), src])
+        env.pop("REPRO_KERNELS", None)
+        env.pop("REPRO_DEBUG", None)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli",
+             "--kernels", backend, "analyze", sigma2_file],
+            capture_output=True, text=True, env=env, timeout=120)
+
+    def test_numpy_request_without_numpy_is_usage_error(
+            self, tmp_path, sigma2_file):
+        proc = self._run(tmp_path, sigma2_file, "numpy")
+        assert proc.returncode == 2, (proc.stdout, proc.stderr)
+        lines = [l for l in proc.stderr.splitlines() if l.strip()]
+        assert len(lines) == 1, proc.stderr
+        assert lines[0].startswith("repro-deadlock: error:")
+        assert "numpy is not importable" in lines[0]
+        # fails at startup: no analysis output was produced
+        assert "deadlock" not in proc.stdout
+
+    def test_python_backend_unaffected(self, tmp_path, sigma2_file):
+        proc = self._run(tmp_path, sigma2_file, "python")
+        assert proc.returncode == 1, (proc.stdout, proc.stderr)  # findings
+        assert "sync-preserving deadlock" in proc.stdout
